@@ -1,0 +1,108 @@
+//! Graph contraction by SCC: the condensation DAG.
+
+use pscc_graph::{DiGraph, V};
+use pscc_core::verify::normalize_labels;
+
+/// The condensation of a digraph: one vertex per SCC, one arc per pair of
+/// components joined by at least one original edge. Always a DAG.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Component id of each original vertex (`0..num_components`, numbered
+    /// by first appearance).
+    pub comp_of: Vec<u32>,
+    /// The contracted DAG (deduplicated arcs, no self loops).
+    pub dag: DiGraph,
+    /// Number of original vertices in each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+}
+
+/// Contracts `g` using precomputed SCC `labels` (any label type that marks
+/// components, e.g. [`pscc_core::SccResult::labels`]).
+pub fn condense<T: Copy + Eq + std::hash::Hash>(g: &DiGraph, labels: &[T]) -> Condensation {
+    assert_eq!(labels.len(), g.n());
+    let comp_of = normalize_labels(labels);
+    let k = comp_of.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut sizes = vec![0usize; k];
+    for &c in &comp_of {
+        sizes[c as usize] += 1;
+    }
+    let mut arcs: Vec<(V, V)> = Vec::new();
+    for (u, v) in g.out_csr().edges() {
+        let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+        if cu != cv {
+            arcs.push((cu, cv));
+        }
+    }
+    let dag = DiGraph::from_edges(k, &arcs);
+    Condensation { comp_of, dag, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_core::{parallel_scc, SccConfig};
+    use pscc_graph::fixtures::fig2_graph;
+    use pscc_graph::generators::random::gnm_digraph;
+
+    fn condensation_of(g: &DiGraph) -> Condensation {
+        let res = parallel_scc(g, &SccConfig::default());
+        condense(g, &res.labels)
+    }
+
+    #[test]
+    fn fig2_condensation_shape() {
+        let g = fig2_graph();
+        let c = condensation_of(&g);
+        assert_eq!(c.num_components(), 6);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 2, 3, 4]);
+        // Condensation must have fewer edges than the graph and no
+        // self-loops.
+        assert!(c.dag.m() <= g.m());
+        for (u, v) in c.dag.out_csr().edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        for seed in 0..5u64 {
+            let g = gnm_digraph(200, 800, seed);
+            let c = condensation_of(&g);
+            assert!(
+                crate::toposort::topological_order(&c.dag).is_some(),
+                "condensation has a cycle (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let g = gnm_digraph(300, 900, 9);
+        let c = condensation_of(&g);
+        assert_eq!(c.sizes.iter().sum::<usize>(), g.n());
+    }
+
+    #[test]
+    fn single_scc_condenses_to_point() {
+        let g = pscc_graph::generators::simple::cycle_digraph(50);
+        let c = condensation_of(&g);
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(c.dag.m(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        let c = condense(&g, &Vec::<u64>::new());
+        assert_eq!(c.num_components(), 0);
+    }
+}

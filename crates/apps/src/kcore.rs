@@ -1,0 +1,215 @@
+//! k-core decomposition (coreness) with hash-bag wake-up frontiers.
+//!
+//! §8 of the paper lists k-core as a traversal-based algorithm where its
+//! techniques apply with a "wake-up strategy to find the next frontier":
+//! peeling removes all vertices of degree < k in waves, and each removal
+//! wakes up neighbours whose degree just dropped. The frontier of woken
+//! vertices is exactly the paper's hash-bag use case — deduplicated by a
+//! CAS on the vertex's current degree.
+//!
+//! `core_numbers` returns for every vertex the largest `k` such that the
+//! vertex belongs to a subgraph of minimum degree `k` (its *coreness*).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use pscc_bag::{BagConfig, HashBag};
+use pscc_graph::{UnGraph, V};
+use pscc_runtime::{pack_index, par_range};
+
+/// Parallel k-core decomposition: coreness of every vertex.
+///
+/// Peels level by level; within a level, waves of removals proceed through
+/// a hash-bag frontier until no vertex of degree ≤ k remains.
+pub fn core_numbers(g: &UnGraph) -> Vec<u32> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let deg: Vec<AtomicU32> = (0..n).map(|v| AtomicU32::new(g.degree(v as V) as u32)).collect();
+    let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // removed[v] = true once peeled.
+    let removed: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let bag: HashBag<u32> = HashBag::with_config(n, BagConfig::default());
+    let mut alive = n;
+    let mut k = 0u32;
+
+    while alive > 0 {
+        // Wake-up seed: all alive vertices with degree <= k.
+        let mut frontier: Vec<V> = pack_index(n, |v| {
+            removed[v].load(Ordering::Relaxed) == 0 && deg[v].load(Ordering::Relaxed) <= k
+        })
+        .into_iter()
+        .map(|v| v as V)
+        .collect();
+
+        if frontier.is_empty() {
+            k += 1;
+            continue;
+        }
+
+        // Peel waves at level k.
+        while !frontier.is_empty() {
+            par_range(0..frontier.len(), 1, &|r| {
+                for i in r {
+                    let v = frontier[i];
+                    // Claim v (a vertex can be woken by several dying
+                    // neighbours in one wave).
+                    if removed[v as usize]
+                        .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    coreness[v as usize].store(k, Ordering::Relaxed);
+                    for &u in g.neighbors(v) {
+                        if removed[u as usize].load(Ordering::Relaxed) != 0 {
+                            continue;
+                        }
+                        // Decrement the neighbour's degree; whoever drops
+                        // it to exactly k wakes it up (unique winner).
+                        let prev = deg[u as usize].fetch_sub(1, Ordering::Relaxed);
+                        if prev == k + 1 {
+                            bag.insert(u);
+                        }
+                    }
+                }
+            });
+            frontier = bag.extract_all();
+        }
+        // Recount alive after the level completes.
+        alive = (0..n).filter(|&v| removed[v].load(Ordering::Relaxed) == 0).count();
+        k += 1;
+    }
+
+    coreness.into_iter().map(|c| c.into_inner()).collect()
+}
+
+/// Sequential reference: textbook bucket peeling (Batagelj–Zaveršnik).
+pub fn core_numbers_sequential(g: &UnGraph) -> Vec<u32> {
+    let n = g.n();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as V)).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<V>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as V);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut k = 0usize;
+    let mut processed = 0usize;
+    while processed < n {
+        // Find the next non-empty bucket at level <= k, else raise k.
+        let mut popped = None;
+        for bucket in buckets.iter_mut().take(k.min(maxd) + 1) {
+            if let Some(v) = bucket.pop() {
+                popped = Some(v);
+                break;
+            }
+        }
+        let Some(v) = popped else {
+            k += 1;
+            continue;
+        };
+        if removed[v as usize] {
+            continue;
+        }
+        if deg[v as usize] > k {
+            buckets[deg[v as usize]].push(v);
+            continue;
+        }
+        removed[v as usize] = true;
+        core[v as usize] = k as u32;
+        processed += 1;
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] && deg[u as usize] > 0 {
+                deg[u as usize] -= 1;
+                buckets[deg[u as usize]].push(u);
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_graph::generators::random::gnm_digraph;
+
+    fn complete_graph(n: usize) -> UnGraph {
+        let mut edges = Vec::new();
+        for u in 0..n as V {
+            for v in (u + 1)..n as V {
+                edges.push((u, v));
+            }
+        }
+        UnGraph::from_undirected_edges(n, &edges)
+    }
+
+    #[test]
+    fn complete_graph_is_one_core() {
+        let g = complete_graph(6);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn path_is_1_core() {
+        let edges: Vec<(V, V)> = (0..9).map(|v| (v, v + 1)).collect();
+        let g = UnGraph::from_undirected_edges(10, &edges);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1), "{core:?}");
+    }
+
+    #[test]
+    fn isolated_vertices_are_0_core() {
+        let g = UnGraph::from_undirected_edges(3, &[(0, 1)]);
+        let core = core_numbers(&g);
+        assert_eq!(core[2], 0);
+        assert_eq!(core[0], 1);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle (2-core) with a pendant path (1-core).
+        let g = UnGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let core = core_numbers(&g);
+        assert_eq!(&core[..3], &[2, 2, 2]);
+        assert_eq!(&core[3..], &[1, 1]);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = gnm_digraph(300, 1200, seed).symmetrize();
+            assert_eq!(core_numbers(&g), core_numbers_sequential(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_dense_graph() {
+        let g = gnm_digraph(100, 2500, 9).symmetrize();
+        assert_eq!(core_numbers(&g), core_numbers_sequential(&g));
+    }
+
+    #[test]
+    fn coreness_invariant_holds() {
+        // Every vertex with coreness c has >= c neighbours of coreness >= c.
+        let g = gnm_digraph(400, 1600, 3).symmetrize();
+        let core = core_numbers(&g);
+        for v in 0..g.n() as V {
+            let c = core[v as usize];
+            let supporters = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| core[u as usize] >= c)
+                .count();
+            assert!(supporters >= c as usize, "vertex {v} coreness {c}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UnGraph::from_undirected_edges(0, &[]);
+        assert!(core_numbers(&g).is_empty());
+    }
+}

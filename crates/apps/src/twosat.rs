@@ -1,0 +1,212 @@
+//! A complete 2-SAT solver via SCCs of the implication graph
+//! (Aspvall–Plass–Tarjan): the textbook demonstration that a fast SCC
+//! primitive immediately solves a non-graph problem.
+//!
+//! Encoding: variable `x` has vertices `2x` (x true) and `2x + 1`
+//! (x false). A clause `(a ∨ b)` adds the implications `¬a → b` and
+//! `¬b → a`. The formula is satisfiable iff no variable shares an SCC with
+//! its negation; a model assigns `x := true` iff `x`'s component comes
+//! *after* `¬x`'s in a topological order of the condensation.
+
+use pscc_core::SccConfig;
+use pscc_graph::{DiGraph, V};
+
+use crate::toposort::scc_topological_order;
+
+/// A literal: variable index plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lit {
+    /// Variable index (0-based).
+    pub var: u32,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: u32) -> Self {
+        Self { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: u32) -> Self {
+        Self { var, positive: false }
+    }
+
+    fn vertex(self) -> V {
+        self.var * 2 + (!self.positive) as u32
+    }
+
+    fn negation_vertex(self) -> V {
+        self.var * 2 + self.positive as u32
+    }
+}
+
+/// A 2-SAT instance.
+#[derive(Clone, Debug, Default)]
+pub struct TwoSat {
+    num_vars: usize,
+    clauses: Vec<(Lit, Lit)>,
+}
+
+impl TwoSat {
+    /// An instance over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds the clause `(a ∨ b)`.
+    pub fn add_clause(&mut self, a: Lit, b: Lit) {
+        assert!((a.var as usize) < self.num_vars && (b.var as usize) < self.num_vars);
+        self.clauses.push((a, b));
+    }
+
+    /// Adds the unit clause `(a)` as `(a ∨ a)`.
+    pub fn add_unit(&mut self, a: Lit) {
+        self.add_clause(a, a);
+    }
+
+    /// The implication digraph (2 vertices per variable).
+    pub fn implication_graph(&self) -> DiGraph {
+        let mut edges = Vec::with_capacity(self.clauses.len() * 2);
+        for &(a, b) in &self.clauses {
+            edges.push((a.negation_vertex(), b.vertex()));
+            edges.push((b.negation_vertex(), a.vertex()));
+        }
+        DiGraph::from_edges(self.num_vars * 2, &edges)
+    }
+
+    /// Solves the instance: `Some(assignment)` with one bool per variable,
+    /// or `None` if unsatisfiable. Uses the parallel SCC under `cfg`.
+    pub fn solve(&self, cfg: &SccConfig) -> Option<Vec<bool>> {
+        if self.num_vars == 0 {
+            return Some(Vec::new());
+        }
+        let g = self.implication_graph();
+        let (cond, rank) = scc_topological_order(&g, cfg);
+        let mut assignment = Vec::with_capacity(self.num_vars);
+        for x in 0..self.num_vars as u32 {
+            let c_pos = cond.comp_of[(2 * x) as usize];
+            let c_neg = cond.comp_of[(2 * x + 1) as usize];
+            if c_pos == c_neg {
+                return None; // x ≡ ¬x: contradiction
+            }
+            // x := true iff comp(x) is later in topological order, i.e. it
+            // is implied rather than implying its own negation.
+            assignment.push(rank[c_pos as usize] > rank[c_neg as usize]);
+        }
+        Some(assignment)
+    }
+
+    /// Checks an assignment against all clauses.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        assignment.len() == self.num_vars
+            && self.clauses.iter().all(|&(a, b)| {
+                let va = assignment[a.var as usize] == a.positive;
+                let vb = assignment[b.var as usize] == b.positive;
+                va || vb
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn solve(ts: &TwoSat) -> Option<Vec<bool>> {
+        ts.solve(&SccConfig::default())
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut ts = TwoSat::new(2);
+        ts.add_clause(Lit::pos(0), Lit::pos(1));
+        let model = solve(&ts).expect("satisfiable");
+        assert!(ts.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn forced_chain() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) forces all true.
+        let mut ts = TwoSat::new(3);
+        ts.add_unit(Lit::pos(0));
+        ts.add_clause(Lit::neg(0), Lit::pos(1));
+        ts.add_clause(Lit::neg(1), Lit::pos(2));
+        let model = solve(&ts).unwrap();
+        assert_eq!(model, vec![true, true, true]);
+    }
+
+    #[test]
+    fn direct_contradiction_unsat() {
+        let mut ts = TwoSat::new(1);
+        ts.add_unit(Lit::pos(0));
+        ts.add_unit(Lit::neg(0));
+        assert!(solve(&ts).is_none());
+    }
+
+    #[test]
+    fn xor_cycle_unsat() {
+        // (x0 ∨ x1)(¬x0 ∨ x1)(x0 ∨ ¬x1)(¬x0 ∨ ¬x1) is unsatisfiable.
+        let mut ts = TwoSat::new(2);
+        ts.add_clause(Lit::pos(0), Lit::pos(1));
+        ts.add_clause(Lit::neg(0), Lit::pos(1));
+        ts.add_clause(Lit::pos(0), Lit::neg(1));
+        ts.add_clause(Lit::neg(0), Lit::neg(1));
+        assert!(solve(&ts).is_none());
+    }
+
+    #[test]
+    fn empty_instance_is_sat() {
+        let ts = TwoSat::new(0);
+        assert_eq!(solve(&ts), Some(vec![]));
+        let ts5 = TwoSat::new(5);
+        let model = solve(&ts5).unwrap();
+        assert_eq!(model.len(), 5);
+    }
+
+    /// Brute-force satisfiability for small instances.
+    fn brute_force_sat(ts: &TwoSat) -> bool {
+        let n = ts.num_vars();
+        (0..1u32 << n).any(|mask| {
+            let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            ts.is_satisfied_by(&assignment)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn solver_agrees_with_brute_force(
+            n in 1usize..10,
+            raw in proptest::collection::vec((0u32..10, any::<bool>(), 0u32..10, any::<bool>()), 0..25),
+        ) {
+            let mut ts = TwoSat::new(n);
+            for (a, ap, b, bp) in raw {
+                ts.add_clause(
+                    Lit { var: a % n as u32, positive: ap },
+                    Lit { var: b % n as u32, positive: bp },
+                );
+            }
+            match solve(&ts) {
+                Some(model) => {
+                    prop_assert!(ts.is_satisfied_by(&model), "returned model must satisfy");
+                }
+                None => {
+                    prop_assert!(!brute_force_sat(&ts), "claimed UNSAT but a model exists");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Hash-bag tuning parameters (Tab. 1 of the paper).
+
+/// Parameters of a [`crate::HashBag`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BagConfig {
+    /// First chunk size λ. Paper default: 2¹⁰ (theory wants
+    /// Ω((P + log n)·log n)).
+    pub lambda: usize,
+    /// Sample count σ that triggers a resize. Paper default: 50 (≈ log n).
+    pub sigma: usize,
+    /// Target load factor α at which a chunk is considered full.
+    pub alpha: f64,
+    /// Linear-probe limit κ before an insert forces a resize attempt.
+    pub kappa: usize,
+}
+
+impl Default for BagConfig {
+    fn default() -> Self {
+        Self { lambda: 1 << 10, sigma: 50, alpha: 0.5, kappa: 64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = BagConfig::default();
+        assert_eq!(c.lambda, 1 << 10, "λ = 2^10 (Tab. 1)");
+        assert_eq!(c.sigma, 50, "σ = 50 (Tab. 1)");
+        assert!((c.alpha - 0.5).abs() < 1e-12, "α = 0.5 (Appendix A)");
+    }
+}

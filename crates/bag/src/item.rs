@@ -1,0 +1,72 @@
+//! Element trait for the hash bag.
+//!
+//! Elements are stored in `AtomicU64` slots, so an item must round-trip
+//! through 64 bits and reserve one bit pattern as the EMPTY sentinel.
+
+/// A value storable in a [`crate::HashBag`].
+///
+/// # Contract
+/// `from_bits(to_bits(x)) == x` for every valid `x`, and no valid `x` may
+/// encode to [`BagItem::EMPTY_BITS`].
+pub trait BagItem: Copy + Eq + Send + Sync + 'static {
+    /// The slot bit pattern meaning "empty".
+    const EMPTY_BITS: u64;
+
+    /// Encodes the item into slot bits.
+    fn to_bits(self) -> u64;
+
+    /// Decodes slot bits back into an item.
+    fn from_bits(bits: u64) -> Self;
+}
+
+/// Vertex ids. `u32::MAX` is reserved as the sentinel.
+impl BagItem for u32 {
+    const EMPTY_BITS: u64 = u64::MAX;
+
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+/// Packed pairs (e.g. `(vertex, source)` reachability pairs).
+/// `u64::MAX` is reserved as the sentinel.
+impl BagItem for u64 {
+    const EMPTY_BITS: u64 = u64::MAX;
+
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self
+    }
+
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        for x in [0u32, 1, 12345, u32::MAX - 1] {
+            assert_eq!(u32::from_bits(x.to_bits()), x);
+            assert_ne!(x.to_bits(), u32::EMPTY_BITS);
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for x in [0u64, 1, u64::MAX - 1, 0xdead_beef_cafe] {
+            assert_eq!(u64::from_bits(x.to_bits()), x);
+            assert_ne!(x.to_bits(), u64::EMPTY_BITS);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Kosaraju's two-pass sequential SCC algorithm — a second, independent
+//! oracle so test failures can distinguish "parallel code wrong" from
+//! "oracle wrong".
+
+use pscc_graph::{DiGraph, V};
+
+/// Computes SCC labels via (1) an iterative DFS post-order on `g` and
+/// (2) reverse-graph DFS in reverse post-order.
+pub fn kosaraju_scc(g: &DiGraph) -> Vec<u32> {
+    let n = g.n();
+    let mut order: Vec<V> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut frames: Vec<(V, usize)> = Vec::new();
+
+    // Pass 1: post-order over the forward graph.
+    for root in 0..n as V {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let ns = g.out_neighbors(v);
+            if *cursor < ns.len() {
+                let u = ns[*cursor];
+                *cursor += 1;
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    frames.push((u, 0));
+                }
+            } else {
+                frames.pop();
+                order.push(v);
+            }
+        }
+    }
+
+    // Pass 2: DFS on the transpose in reverse post-order.
+    const UNSET: u32 = u32::MAX;
+    let mut labels = vec![UNSET; n];
+    let mut next_label = 0u32;
+    let mut stack: Vec<V> = Vec::new();
+    for &root in order.iter().rev() {
+        if labels[root as usize] != UNSET {
+            continue;
+        }
+        labels[root as usize] = next_label;
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            for &u in g.in_neighbors(v) {
+                if labels[u as usize] == UNSET {
+                    labels[u as usize] = next_label;
+                    stack.push(u);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::tarjan_scc;
+    use pscc_core::verify::{partition_groups, same_partition};
+    use pscc_graph::fixtures::{fig2_graph, fig2_sccs};
+    use pscc_graph::generators::random::gnm_digraph;
+
+    #[test]
+    fn fig2_partition() {
+        let labels = kosaraju_scc(&fig2_graph());
+        assert_eq!(partition_groups(&labels), fig2_sccs());
+    }
+
+    #[test]
+    fn agrees_with_tarjan_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = gnm_digraph(300, 900, seed);
+            assert!(
+                same_partition(&kosaraju_scc(&g), &tarjan_scc(&g)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_path_iterative_safe() {
+        let g = pscc_graph::generators::simple::path_digraph(300_000);
+        let labels = kosaraju_scc(&g);
+        assert_eq!(pscc_core::verify::component_stats(&labels).0, 300_000);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert!(kosaraju_scc(&g).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # pscc-baselines — comparator SCC algorithms
+//!
+//! Every algorithm the paper's evaluation (§6) compares against:
+//!
+//! * [`tarjan`] — Tarjan's sequential algorithm ("SEQ" in Tab. 2),
+//!   implemented iteratively so billion-hop DFS chains cannot overflow the
+//!   stack;
+//! * [`kosaraju`] — Kosaraju's two-pass algorithm (an independent
+//!   sequential oracle for tests);
+//! * [`gbbs_like`] — the BGSS algorithm as GBBS implements it: parallel
+//!   BFS reachability with the *edge-revisit* frontier scheme, no VGC, and
+//!   copy-on-growth pair tables (the costs our hash bag + heuristic
+//!   eliminate, Fig. 9);
+//! * [`multistep`] — the Multi-step algorithm of Slota et al. (IPDPS'14):
+//!   iterative trim, FW-BW for the giant SCC, then coloring propagation;
+//! * [`fwbw`] — plain recursive forward-backward decomposition
+//!   (Coppersmith et al.), the ancestor of iSpan.
+//!
+//! All return per-vertex label vectors comparable with
+//! [`pscc_core::verify::same_partition`].
+
+pub mod fwbw;
+pub mod gbbs_like;
+pub mod kosaraju;
+pub mod multistep;
+pub mod tarjan;
+
+pub use fwbw::fwbw_scc;
+pub use gbbs_like::gbbs_scc;
+pub use kosaraju::kosaraju_scc;
+pub use multistep::multistep_scc;
+pub use tarjan::tarjan_scc;

@@ -1,0 +1,126 @@
+//! Tarjan's sequential SCC algorithm (1972) — the "SEQ" baseline.
+//!
+//! Implemented with an explicit DFS stack (a state machine of
+//! `(vertex, neighbour cursor)` frames) so the recursion depth is bounded
+//! by heap, not thread stack: the evaluation graphs have paths of length
+//! Θ(√n) and worse.
+
+use pscc_graph::{DiGraph, V};
+
+/// Computes SCC labels sequentially; labels are `0..k` in reverse
+/// topological discovery order (Tarjan's property: each SCC is numbered
+/// when it is popped, so every edge goes from a higher label to a lower or
+/// equal one).
+pub fn tarjan_scc(g: &DiGraph) -> Vec<u32> {
+    let n = g.n();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<V> = Vec::new();
+    let mut labels = vec![0u32; n];
+    let mut next_index = 0u32;
+    let mut next_label = 0u32;
+    let mut frames: Vec<(V, usize)> = Vec::new();
+
+    for root in 0..n as V {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let ns = g.out_neighbors(v);
+            if *cursor < ns.len() {
+                let u = ns[*cursor];
+                *cursor += 1;
+                if index[u as usize] == UNSET {
+                    index[u as usize] = next_index;
+                    low[u as usize] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u as usize] = true;
+                    frames.push((u, 0));
+                } else if on_stack[u as usize] {
+                    low[v as usize] = low[v as usize].min(index[u as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        labels[w as usize] = next_label;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_label += 1;
+                }
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_core::verify::{component_stats, partition_groups};
+    use pscc_graph::fixtures::{fig2_graph, fig2_sccs};
+    use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
+
+    #[test]
+    fn fig2_partition() {
+        let labels = tarjan_scc(&fig2_graph());
+        assert_eq!(partition_groups(&labels), fig2_sccs());
+    }
+
+    #[test]
+    fn cycle_one_component() {
+        let (k, largest) = component_stats(&tarjan_scc(&cycle_digraph(100)));
+        assert_eq!((k, largest), (1, 100));
+    }
+
+    #[test]
+    fn path_all_singletons() {
+        let (k, largest) = component_stats(&tarjan_scc(&path_digraph(100)));
+        assert_eq!((k, largest), (100, 1));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // A 500k-vertex path would blow a recursive implementation.
+        let g = path_digraph(500_000);
+        let (k, _) = component_stats(&tarjan_scc(&g));
+        assert_eq!(k, 500_000);
+    }
+
+    #[test]
+    fn labels_are_reverse_topological() {
+        // Tarjan numbers SCCs in reverse topological order: for every edge
+        // u -> v across components, label[u] > label[v].
+        let g = fig2_graph();
+        let labels = tarjan_scc(&g);
+        for (u, v) in g.out_csr().edges() {
+            assert!(
+                labels[u as usize] >= labels[v as usize],
+                "edge {u}->{v} violates reverse-topo labeling"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert!(tarjan_scc(&g).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion statistical microbenchmarks for the hash bag and pair table
+//! hot paths (sequential single-op latencies, complementing the parallel
+//! throughput numbers of `micro_structures`).
+//!
+//! Run: `cargo bench -p pscc-bench --bench criterion_micro`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscc_bag::HashBag;
+use pscc_table::PairTable;
+use std::hint::black_box;
+
+fn bag_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashbag");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("insert_100k", |b| {
+        let bag: HashBag<u32> = HashBag::new(100_000);
+        b.iter(|| {
+            for i in 0..100_000u32 {
+                bag.insert(black_box(i));
+            }
+            bag.extract_all()
+        });
+    });
+    group.bench_function("extract_10k", |b| {
+        let bag: HashBag<u32> = HashBag::new(1_000_000);
+        b.iter(|| {
+            for i in 0..10_000u32 {
+                bag.insert(i);
+            }
+            black_box(bag.extract_all())
+        });
+    });
+    group.finish();
+}
+
+fn table_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairtable");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("insert_100k", |b| {
+        let table = PairTable::with_capacity(100_000);
+        b.iter(|| {
+            table.clear();
+            for i in 0..100_000u64 {
+                let _ = table.insert(black_box(i));
+            }
+        });
+    });
+    group.bench_function("contains_hit_miss", |b| {
+        let table = PairTable::with_capacity(100_000);
+        for i in 0..100_000u64 {
+            let _ = table.insert(i * 2);
+        }
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..100_000u64 {
+                hits += table.contains(black_box(i)) as usize;
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bag_benches, table_benches);
+criterion_main!(benches);

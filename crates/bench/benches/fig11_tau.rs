@@ -1,0 +1,36 @@
+//! **Fig. 11** — sensitivity of SCC running time to the VGC threshold τ.
+//!
+//! Sweeps τ over powers of two and reports running time relative to τ = 1
+//! (no VGC), per representative graph — the paper's conclusion: a wide
+//! sweet spot 2⁶ ≤ τ ≤ 2¹², default 2⁹.
+//!
+//! Run: `cargo bench -p pscc-bench --bench fig11_tau`
+
+use pscc_bench::{row, small_suite, time_adaptive};
+use pscc_core::{parallel_scc, SccConfig};
+
+fn main() {
+    let taus: Vec<usize> = (0..=14).step_by(2).map(|e| 1usize << e).collect();
+    println!("== Fig. 11: running time vs τ (relative to τ = 1) ==\n");
+
+    let mut widths = vec![7usize];
+    widths.extend(std::iter::repeat_n(8, taus.len()));
+    let mut header = vec!["graph".to_string()];
+    header.extend(taus.iter().map(|t| format!("τ=2^{}", t.trailing_zeros())));
+    row(&header, &widths);
+
+    for bg in small_suite() {
+        let g = &bg.graph;
+        let (base, _) = time_adaptive(1.0, || parallel_scc(g, &SccConfig::default().with_tau(1)));
+        let mut cells = vec![bg.name.to_string()];
+        for &tau in &taus {
+            let (t, _) = time_adaptive(1.0, || parallel_scc(g, &SccConfig::default().with_tau(tau)));
+            cells.push(format!("{:.2}", t / base));
+        }
+        row(&cells, &widths);
+    }
+    println!(
+        "\n(<1.00 means faster than no-VGC; the paper finds the minimum around \
+         τ = 2⁹ = 512 and insensitivity across 2⁶..2¹²)"
+    );
+}

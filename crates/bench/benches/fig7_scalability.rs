@@ -1,0 +1,68 @@
+//! **Fig. 7 / Fig. 8** — scalability: speedup over sequential Tarjan and
+//! self-relative speedup as the worker count grows.
+//!
+//! The paper sweeps 1..192 hyperthreads on a 96-core machine; this harness
+//! sweeps 1..available cores (falling back to a degenerate sweep on
+//! single-core hosts — the code path is identical, only the x-axis
+//! shrinks).
+//!
+//! Run: `cargo bench -p pscc-bench --bench fig7_scalability`
+
+use pscc_baselines::{gbbs_scc, tarjan_scc};
+use pscc_bench::{fmt_secs, row, small_suite, time_adaptive};
+use pscc_core::{parallel_scc, SccConfig};
+use pscc_runtime::with_threads;
+
+fn thread_sweep() -> Vec<usize> {
+    let max = pscc_runtime::pool::available_parallelism();
+    let mut points = vec![1usize];
+    let mut p = 2;
+    while p < max {
+        points.push(p);
+        p *= 2;
+    }
+    if max > 1 {
+        points.push(max);
+    }
+    points
+}
+
+fn main() {
+    let sweep = thread_sweep();
+    println!("== Fig. 7/8: scalability over {:?} worker(s) ==\n", sweep);
+    let widths = [7, 9, 9, 10, 10, 10, 10];
+    row(
+        &["graph", "threads", "seq", "ours", "gbbs", "ours/seq", "ours-self"].map(String::from),
+        &widths,
+    );
+
+    for bg in small_suite() {
+        let g = &bg.graph;
+        let (t_seq, _) = time_adaptive(2.0, || tarjan_scc(g));
+        let mut t1_ours = None;
+        for &threads in &sweep {
+            let (t_ours, _) =
+                with_threads(threads, || time_adaptive(2.0, || parallel_scc(g, &SccConfig::default())));
+            let (t_gbbs, _) =
+                with_threads(threads, || time_adaptive(2.0, || gbbs_scc(g, &SccConfig::default())));
+            let base = *t1_ours.get_or_insert(t_ours);
+            row(
+                &[
+                    bg.name.to_string(),
+                    threads.to_string(),
+                    fmt_secs(t_seq),
+                    fmt_secs(t_ours),
+                    fmt_secs(t_gbbs),
+                    format!("{:.2}", t_seq / t_ours),
+                    format!("{:.2}", base / t_ours),
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+    println!(
+        "(ours/seq is the Fig. 7 y-axis, ours-self the Fig. 8 y-axis; with one \
+         visible core both curves are flat by construction)"
+    );
+}

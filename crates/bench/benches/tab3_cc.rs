@@ -1,0 +1,48 @@
+//! **Tab. 3 (connectivity)** — LDD-UF-JTB with our hash-bag+VGC LDD versus
+//! the ConnectIt-like edge-revisit baseline, on the symmetrized suite.
+//!
+//! Run: `cargo bench -p pscc-bench --bench tab3_cc`
+
+use pscc_bench::{fmt_secs, row, suite, time_adaptive};
+use pscc_cc::{connected_components, sequential_cc, CcConfig, LddConfig, LddMode};
+use pscc_core::verify::same_partition;
+
+fn main() {
+    println!("== Tab. 3 (CC): LDD-UF-JTB, ours vs ConnectIt-like ==\n");
+    let widths = [7, 9, 9, 9, 9, 8, 8, 8];
+    row(
+        &["graph", "n", "m", "ours", "base", "spd", "rnd(o)", "rnd(b)"].map(String::from),
+        &widths,
+    );
+
+    let mut speedups = Vec::new();
+    for bg in suite() {
+        let g = bg.graph.symmetrize();
+        let want = sequential_cc(&g);
+
+        let cfg_ours = CcConfig { ldd: LddConfig { mode: LddMode::HashBagVgc, ..LddConfig::default() } };
+        let cfg_base = CcConfig { ldd: LddConfig { mode: LddMode::EdgeRevisit, ..LddConfig::default() } };
+
+        let (t_ours, ours) = time_adaptive(1.0, || connected_components(&g, &cfg_ours));
+        assert!(same_partition(&ours.labels, &want), "{}: ours wrong", bg.name);
+        let (t_base, base) = time_adaptive(1.0, || connected_components(&g, &cfg_base));
+        assert!(same_partition(&base.labels, &want), "{}: baseline wrong", bg.name);
+
+        speedups.push(t_base / t_ours);
+        row(
+            &[
+                bg.name.to_string(),
+                g.n().to_string(),
+                g.m().to_string(),
+                fmt_secs(t_ours),
+                fmt_secs(t_base),
+                format!("{:.2}", t_base / t_ours),
+                ours.ldd_rounds.to_string(),
+                base.ldd_rounds.to_string(),
+            ],
+            &widths,
+        );
+    }
+    let gm = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("\ngeomean speedup ours/baseline: {:.2} (paper: 1.67x overall, up to 3.2x)", gm);
+}

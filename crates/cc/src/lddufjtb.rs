@@ -1,0 +1,143 @@
+//! LDD-UF-JTB (Alg. 4): low-diameter decomposition followed by a
+//! union-find pass over the edges whose endpoints landed in different
+//! clusters.
+
+use pscc_graph::{UnGraph, V};
+use pscc_runtime::{par_for, Timer};
+
+use crate::ldd::{ldd, LddConfig, LddResult};
+use crate::unionfind::ConcurrentUnionFind;
+
+/// Connectivity configuration (wraps the LDD settings).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CcConfig {
+    /// Parameters of the LDD step (mode selects ours vs baseline).
+    pub ldd: LddConfig,
+}
+
+/// Connectivity result.
+#[derive(Clone, Debug)]
+pub struct CcResult {
+    /// Per-vertex component label (the minimum LDD-cluster source id in the
+    /// component).
+    pub labels: Vec<u32>,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// LDD frontier rounds (for the rounds comparison).
+    pub ldd_rounds: usize,
+    /// Seconds in the LDD step.
+    pub ldd_seconds: f64,
+    /// Seconds in the union-find finish.
+    pub finish_seconds: f64,
+}
+
+/// Computes connected components with LDD-UF-JTB.
+pub fn connected_components(g: &UnGraph, cfg: &CcConfig) -> CcResult {
+    let n = g.n();
+    let t = Timer::start();
+    let LddResult { labels: cluster, rounds } = ldd(g, &cfg.ldd);
+    let ldd_seconds = t.seconds();
+
+    let t = Timer::start();
+    let uf = ConcurrentUnionFind::new(n);
+    // One parallel pass over all edges: union clusters across cut edges
+    // (Alg. 4 lines 2–3).
+    par_for(n, |v| {
+        let lv = cluster[v];
+        for &u in g.neighbors(v as V) {
+            let lu = cluster[u as usize];
+            if lv != lu {
+                uf.unite(lv, lu);
+            }
+        }
+    });
+    let mut labels = vec![0u32; n];
+    {
+        struct P(*mut u32);
+        unsafe impl Sync for P {}
+        impl P {
+            fn get(&self) -> *mut u32 {
+                self.0
+            }
+        }
+        let p = P(labels.as_mut_ptr());
+        let cluster = &cluster;
+        let uf = &uf;
+        par_for(n, |v| {
+            // Safety: one writer per index.
+            unsafe { *p.get().add(v) = uf.find(cluster[v]) };
+        });
+    }
+    let finish_seconds = t.seconds();
+
+    let num_components = {
+        use std::collections::HashSet;
+        labels.iter().copied().collect::<HashSet<u32>>().len()
+    };
+    CcResult { labels, num_components, ldd_rounds: rounds, ldd_seconds, finish_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldd::LddMode;
+    use crate::seq::sequential_cc;
+    use pscc_core::verify::same_partition;
+    use pscc_graph::generators::lattice::lattice_sqr;
+    use pscc_graph::generators::random::gnm_digraph;
+
+    fn check(g: &UnGraph) {
+        let want = sequential_cc(g);
+        for mode in [LddMode::HashBagVgc, LddMode::EdgeRevisit] {
+            let cfg = CcConfig { ldd: LddConfig { mode, ..LddConfig::default() } };
+            let got = connected_components(g, &cfg);
+            assert!(same_partition(&got.labels, &want), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..5u64 {
+            check(&gnm_digraph(400, 600, seed).symmetrize());
+        }
+    }
+
+    #[test]
+    fn sparse_graph_many_components() {
+        let g = gnm_digraph(1000, 300, 7).symmetrize();
+        check(&g);
+        let got = connected_components(&g, &CcConfig::default());
+        let want = sequential_cc(&g);
+        use std::collections::HashSet;
+        assert_eq!(got.num_components, want.iter().collect::<HashSet<_>>().len());
+    }
+
+    #[test]
+    fn lattice_is_connected() {
+        let g = lattice_sqr(20, 20, 1).symmetrize();
+        let got = connected_components(&g, &CcConfig::default());
+        assert_eq!(got.num_components, 1);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = UnGraph::from_undirected_edges(10, &[]);
+        let got = connected_components(&g, &CcConfig::default());
+        assert_eq!(got.num_components, 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UnGraph::from_undirected_edges(0, &[]);
+        let got = connected_components(&g, &CcConfig::default());
+        assert_eq!(got.num_components, 0);
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let g = gnm_digraph(500, 1500, 2).symmetrize();
+        let got = connected_components(&g, &CcConfig::default());
+        assert!(got.ldd_rounds > 0);
+        assert!(got.ldd_seconds >= 0.0 && got.finish_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Sequential connected components (BFS) — the verification oracle.
+
+use std::collections::VecDeque;
+
+use pscc_graph::{UnGraph, V};
+
+/// Labels each vertex with the smallest vertex id in its component.
+pub fn sequential_cc(g: &UnGraph) -> Vec<u32> {
+    let n = g.n();
+    const NONE: u32 = u32::MAX;
+    let mut labels = vec![NONE; n];
+    let mut q = VecDeque::new();
+    for root in 0..n as V {
+        if labels[root as usize] != NONE {
+            continue;
+        }
+        labels[root as usize] = root;
+        q.push_back(root);
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == NONE {
+                    labels[u as usize] = root;
+                    q.push_back(u);
+                }
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let g = UnGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let labels = sequential_cc(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let g = UnGraph::from_undirected_edges(3, &[]);
+        assert_eq!(sequential_cc(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn label_is_component_minimum() {
+        let g = UnGraph::from_undirected_edges(6, &[(5, 2), (2, 4)]);
+        let labels = sequential_cc(&g);
+        assert_eq!(labels[5], 2);
+        assert_eq!(labels[4], 2);
+    }
+}

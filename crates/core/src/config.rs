@@ -1,0 +1,212 @@
+//! Configuration for the SCC algorithm and its reachability searches.
+//!
+//! Defaults follow Tab. 1 of the paper: `τ = 512`, `β = 1.5`,
+//! hash-bag `λ = 2¹⁰`, `σ = 50`.
+
+use pscc_bag::BagConfig;
+
+/// Parameters of a single- or multi-reachability search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReachParams {
+    /// Enable VGC local search.
+    pub vgc: bool,
+    /// VGC threshold τ: the number of (successful or unsuccessful) neighbor
+    /// visits a local search performs before flushing to the next frontier.
+    pub tau: usize,
+    /// Enable the dense (bottom-up) mode for single-reachability (§4.2).
+    pub use_dense: bool,
+    /// Dense-mode switch denominator: go dense when
+    /// `|F| + edges(F) > m / dense_threshold`.
+    pub dense_threshold: usize,
+    /// Choose τ per round from the frontier size instead of using the
+    /// fixed value (the §8 "dynamic τ" future-work extension): small
+    /// frontiers get deeper local searches, large frontiers shallower ones.
+    pub adaptive_tau: bool,
+    /// Hash-bag parameters for the frontier.
+    pub bag: BagConfig,
+}
+
+impl ReachParams {
+    /// The τ used for a round with `frontier_len` tasks. In adaptive mode
+    /// the target is enough total work to hide scheduling overhead across
+    /// all workers (`P · 2048` visits), clamped to `[64, 2^16]`; otherwise
+    /// the fixed τ.
+    pub fn effective_tau(&self, frontier_len: usize) -> usize {
+        if self.adaptive_tau {
+            let target = pscc_runtime::num_workers() * 2048;
+            (target / frontier_len.max(1)).clamp(64, 1 << 16)
+        } else {
+            self.tau
+        }
+    }
+}
+
+impl Default for ReachParams {
+    fn default() -> Self {
+        Self {
+            vgc: true,
+            tau: 512,
+            use_dense: true,
+            dense_threshold: 20,
+            adaptive_tau: false,
+            bag: BagConfig::default(),
+        }
+    }
+}
+
+impl ReachParams {
+    /// Plain BFS-style search: hash-bag frontier but no local search.
+    pub fn plain() -> Self {
+        Self { vgc: false, ..Self::default() }
+    }
+
+    /// VGC with per-round adaptive τ (§8 future work).
+    pub fn adaptive() -> Self {
+        Self { adaptive_tau: true, ..Self::default() }
+    }
+}
+
+/// Configuration of the full BGSS SCC computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SccConfig {
+    /// VGC threshold τ (Tab. 1 default 512 = 2⁹).
+    pub tau: usize,
+    /// Prefix-doubling multiplier β for batch sizes (Tab. 1 default 1.5).
+    pub beta: f64,
+    /// Use VGC in the first-SCC single-reachability searches
+    /// ("VGC1" of Fig. 9).
+    pub vgc_single: bool,
+    /// Use VGC in the multi-reachability searches ("Final" of Fig. 9).
+    pub vgc_multi: bool,
+    /// Enable the dense/bottom-up direction-optimization for the first SCC.
+    pub use_dense: bool,
+    /// Run trimming to a fixed point instead of a single pass (extension;
+    /// the paper trims once).
+    pub iterative_trim: bool,
+    /// Per-round adaptive τ (extension, §8 future work).
+    pub adaptive_tau: bool,
+    /// Ablation switch: size pair tables naively (fixed small capacity,
+    /// growing by rehash) instead of the §4.5 `max(0.3b, 1.5a)` heuristic.
+    pub naive_table_sizing: bool,
+    /// Seed for the random vertex permutation.
+    pub seed: u64,
+    /// Hash-bag parameters.
+    pub bag: BagConfig,
+}
+
+impl Default for SccConfig {
+    fn default() -> Self {
+        Self {
+            tau: 512,
+            beta: 1.5,
+            vgc_single: true,
+            vgc_multi: true,
+            use_dense: true,
+            iterative_trim: false,
+            adaptive_tau: false,
+            naive_table_sizing: false,
+            seed: 0x5cc,
+            bag: BagConfig::default(),
+        }
+    }
+}
+
+impl SccConfig {
+    /// The "Plain" variant of Fig. 9: hash bags, no VGC anywhere.
+    pub fn plain() -> Self {
+        Self { vgc_single: false, vgc_multi: false, ..Self::default() }
+    }
+
+    /// The "VGC1" variant of Fig. 9: VGC only in single-reachability.
+    pub fn vgc1() -> Self {
+        Self { vgc_single: true, vgc_multi: false, ..Self::default() }
+    }
+
+    /// The "Final" variant of Fig. 9 (same as `default`).
+    pub fn final_version() -> Self {
+        Self::default()
+    }
+
+    /// Same configuration with a different τ (for the Fig. 11 sweep).
+    pub fn with_tau(self, tau: usize) -> Self {
+        Self { tau, ..self }
+    }
+
+    /// Reach parameters for the single-reachability (first SCC) searches.
+    pub fn single_params(&self) -> ReachParams {
+        ReachParams {
+            vgc: self.vgc_single && self.tau > 1,
+            tau: self.tau,
+            use_dense: self.use_dense,
+            dense_threshold: 20,
+            adaptive_tau: self.adaptive_tau,
+            bag: self.bag,
+        }
+    }
+
+    /// Reach parameters for the multi-reachability searches.
+    pub fn multi_params(&self) -> ReachParams {
+        ReachParams {
+            vgc: self.vgc_multi && self.tau > 1,
+            tau: self.tau,
+            use_dense: false, // dense mode is unsound for multi-reach (§4.2)
+            dense_threshold: 20,
+            adaptive_tau: self.adaptive_tau,
+            bag: self.bag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_tab1() {
+        let c = SccConfig::default();
+        assert_eq!(c.tau, 512, "τ = 2^9");
+        assert!((c.beta - 1.5).abs() < 1e-12, "β = 1.5");
+        assert_eq!(c.bag.lambda, 1 << 10, "λ = 2^10");
+        assert_eq!(c.bag.sigma, 50, "σ = 50");
+    }
+
+    #[test]
+    fn fig9_variants() {
+        let plain = SccConfig::plain();
+        assert!(!plain.vgc_single && !plain.vgc_multi);
+        let vgc1 = SccConfig::vgc1();
+        assert!(vgc1.vgc_single && !vgc1.vgc_multi);
+        let fin = SccConfig::final_version();
+        assert!(fin.vgc_single && fin.vgc_multi);
+    }
+
+    #[test]
+    fn multi_params_never_dense() {
+        let c = SccConfig::default();
+        assert!(!c.multi_params().use_dense);
+        assert!(c.single_params().use_dense);
+    }
+
+    #[test]
+    fn effective_tau_fixed_mode_is_constant() {
+        let p = ReachParams::default();
+        assert_eq!(p.effective_tau(1), 512);
+        assert_eq!(p.effective_tau(1_000_000), 512);
+    }
+
+    #[test]
+    fn effective_tau_adaptive_shrinks_with_frontier() {
+        let p = ReachParams::adaptive();
+        let small = p.effective_tau(1);
+        let large = p.effective_tau(1_000_000);
+        assert!(small >= large, "small frontier should get larger tau");
+        assert!(large >= 64 && small <= 1 << 16, "clamping");
+    }
+
+    #[test]
+    fn tau_of_one_disables_vgc() {
+        let c = SccConfig::default().with_tau(1);
+        assert!(!c.single_params().vgc);
+        assert!(!c.multi_params().vgc);
+    }
+}

@@ -1,0 +1,341 @@
+//! The `VertexSubset` abstract data type, hash-bag backed.
+//!
+//! §8 of the paper: "Many state-of-the-art graph libraries (e.g., GBBS and
+//! Ligra) use the abstract data type called VertexSubset to maintain
+//! frontiers … Hash bags can be used to implement this ADT by replacing
+//! the current data structure (fixed-size array)." This module does
+//! exactly that: a frontier that is either a **sparse** vertex list or a
+//! **dense** bitset, plus a direction-optimizing [`edge_map`] in the Ligra
+//! style whose sparse path writes the next frontier through a parallel
+//! hash bag — one edge visit per round instead of edge-revisit's two.
+
+use pscc_bag::{BagConfig, HashBag};
+use pscc_graph::{DiGraph, V};
+use pscc_runtime::{pack_index, par_range, par_sum_u64, AtomicBits};
+
+/// A subset of vertices in sparse (list) or dense (bitset) representation.
+pub enum VertexSubset {
+    /// Explicit vertex list (unordered, duplicate-free).
+    Sparse(Vec<V>),
+    /// Bitset over all `n` vertices.
+    Dense(AtomicBits),
+}
+
+impl VertexSubset {
+    /// The empty subset.
+    pub fn empty() -> Self {
+        VertexSubset::Sparse(Vec::new())
+    }
+
+    /// A singleton subset.
+    pub fn single(v: V) -> Self {
+        VertexSubset::Sparse(vec![v])
+    }
+
+    /// Builds from a vertex list.
+    pub fn from_vec(vs: Vec<V>) -> Self {
+        VertexSubset::Sparse(vs)
+    }
+
+    /// Number of members (O(1) sparse, parallel popcount dense).
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse(vs) => vs.len(),
+            VertexSubset::Dense(bits) => bits.count_ones(),
+        }
+    }
+
+    /// True if no members.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            VertexSubset::Sparse(vs) => vs.is_empty(),
+            VertexSubset::Dense(bits) => bits.count_ones() == 0,
+        }
+    }
+
+    /// Membership test (O(len) sparse, O(1) dense).
+    pub fn contains(&self, v: V) -> bool {
+        match self {
+            VertexSubset::Sparse(vs) => vs.contains(&v),
+            VertexSubset::Dense(bits) => bits.get(v as usize),
+        }
+    }
+
+    /// Converts to a sorted sparse list (parallel pack when dense).
+    pub fn into_sparse(self) -> Vec<V> {
+        match self {
+            VertexSubset::Sparse(mut vs) => {
+                vs.sort_unstable();
+                vs
+            }
+            VertexSubset::Dense(bits) => pack_index(bits.len(), |i| bits.get(i))
+                .into_iter()
+                .map(|i| i as V)
+                .collect(),
+        }
+    }
+
+    /// Converts to a dense bitset over `n` vertices.
+    pub fn into_dense(self, n: usize) -> AtomicBits {
+        match self {
+            VertexSubset::Sparse(vs) => {
+                let bits = AtomicBits::new(n);
+                par_range(0..vs.len(), 2048, &|r| {
+                    for i in r {
+                        bits.set(vs[i] as usize);
+                    }
+                });
+                bits
+            }
+            VertexSubset::Dense(bits) => {
+                assert_eq!(bits.len(), n, "dense subset over wrong universe");
+                bits
+            }
+        }
+    }
+}
+
+/// Options for [`edge_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeMapOptions {
+    /// Go dense when `|F| + outEdges(F) > m / dense_threshold`.
+    pub dense_threshold: usize,
+    /// Force a representation (None = auto).
+    pub force_dense: Option<bool>,
+    /// Hash-bag parameters for sparse output.
+    pub bag: BagConfig,
+}
+
+impl Default for EdgeMapOptions {
+    fn default() -> Self {
+        Self { dense_threshold: 20, force_dense: None, bag: BagConfig::default() }
+    }
+}
+
+/// Ligra-style direction-optimizing edge map.
+///
+/// For every edge `(v, u)` with `v` in `frontier` and `cond(u)` true,
+/// calls `update(v, u)`; the vertices `u` for which `update` returned
+/// `true` (at most once each — `update` must be a CAS-style claim) form
+/// the returned subset.
+///
+/// * sparse mode: top-down over the frontier's out-edges, winners inserted
+///   into a hash bag (single edge visit — the §8 replacement for the
+///   fixed-size-array VertexSubset);
+/// * dense mode: bottom-up over all `u` with `cond(u)`, scanning reverse
+///   neighbours with early exit.
+pub fn edge_map<C, F>(
+    g: &DiGraph,
+    forward: bool,
+    frontier: &VertexSubset,
+    cond: C,
+    update: F,
+    opts: &EdgeMapOptions,
+) -> VertexSubset
+where
+    C: Fn(V) -> bool + Sync,
+    F: Fn(V, V) -> bool + Sync,
+{
+    let n = g.n();
+    let m = g.m().max(1);
+    let csr = g.csr_dir(forward);
+    let rev = g.csr_dir(!forward);
+
+    // Decide representation.
+    let go_dense = match opts.force_dense {
+        Some(d) => d,
+        None => match frontier {
+            VertexSubset::Dense(_) => true,
+            VertexSubset::Sparse(vs) => {
+                let edges = par_sum_u64(vs.len(), |i| csr.degree(vs[i]) as u64);
+                vs.len() as u64 + edges > m.div_ceil(opts.dense_threshold) as u64
+            }
+        },
+    };
+
+    if go_dense {
+        // Bottom-up: need the frontier as a bitset.
+        let tmp_bits;
+        let in_front: &AtomicBits = match frontier {
+            VertexSubset::Dense(bits) => bits,
+            VertexSubset::Sparse(vs) => {
+                let bits = AtomicBits::new(n);
+                par_range(0..vs.len(), 2048, &|r| {
+                    for i in r {
+                        bits.set(vs[i] as usize);
+                    }
+                });
+                tmp_bits = bits;
+                &tmp_bits
+            }
+        };
+        let out = AtomicBits::new(n);
+        par_range(0..n, 1024, &|r| {
+            for u in r {
+                let uv = u as V;
+                if !cond(uv) {
+                    continue;
+                }
+                for &w in rev.neighbors(uv) {
+                    if in_front.get(w as usize) && update(w, uv) {
+                        out.set(u);
+                        break;
+                    }
+                }
+            }
+        });
+        VertexSubset::Dense(out)
+    } else {
+        let vs = match frontier {
+            VertexSubset::Sparse(vs) => vs,
+            VertexSubset::Dense(_) => unreachable!("dense frontier forced dense mode"),
+        };
+        let bag: HashBag<u32> = HashBag::with_config(n, opts.bag);
+        par_range(0..vs.len(), 1, &|r| {
+            for i in r {
+                let v = vs[i];
+                for &u in csr.neighbors(v) {
+                    if cond(u) && update(v, u) {
+                        bag.insert(u);
+                    }
+                }
+            }
+        });
+        VertexSubset::Sparse(bag.extract_all())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+    use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::generators::simple::{path_digraph, star_digraph};
+    use pscc_graph::stats::bfs_ecc;
+
+    /// BFS built purely from edge_map — the ADT's acceptance test.
+    fn bfs_via_edge_map(g: &DiGraph, src: V) -> Vec<u32> {
+        let n = g.n();
+        let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        dist[src as usize].store(0, AtomicOrdering::Relaxed);
+        let mut frontier = VertexSubset::single(src);
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let lv = level;
+            frontier = edge_map(
+                g,
+                true,
+                &frontier,
+                |u| dist[u as usize].load(AtomicOrdering::Relaxed) == u32::MAX,
+                |_, u| {
+                    dist[u as usize]
+                        .compare_exchange(
+                            u32::MAX,
+                            lv,
+                            AtomicOrdering::Relaxed,
+                            AtomicOrdering::Relaxed,
+                        )
+                        .is_ok()
+                },
+                &EdgeMapOptions::default(),
+            );
+        }
+        dist.into_iter().map(|d| d.into_inner()).collect()
+    }
+
+    #[test]
+    fn subset_basics() {
+        let s = VertexSubset::from_vec(vec![3, 1, 4]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(4));
+        assert!(!s.contains(2));
+        assert_eq!(s.into_sparse(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let s = VertexSubset::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn sparse_dense_roundtrip() {
+        let s = VertexSubset::from_vec(vec![0, 64, 65, 127]);
+        let dense = s.into_dense(128);
+        assert_eq!(dense.count_ones(), 4);
+        let back = VertexSubset::Dense(dense).into_sparse();
+        assert_eq!(back, vec![0, 64, 65, 127]);
+    }
+
+    #[test]
+    fn bfs_via_edge_map_matches_sequential_sparse_graphs() {
+        for seed in 0..4u64 {
+            let g = gnm_digraph(300, 900, seed);
+            let got = bfs_via_edge_map(&g, 0);
+            let (want, _, _) = bfs_ecc(&g, 0, false);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bfs_via_edge_map_dense_path_on_star() {
+        // Star forces the dense path in round 1.
+        let g = star_digraph(4000);
+        let got = bfs_via_edge_map(&g, 0);
+        assert!(got[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn bfs_via_edge_map_long_path() {
+        let g = path_digraph(2000);
+        let got = bfs_via_edge_map(&g, 0);
+        for (v, &d) in got.iter().enumerate() {
+            assert_eq!(d, v as u32);
+        }
+    }
+
+    #[test]
+    fn forced_modes_agree() {
+        let g = gnm_digraph(200, 2000, 7);
+        let run = |force: Option<bool>| {
+            let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+            let claimed = AtomicBits::new(g.n());
+            claimed.set(0);
+            let out = edge_map(
+                &g,
+                true,
+                &VertexSubset::single(0),
+                |u| !claimed.get(u as usize),
+                |_, u| claimed.test_and_set(u as usize),
+                &opts,
+            );
+            out.into_sparse()
+        };
+        let sparse = run(Some(false));
+        let dense = run(Some(true));
+        assert_eq!(sparse, dense);
+        // Both equal the out-neighbourhood of vertex 0 (minus 0 itself).
+        let mut want: Vec<V> = g.out_neighbors(0).iter().copied().filter(|&u| u != 0).collect();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(sparse, want);
+    }
+
+    #[test]
+    fn backward_edge_map_follows_in_edges() {
+        let g = path_digraph(5);
+        let seen = AtomicBits::new(5);
+        let out = edge_map(
+            &g,
+            false,
+            &VertexSubset::single(3),
+            |_| true,
+            |_, u| seen.test_and_set(u as usize),
+            &EdgeMapOptions::default(),
+        );
+        assert_eq!(out.into_sparse(), vec![2]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Distance-preserving parallel BFS with hash-bag frontiers.
+//!
+//! §8 of the paper distinguishes traversals where visiting order is free
+//! (reachability — VGC applies directly) from those that must respect BFS
+//! levels (shortest distances, LE-lists — hash bags apply, VGC does not).
+//! This module is the latter: a level-synchronous parallel BFS whose
+//! frontier is a hash bag, with the same dense/sparse direction
+//! optimization as single-reachability. It returns exact hop distances.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use pscc_bag::{BagConfig, HashBag};
+use pscc_graph::{DiGraph, V};
+use pscc_runtime::{pack_index, par_range, par_sum_u64, AtomicBits};
+
+/// Unreached distance sentinel.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Options for [`parallel_bfs`].
+#[derive(Clone, Copy, Debug)]
+pub struct BfsParams {
+    /// Enable the dense (bottom-up) mode.
+    pub use_dense: bool,
+    /// Dense-mode switch denominator (same semantics as reachability).
+    pub dense_threshold: usize,
+    /// Hash-bag parameters.
+    pub bag: BagConfig,
+}
+
+impl Default for BfsParams {
+    fn default() -> Self {
+        Self { use_dense: true, dense_threshold: 20, bag: BagConfig::default() }
+    }
+}
+
+/// Result of a parallel BFS.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Hop distance per vertex (`UNREACHED` if not reachable).
+    pub dist: Vec<u32>,
+    /// Number of rounds (= eccentricity of the source within its
+    /// reachable set, plus one).
+    pub rounds: usize,
+    /// Rounds run in dense mode.
+    pub dense_rounds: usize,
+}
+
+/// Parallel BFS from `src` following out-edges if `forward` (in-edges
+/// otherwise). Returns exact hop distances.
+pub fn parallel_bfs(g: &DiGraph, src: V, forward: bool, params: &BfsParams) -> BfsResult {
+    let n = g.n();
+    let m = g.m().max(1);
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let bag: HashBag<u32> = HashBag::with_config(n, params.bag);
+    let csr = g.csr_dir(forward);
+    let rev = g.csr_dir(!forward);
+
+    let mut frontier: Vec<V> = vec![src];
+    let mut rounds = 0usize;
+    let mut dense_rounds = 0usize;
+    let mut level = 0u32;
+    let cur_bits = AtomicBits::new(n);
+
+    while !frontier.is_empty() {
+        rounds += 1;
+        level += 1;
+        let frontier_edges =
+            par_sum_u64(frontier.len(), |i| csr.degree(frontier[i]) as u64);
+        let go_dense = params.use_dense
+            && frontier.len() as u64 + frontier_edges
+                > m.div_ceil(params.dense_threshold) as u64;
+
+        if go_dense {
+            dense_rounds += 1;
+            cur_bits.clear_all();
+            par_range(0..frontier.len(), 2048, &|r| {
+                for i in r {
+                    cur_bits.set(frontier[i] as usize);
+                }
+            });
+            let next_bits = AtomicBits::new(n);
+            par_range(0..n, 1024, &|r| {
+                for u in r {
+                    if dist[u].load(Ordering::Relaxed) != UNREACHED {
+                        continue;
+                    }
+                    for &w in rev.neighbors(u as V) {
+                        if cur_bits.get(w as usize) {
+                            dist[u].store(level, Ordering::Relaxed);
+                            next_bits.set(u);
+                            break;
+                        }
+                    }
+                }
+            });
+            frontier =
+                pack_index(n, |u| next_bits.get(u)).into_iter().map(|u| u as V).collect();
+        } else {
+            par_range(0..frontier.len(), 1, &|r| {
+                for i in r {
+                    let v = frontier[i];
+                    for &u in csr.neighbors(v) {
+                        if dist[u as usize]
+                            .compare_exchange(
+                                UNREACHED,
+                                level,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            bag.insert(u);
+                        }
+                    }
+                }
+            });
+            frontier = bag.extract_all();
+        }
+    }
+
+    BfsResult {
+        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
+        rounds,
+        dense_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::generators::simple::{cycle_digraph, path_digraph, star_digraph};
+    use pscc_graph::stats::bfs_ecc;
+
+    fn check_against_sequential(g: &DiGraph, src: V, forward: bool) {
+        let got = parallel_bfs(g, src, forward, &BfsParams::default());
+        let (want, _, _) = if forward {
+            bfs_ecc(g, src, false)
+        } else {
+            // Sequential helper follows out-edges; reverse the graph.
+            bfs_ecc(&g.clone().reversed(), src, false)
+        };
+        assert_eq!(got.dist, want);
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = path_digraph(100);
+        let got = parallel_bfs(&g, 0, true, &BfsParams::default());
+        for v in 0..100 {
+            assert_eq!(got.dist[v], v as u32);
+        }
+        assert_eq!(got.rounds, 100);
+    }
+
+    #[test]
+    fn cycle_distances_wrap() {
+        let g = cycle_digraph(10);
+        let got = parallel_bfs(&g, 3, true, &BfsParams::default());
+        assert_eq!(got.dist[3], 0);
+        assert_eq!(got.dist[4], 1);
+        assert_eq!(got.dist[2], 9);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let g = path_digraph(5);
+        let got = parallel_bfs(&g, 3, true, &BfsParams::default());
+        assert_eq!(got.dist[0], UNREACHED);
+        assert_eq!(got.dist[4], 1);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs_both_directions() {
+        for seed in 0..5u64 {
+            let g = gnm_digraph(300, 1200, seed);
+            check_against_sequential(&g, 0, true);
+            check_against_sequential(&g, 7, false);
+        }
+    }
+
+    #[test]
+    fn dense_mode_triggers_and_stays_exact() {
+        let g = star_digraph(5000);
+        let got = parallel_bfs(&g, 0, true, &BfsParams::default());
+        assert!(got.dense_rounds >= 1);
+        assert!(got.dist[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn dense_disabled_matches_dense_enabled() {
+        let g = gnm_digraph(400, 4000, 9);
+        let a = parallel_bfs(&g, 0, true, &BfsParams::default());
+        let b = parallel_bfs(&g, 0, true, &BfsParams { use_dense: false, ..Default::default() });
+        assert_eq!(a.dist, b.dist);
+    }
+}

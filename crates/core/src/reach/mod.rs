@@ -1,0 +1,17 @@
+//! Reachability searches: the heart of the paper.
+//!
+//! * [`single::single_reach`] — one-source search with sparse (hash-bag +
+//!   VGC local search) and dense (bottom-up) rounds;
+//! * [`multi::multi_reach`] — multi-source search producing `(v, s)`
+//!   reachability pairs in a phase-concurrent table, with VGC local search
+//!   over pairs;
+//! * [`bfs::parallel_bfs`] — distance-preserving BFS (hash-bag frontier,
+//!   no VGC: levels must stay synchronized, §8).
+
+pub mod bfs;
+pub mod multi;
+pub mod single;
+
+pub use bfs::{parallel_bfs, BfsParams, BfsResult};
+pub use multi::{multi_reach, MultiReachOutcome};
+pub use single::{single_reach, SingleReachOutcome};

@@ -1,0 +1,333 @@
+//! Multi-source reachability producing `(vertex, source)` pairs (§4.3).
+//!
+//! The frontier is a set of *pairs*: `(v, s)` means "the search from source
+//! `s` reached `v` this round". Pairs are deduplicated globally by the
+//! phase-concurrent [`PairTable`]; newly added pairs form the next frontier
+//! via the hash bag (or a VGC local queue first). Dense mode is not
+//! applicable here (§4.2): finding one in-neighbor in the frontier says
+//! nothing about the *other* sources that may reach a vertex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pscc_bag::HashBag;
+use pscc_graph::{DiGraph, V};
+use pscc_runtime::{par_range, Timer};
+use pscc_table::{pack_pair, pair_source, pair_vertex, Insert, PairTable};
+
+use crate::config::ReachParams;
+
+/// Statistics of one multi-reachability search.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiReachOutcome {
+    /// Number of frontier rounds.
+    pub rounds: usize,
+    /// Pairs added to the table by this search (including the seeds).
+    pub pairs_added: usize,
+    /// Seconds spent growing/rehashing the pair table (the Fig. 9
+    /// "hash table resizing" category).
+    pub resize_seconds: f64,
+    /// Edge inspections performed.
+    pub edges_scanned: u64,
+}
+
+/// Runs a multi-reachability search from `sources` following out-edges if
+/// `forward` (in-edges otherwise), restricted to same-label subgraphs.
+/// Reachable pairs accumulate in `table` (which must be empty on entry and
+/// may be grown by this call).
+pub fn multi_reach(
+    g: &DiGraph,
+    sources: &[V],
+    forward: bool,
+    labels: &[AtomicU64],
+    params: &ReachParams,
+    table: &mut PairTable,
+) -> MultiReachOutcome {
+    let mut out = MultiReachOutcome::default();
+    if sources.is_empty() {
+        return out;
+    }
+    let csr = g.csr_dir(forward);
+    let edges = AtomicU64::new(0);
+
+    // Seed (s, s) for every source.
+    let mut frontier: Vec<u64> = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let key = pack_pair(s, s);
+        loop {
+            match table.insert(key) {
+                Insert::Added => {
+                    frontier.push(key);
+                    break;
+                }
+                Insert::Present => break,
+                Insert::Full => {
+                    let t = Timer::start();
+                    table.grow();
+                    out.resize_seconds += t.seconds();
+                }
+            }
+        }
+    }
+
+    let mut bag: HashBag<u64> = HashBag::with_config(table.slot_count(), params.bag);
+    let overflow: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    while !frontier.is_empty() {
+        out.rounds += 1;
+
+        // Proactive growth keeps the load factor reasonable so Full events
+        // (which force a mid-search rebuild) stay rare.
+        if table.len() * 2 >= table.slot_count() {
+            let t = Timer::start();
+            table.grow();
+            out.resize_seconds += t.seconds();
+            bag = HashBag::with_config(table.slot_count(), params.bag);
+        }
+
+        {
+            // Sharing &PairTable across tasks is safe: insert/contains are
+            // phase-concurrent.
+            let table = &*table;
+            let bag_ref = &bag;
+            let overflow = &overflow;
+            let tau = params.effective_tau(frontier.len());
+            par_range(0..frontier.len(), 1, &|r| {
+                let mut queue: Vec<u64> = Vec::with_capacity(tau.min(1 << 14));
+                let mut spill: Vec<u64> = Vec::new();
+                let mut scanned = 0u64;
+                for i in r {
+                    let pair = frontier[i];
+                    let (x0, s) = (pair_vertex(pair), pair_source(pair));
+                    let lx = labels[x0 as usize].load(Ordering::Relaxed);
+                    let deg = csr.degree(x0);
+                    if params.vgc && deg < tau {
+                        // VGC local search over pairs from (x0, s).
+                        queue.clear();
+                        queue.push(pair);
+                        let mut head = 0usize;
+                        let mut t = 0usize;
+                        while head < queue.len() {
+                            let x = pair_vertex(queue[head]);
+                            head += 1;
+                            for &u in csr.neighbors(x) {
+                                t += 1;
+                                scanned += 1;
+                                if labels[u as usize].load(Ordering::Relaxed) == lx {
+                                    let key = pack_pair(u, s);
+                                    match table.insert(key) {
+                                        Insert::Added => {
+                                            if queue.len() < tau {
+                                                queue.push(key);
+                                            } else {
+                                                bag_ref.insert(key);
+                                            }
+                                        }
+                                        Insert::Present => {}
+                                        Insert::Full => spill.push(key),
+                                    }
+                                }
+                            }
+                            if t >= tau {
+                                break;
+                            }
+                        }
+                        for &key in &queue[head..] {
+                            bag_ref.insert(key);
+                        }
+                    } else {
+                        // Standard scan, nested-parallel for heavy vertices.
+                        scanned += deg as u64;
+                        let ns = csr.neighbors(x0);
+                        par_range(0..ns.len(), 2048, &|rr| {
+                            for &u in &ns[rr] {
+                                if labels[u as usize].load(Ordering::Relaxed) == lx {
+                                    let key = pack_pair(u, s);
+                                    match table.insert(key) {
+                                        Insert::Added => bag_ref.insert(key),
+                                        Insert::Present => {}
+                                        Insert::Full => {
+                                            overflow.lock().unwrap().push(key)
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                    }
+                }
+                if !spill.is_empty() {
+                    overflow.lock().unwrap().append(&mut spill);
+                }
+                edges.fetch_add(scanned, Ordering::Relaxed);
+            });
+        }
+
+        let mut next = bag.extract_all();
+        // Resolve overflowed inserts: grow, retry, and splice the winners
+        // into the next frontier. Loops until the table absorbs everything.
+        loop {
+            let pending = std::mem::take(&mut *overflow.lock().unwrap());
+            if pending.is_empty() {
+                break;
+            }
+            let t = Timer::start();
+            table.grow();
+            out.resize_seconds += t.seconds();
+            bag = HashBag::with_config(table.slot_count(), params.bag);
+            for key in pending {
+                match table.insert(key) {
+                    Insert::Added => next.push(key),
+                    Insert::Present => {}
+                    Insert::Full => overflow.lock().unwrap().push(key),
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    out.pairs_added = table.len();
+    out.edges_scanned = edges.load(Ordering::Relaxed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
+    use std::collections::HashSet;
+
+    fn fresh_labels(n: usize) -> Vec<AtomicU64> {
+        (0..n).map(|_| AtomicU64::new(0)).collect()
+    }
+
+    /// Sequential oracle: the set of (v, s) pairs with s ⇝ v.
+    fn seq_pairs(g: &DiGraph, sources: &[V], forward: bool) -> HashSet<(V, V)> {
+        let mut pairs = HashSet::new();
+        for &s in sources {
+            let mut vis = vec![false; g.n()];
+            let mut stack = vec![s];
+            vis[s as usize] = true;
+            while let Some(v) = stack.pop() {
+                pairs.insert((v, s));
+                for &u in g.neighbors_dir(v, forward) {
+                    if !vis[u as usize] {
+                        vis[u as usize] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    fn run(
+        g: &DiGraph,
+        sources: &[V],
+        forward: bool,
+        params: &ReachParams,
+    ) -> (HashSet<(V, V)>, MultiReachOutcome) {
+        let labels = fresh_labels(g.n());
+        let mut table = PairTable::with_capacity(1024);
+        let outcome = multi_reach(g, sources, forward, &labels, params, &mut table);
+        let got: HashSet<(V, V)> =
+            table.keys().into_iter().map(|k| (pair_vertex(k), pair_source(k))).collect();
+        (got, outcome)
+    }
+
+    #[test]
+    fn single_source_path() {
+        let g = path_digraph(6);
+        let (got, outcome) = run(&g, &[2], true, &ReachParams::default());
+        let want = seq_pairs(&g, &[2], true);
+        assert_eq!(got, want);
+        assert_eq!(outcome.pairs_added, 4); // vertices 2..=5
+    }
+
+    #[test]
+    fn two_sources_on_cycle_cover_everything_twice() {
+        let g = cycle_digraph(50);
+        let (got, _) = run(&g, &[0, 25], true, &ReachParams::default());
+        assert_eq!(got.len(), 100);
+        let want = seq_pairs(&g, &[0, 25], true);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs_all_modes() {
+        for seed in 0..4u64 {
+            let g = gnm_digraph(200, 700, seed);
+            let sources: Vec<V> = vec![0, 7, 42, 99];
+            let want_f = seq_pairs(&g, &sources, true);
+            let want_b = seq_pairs(&g, &sources, false);
+            for &vgc in &[false, true] {
+                let params = ReachParams { vgc, ..ReachParams::default() };
+                let (got_f, _) = run(&g, &sources, true, &params);
+                assert_eq!(got_f, want_f, "fwd seed={seed} vgc={vgc}");
+                let (got_b, _) = run(&g, &sources, false, &params);
+                assert_eq!(got_b, want_b, "bwd seed={seed} vgc={vgc}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sources_is_noop() {
+        let g = path_digraph(5);
+        let (got, outcome) = run(&g, &[], true, &ReachParams::default());
+        assert!(got.is_empty());
+        assert_eq!(outcome.rounds, 0);
+    }
+
+    #[test]
+    fn vgc_reduces_rounds_on_long_paths() {
+        let g = path_digraph(3000);
+        let (_, plain) = run(&g, &[0], true, &ReachParams::plain());
+        let (_, vgc) = run(&g, &[0], true, &ReachParams::default());
+        assert!(
+            vgc.rounds * 10 <= plain.rounds,
+            "vgc {} vs plain {}",
+            vgc.rounds,
+            plain.rounds
+        );
+    }
+
+    #[test]
+    fn tiny_table_forces_growth_but_stays_correct() {
+        let g = gnm_digraph(300, 1500, 7);
+        let sources: Vec<V> = (0..20).collect();
+        let labels = fresh_labels(g.n());
+        let mut table = PairTable::with_capacity(1); // pathological start
+        let outcome =
+            multi_reach(&g, &sources, true, &labels, &ReachParams::default(), &mut table);
+        let got: HashSet<(V, V)> =
+            table.keys().into_iter().map(|k| (pair_vertex(k), pair_source(k))).collect();
+        assert_eq!(got, seq_pairs(&g, &sources, true));
+        assert!(outcome.resize_seconds >= 0.0);
+        assert_eq!(outcome.pairs_added, got.len());
+    }
+
+    #[test]
+    fn label_boundaries_cut_searches() {
+        // path 0->1->2->3 with label change at 2: sources {0} reach {0,1}.
+        let g = path_digraph(4);
+        let labels = fresh_labels(4);
+        labels[2].store(5, Ordering::Relaxed);
+        labels[3].store(5, Ordering::Relaxed);
+        let mut table = PairTable::with_capacity(64);
+        multi_reach(&g, &[0], true, &labels, &ReachParams::default(), &mut table);
+        let got: HashSet<(V, V)> =
+            table.keys().into_iter().map(|k| (pair_vertex(k), pair_source(k))).collect();
+        let want: HashSet<(V, V)> = [(0, 0), (1, 0)].into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sources_in_same_label_region_share_pairs() {
+        // Complete bipartite-ish overlap: both sources reach the whole
+        // strongly connected cycle, giving 2n pairs.
+        let g = cycle_digraph(40);
+        let (got, outcome) = run(&g, &[3, 17], true, &ReachParams::default());
+        assert_eq!(got.len(), 80);
+        assert_eq!(outcome.pairs_added, 80);
+    }
+}

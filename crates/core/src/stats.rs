@@ -1,0 +1,88 @@
+//! Instrumentation collected by the SCC driver: the Fig. 9 phase breakdown
+//! and the Fig. 10 per-search round counts.
+
+use pscc_runtime::PhaseTimer;
+
+/// The Fig. 9 phase names, in display order.
+pub const PHASES: [&str; 6] =
+    ["trim", "first_scc", "multi_search", "table_resize", "labeling", "other"];
+
+/// One reachability search's vital signs (one data point of Fig. 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchRecord {
+    /// 1-based batch index.
+    pub batch: usize,
+    /// Number of sources.
+    pub sources: usize,
+    /// Forward (out-edge) search?
+    pub forward: bool,
+    /// Multi-reachability (vs single)?
+    pub multi: bool,
+    /// Frontier rounds executed.
+    pub rounds: usize,
+    /// Rounds run in dense mode (single-reach only).
+    pub dense_rounds: usize,
+    /// Reachability pairs produced (multi) or vertices visited (single).
+    pub reached: usize,
+}
+
+/// Statistics of a full SCC computation.
+#[derive(Debug, Default)]
+pub struct SccStats {
+    /// Wall-clock per phase (Fig. 9 categories).
+    pub breakdown: PhaseTimer,
+    /// Every reachability search, in execution order (Fig. 10 raw data).
+    pub searches: Vec<SearchRecord>,
+    /// Number of non-empty source batches processed.
+    pub num_batches: usize,
+    /// Vertices finished by trimming.
+    pub trimmed: usize,
+    /// End-to-end seconds.
+    pub total_seconds: f64,
+}
+
+impl SccStats {
+    /// Total rounds across all searches.
+    pub fn total_rounds(&self) -> usize {
+        self.searches.iter().map(|s| s.rounds).sum()
+    }
+
+    /// Seconds in a named phase (zero if absent).
+    pub fn phase_seconds(&self, phase: &str) -> f64 {
+        self.breakdown.seconds(phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_rounds_sums_searches() {
+        let mut s = SccStats::default();
+        for rounds in [3usize, 4, 5] {
+            s.searches.push(SearchRecord {
+                batch: 1,
+                sources: 1,
+                forward: true,
+                multi: false,
+                rounds,
+                dense_rounds: 0,
+                reached: 0,
+            });
+        }
+        assert_eq!(s.total_rounds(), 12);
+    }
+
+    #[test]
+    fn missing_phase_is_zero() {
+        let s = SccStats::default();
+        assert_eq!(s.phase_seconds("trim"), 0.0);
+    }
+
+    #[test]
+    fn phase_names_cover_fig9() {
+        assert!(PHASES.contains(&"table_resize"));
+        assert_eq!(PHASES.len(), 6);
+    }
+}

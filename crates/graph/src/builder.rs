@@ -1,0 +1,121 @@
+//! Parallel CSR construction from edge lists.
+//!
+//! Edges are sorted (parallel), deduplicated, and packed into offsets +
+//! targets. Self loops are preserved (SCC/reachability treat them as
+//! no-ops); duplicates are removed so degree-based heuristics stay honest.
+
+use rayon::slice::ParallelSliceMut;
+
+use crate::csr::Csr;
+use crate::V;
+
+/// Sorts and removes duplicate edges (in place + truncate semantics).
+pub fn dedup_edges(edges: &mut Vec<(V, V)>) {
+    edges.par_sort_unstable();
+    edges.dedup();
+}
+
+/// Builds an out-adjacency CSR with `n` vertices from `edges`.
+///
+/// Panics if an endpoint is out of range.
+pub fn build_csr(n: usize, edges: &[(V, V)]) -> Csr {
+    assert!(n < u32::MAX as usize, "graph too large for u32 vertex ids");
+    let mut sorted: Vec<(V, V)> = edges.to_vec();
+    dedup_edges(&mut sorted);
+    if let Some(&(u, v)) = sorted.last() {
+        assert!((u as usize) < n, "edge source {u} out of range (n={n})");
+        let maxv = sorted.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        assert!((maxv as usize) < n, "edge target {maxv} out of range (n={n})");
+        let _ = v;
+    }
+    let m = sorted.len();
+    let mut offsets = vec![0u64; n + 1];
+    // Count degrees sequentially over the sorted list (cheap, cache-friendly;
+    // the sort dominates).
+    for &(u, _) in &sorted {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets: Vec<V> = sorted.into_iter().map(|(_, v)| v).collect();
+    debug_assert_eq!(offsets[n] as usize, m);
+    Csr::from_parts(offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let g = build_csr(3, &[(2, 0), (0, 2), (0, 1), (1, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_only() {
+        let mut edges = vec![(1, 2), (0, 1), (1, 2), (0, 1), (2, 0)];
+        dedup_edges(&mut edges);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = build_csr(4, &[]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = build_csr(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_source() {
+        let _ = build_csr(2, &[(5, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_target() {
+        let _ = build_csr(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_lists() {
+        let g = build_csr(10, &[(0, 9)]);
+        for v in 1..9 {
+            assert!(g.neighbors(v).is_empty());
+        }
+        assert_eq!(g.neighbors(0), &[9]);
+    }
+
+    #[test]
+    fn large_random_build_consistent() {
+        use pscc_runtime::hash64;
+        let n = 1000usize;
+        let edges: Vec<(V, V)> = (0..20_000u64)
+            .map(|i| {
+                let h = hash64(i);
+                (((h >> 32) % n as u64) as V, (h % n as u64) as V)
+            })
+            .collect();
+        let g = build_csr(n, &edges);
+        // Every adjacency list is sorted and duplicate-free.
+        for v in 0..n as V {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "v={v}");
+        }
+        // Edge count equals the number of distinct pairs.
+        let mut uniq = edges.clone();
+        dedup_edges(&mut uniq);
+        assert_eq!(g.m(), uniq.len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Small hand-built graphs used across the workspace's tests, including the
+//! 12-vertex example of Fig. 2 in the paper.
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// Vertex names for [`fig2_graph`], in id order.
+pub const FIG2_NAMES: [char; 12] = ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L'];
+
+/// The example digraph of Fig. 2. Its SCCs are
+/// `{A,B,C,K}`, `{D,E,F}`, `{G,H}`, `{I}`, `{J}`, `{L}`.
+///
+/// Edges are reconstructed from the figure's reachability facts:
+/// everything is reachable from A; D, E, F, G, H, L are reachable *to* G;
+/// the four non-trivial SCCs are cycles A→B→C→K→A, D→E→F→D, G→H→G.
+pub fn fig2_graph() -> DiGraph {
+    let (a, b, c, d, e, f, g, h, i, j, k, l) = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11);
+    let edges: [(V, V); 15] = [
+        // SCC {A,B,C,K}
+        (a, b),
+        (b, c),
+        (c, k),
+        (k, a),
+        // SCC {D,E,F}
+        (d, e),
+        (e, f),
+        (f, d),
+        // SCC {G,H}
+        (g, h),
+        (h, g),
+        // Cross edges wiring the condensation
+        (a, d), // A's SCC reaches D's
+        (b, j), // …and the singleton J
+        (c, i), // …and the singleton I
+        (f, g), // D's SCC reaches G's
+        (l, g), // L reaches G's SCC (L reachable to G, not from A)
+        (i, g), // I reaches G's SCC
+    ];
+    DiGraph::from_edges(12, &edges)
+}
+
+/// The expected SCC partition of [`fig2_graph`] as sorted groups of ids.
+pub fn fig2_sccs() -> Vec<Vec<V>> {
+    vec![
+        vec![0, 1, 2, 10], // A B C K
+        vec![3, 4, 5],     // D E F
+        vec![6, 7],        // G H
+        vec![8],           // I
+        vec![9],           // J
+        vec![11],          // L
+    ]
+}
+
+/// Two disjoint 3-cycles plus an isolated vertex (7 vertices).
+pub fn two_triangles_and_isolated() -> DiGraph {
+    DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_graph_shape() {
+        let g = fig2_graph();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn fig2_partition_covers_all_vertices() {
+        let sccs = fig2_sccs();
+        let mut all: Vec<V> = sccs.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<V>>());
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_edges() {
+        let g = two_triangles_and_isolated();
+        assert_eq!(g.out_degree(6), 0);
+        assert_eq!(g.in_degree(6), 0);
+    }
+}

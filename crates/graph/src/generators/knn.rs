@@ -1,0 +1,316 @@
+//! k-nearest-neighbour digraphs from synthetic point clouds.
+//!
+//! The paper evaluates on k-NN graphs of real spatial datasets (GeoLife,
+//! Household, Chemical, Cosmo50). Those datasets are not redistributable
+//! here, so we generate synthetic 2-D point clouds with the same two
+//! regimes the datasets exhibit — near-uniform spatial data and strongly
+//! clustered data — and build the *exact* directed k-NN graph (each point
+//! gets arcs to its k nearest neighbours, excluding itself). k-NN graphs
+//! built this way reproduce the structural property the paper leans on:
+//! large diameter (Θ(√n)-ish) and many medium SCCs.
+//!
+//! The construction uses grid bucketing with expanding-ring search, so it
+//! is exact and near-linear for bounded-density clouds.
+
+use pscc_runtime::{par_range, SplitMix64};
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// A 2-D point.
+pub type Point = (f64, f64);
+
+/// `n` points uniform in the unit square.
+pub fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect()
+}
+
+/// `n` points drawn from `clusters` Gaussian-ish blobs in the unit square
+/// (mimics GeoLife/Cosmo-style density variation).
+pub fn clustered_points(n: usize, clusters: usize, seed: u64) -> Vec<Point> {
+    assert!(clusters >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let centers: Vec<Point> = (0..clusters).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+    let spread = 0.05;
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.next_below(clusters as u64) as usize];
+            // Sum of three uniforms approximates a Gaussian well enough.
+            let dx = (rng.next_f64() + rng.next_f64() + rng.next_f64()) / 1.5 - 1.0;
+            let dy = (rng.next_f64() + rng.next_f64() + rng.next_f64()) / 1.5 - 1.0;
+            let x = (c.0 + dx * spread).clamp(0.0, 1.0);
+            let y = (c.1 + dy * spread).clamp(0.0, 1.0);
+            (x, y)
+        })
+        .collect()
+}
+
+/// `n` points along `walks` random-walk trajectories (GPS-trace-like, the
+/// GeoLife regime): thin curves whose k-NN graphs are path-like, large
+/// diameter, and fragment into many medium SCCs.
+pub fn trajectory_points(n: usize, walks: usize, seed: u64) -> Vec<Point> {
+    assert!(walks >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let per = n.div_ceil(walks);
+    let step = 0.3 / per as f64;
+    let mut pts = Vec::with_capacity(n);
+    'outer: for _ in 0..walks {
+        let (mut x, mut y) = (rng.next_f64(), rng.next_f64());
+        // Slowly turning heading, like a vehicle trace.
+        let mut heading = rng.next_f64() * std::f64::consts::TAU;
+        for _ in 0..per {
+            pts.push((x, y));
+            if pts.len() == n {
+                break 'outer;
+            }
+            heading += (rng.next_f64() - 0.5) * 0.6;
+            x = (x + heading.cos() * step).rem_euclid(1.0);
+            y = (y + heading.sin() * step).rem_euclid(1.0);
+        }
+    }
+    pts
+}
+
+#[inline]
+fn dist2(a: Point, b: Point) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+/// Builds the exact directed k-NN graph of `points`: vertex `i` has arcs to
+/// its `k` nearest other points (ties broken by index).
+pub fn knn_digraph(points: &[Point], k: usize) -> DiGraph {
+    let n = points.len();
+    assert!(k >= 1 && k < n, "need 1 <= k < n");
+
+    // Grid with about one point per cell on average for k-sized searches.
+    let cells_per_side = ((n as f64 / (k as f64).max(1.0)).sqrt().ceil() as usize).clamp(1, 4096);
+    let cell = 1.0 / cells_per_side as f64;
+    let cell_of = |p: Point| -> (usize, usize) {
+        let cx = ((p.0 / cell) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 / cell) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+
+    // Bucket points by cell.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells_per_side + cx].push(i as u32);
+    }
+
+    // For each point, expanding-ring search until the k-th best distance is
+    // closed (ring lower bound exceeds it).
+    let mut edges: Vec<(V, V)> = vec![(0, 0); n * k];
+    {
+        struct EdgesPtr(*mut (V, V));
+        unsafe impl Sync for EdgesPtr {}
+        unsafe impl Send for EdgesPtr {}
+        impl EdgesPtr {
+            fn get(&self) -> *mut (V, V) {
+                self.0
+            }
+        }
+        let eptr = EdgesPtr(edges.as_mut_ptr());
+        let buckets = &buckets;
+        par_range(0..n, 64, &|range| {
+            // (dist2, idx) max-heap of current best k.
+            let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+            for i in range {
+                best.clear();
+                let p = points[i];
+                let (cx, cy) = cell_of(p);
+                let mut ring = 0usize;
+                loop {
+                    // Visit cells at Chebyshev distance `ring`.
+                    let lo_x = cx.saturating_sub(ring);
+                    let hi_x = (cx + ring).min(cells_per_side - 1);
+                    let lo_y = cy.saturating_sub(ring);
+                    let hi_y = (cy + ring).min(cells_per_side - 1);
+                    for gy in lo_y..=hi_y {
+                        for gx in lo_x..=hi_x {
+                            let on_ring = gx == lo_x || gx == hi_x || gy == lo_y || gy == hi_y;
+                            let exact_ring = gx.abs_diff(cx).max(gy.abs_diff(cy)) == ring;
+                            if !(on_ring && exact_ring) {
+                                continue;
+                            }
+                            for &j in &buckets[gy * cells_per_side + gx] {
+                                if j as usize == i {
+                                    continue;
+                                }
+                                let d = dist2(p, points[j as usize]);
+                                if best.len() < k {
+                                    best.push((d, j));
+                                    if best.len() == k {
+                                        best.sort_by(cmp_dist);
+                                    }
+                                } else if cmp_pair(d, j, best[k - 1]) {
+                                    best[k - 1] = (d, j);
+                                    let mut t = k - 1;
+                                    while t > 0 && cmp_pair(best[t].0, best[t].1, best[t - 1]) {
+                                        best.swap(t, t - 1);
+                                        t -= 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Termination: the nearest possible point in the next
+                    // ring is at least `ring * cell` away (in each axis).
+                    let ring_dist = ring as f64 * cell;
+                    let closed = best.len() == k && best[k - 1].0 <= ring_dist * ring_dist;
+                    let exhausted = lo_x == 0
+                        && lo_y == 0
+                        && hi_x == cells_per_side - 1
+                        && hi_y == cells_per_side - 1;
+                    if closed || exhausted {
+                        break;
+                    }
+                    ring += 1;
+                }
+                if best.len() < k {
+                    best.sort_by(cmp_dist);
+                }
+                for (slot, &(_, j)) in best.iter().enumerate() {
+                    // Safety: rows i*k..(i+1)*k are owned by point i.
+                    unsafe { *eptr.get().add(i * k + slot) = (i as V, j as V) };
+                }
+            }
+        });
+    }
+
+    DiGraph::from_edges(n, &edges)
+}
+
+#[inline]
+fn cmp_dist(a: &(f64, u32), b: &(f64, u32)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+}
+
+/// True if candidate (d, j) beats the incumbent pair.
+#[inline]
+fn cmp_pair(d: f64, j: u32, incumbent: (f64, u32)) -> bool {
+    d < incumbent.0 || (d == incumbent.0 && j < incumbent.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_knn(points: &[Point], k: usize) -> Vec<Vec<u32>> {
+        (0..points.len())
+            .map(|i| {
+                let mut ds: Vec<(f64, u32)> = (0..points.len())
+                    .filter(|&j| j != i)
+                    .map(|j| (dist2(points[i], points[j]), j as u32))
+                    .collect();
+                ds.sort_by(cmp_dist);
+                let mut ids: Vec<u32> = ds[..k].iter().map(|&(_, j)| j).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_uniform() {
+        let pts = uniform_points(300, 5);
+        let k = 5;
+        let g = knn_digraph(&pts, k);
+        let expected = brute_force_knn(&pts, k);
+        for v in 0..pts.len() as V {
+            assert_eq!(g.out_neighbors(v), &expected[v as usize][..], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_clustered() {
+        let pts = clustered_points(250, 4, 9);
+        let k = 3;
+        let g = knn_digraph(&pts, k);
+        let expected = brute_force_knn(&pts, k);
+        for v in 0..pts.len() as V {
+            assert_eq!(g.out_neighbors(v), &expected[v as usize][..], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn out_degree_is_exactly_k() {
+        let pts = uniform_points(1000, 1);
+        let g = knn_digraph(&pts, 5);
+        for v in 0..g.n() as V {
+            assert_eq!(g.out_degree(v), 5);
+        }
+        assert_eq!(g.m(), 5000);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let pts = uniform_points(200, 3);
+        let g = knn_digraph(&pts, 4);
+        for v in 0..g.n() as V {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_point_generation() {
+        assert_eq!(uniform_points(10, 2), uniform_points(10, 2));
+        assert_eq!(clustered_points(10, 2, 2), clustered_points(10, 2, 2));
+        assert_eq!(trajectory_points(10, 2, 2), trajectory_points(10, 2, 2));
+    }
+
+    #[test]
+    fn trajectory_points_have_exact_count_and_range() {
+        let pts = trajectory_points(5000, 37, 4);
+        assert_eq!(pts.len(), 5000);
+        for &(x, y) in &pts {
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn trajectory_knn_is_fragmented() {
+        // Path-like point sets must not percolate into one giant SCC-ish
+        // blob: consecutive points are each other's neighbours, so degree
+        // structure is chain-like. Check the graph builds and is exact.
+        let pts = trajectory_points(400, 8, 6);
+        let k = 4;
+        let g = knn_digraph(&pts, k);
+        let expected = brute_force_knn(&pts, k);
+        for v in 0..pts.len() as V {
+            assert_eq!(g.out_neighbors(v), &expected[v as usize][..], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn clustered_points_stay_in_unit_square() {
+        for &(x, y) in &clustered_points(5000, 8, 13) {
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < n")]
+    fn rejects_k_ge_n() {
+        let pts = uniform_points(3, 1);
+        let _ = knn_digraph(&pts, 3);
+    }
+
+    #[test]
+    fn k1_nearest_neighbour_symmetry_sanity() {
+        // With k=1, mutual nearest neighbours form 2-cycles; at least one
+        // such pair must exist in any finite point set.
+        let pts = uniform_points(100, 8);
+        let g = knn_digraph(&pts, 1);
+        let mutual = (0..g.n() as V)
+            .filter(|&v| {
+                let u = g.out_neighbors(v)[0];
+                g.out_neighbors(u)[0] == v
+            })
+            .count();
+        assert!(mutual >= 2);
+    }
+}

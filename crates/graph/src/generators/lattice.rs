@@ -1,0 +1,162 @@
+//! Circular 2-D lattice digraphs (the SQR / REC / SQR' / REC' models).
+//!
+//! The paper (§6) generates four lattice graphs following the isotropic
+//! directed-percolation model of De Noronha et al.: a `w × h` grid where
+//! each row and column wraps around (a torus). For each pair of adjacent
+//! vertices `u, v`:
+//!
+//! * **SQR / REC model** ([`lattice_sqr`]): an edge `u → v` is created with
+//!   probability 0.5, otherwise `v → u`. Every adjacency carries exactly one
+//!   arc, so the graph percolates and typically has one giant SCC
+//!   (|SCC1| ≈ 99 % in Tab. 2).
+//! * **SQR' / REC' model** ([`lattice_sqr_prime`]): `u → v` with
+//!   probability `p`, `v → u` with probability `p`, and no edge with
+//!   probability `1 − 2p` (paper: p = 0.3). Below the percolation threshold
+//!   this yields a shattered graph with tiny SCCs (|SCC1| ≈ 58 vertices on
+//!   10⁸ in Tab. 2).
+
+use pscc_runtime::{hash64, SplitMix64};
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// Which of the two §6 lattice edge models to use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatticeModel {
+    /// One arc per adjacency, orientation chosen uniformly (SQR/REC).
+    Oriented,
+    /// Tri-state per adjacency: `u→v` w.p. `p`, `v→u` w.p. `p`, none
+    /// otherwise (SQR'/REC' with p = 0.3).
+    TriState(f64),
+}
+
+#[inline]
+fn vid(x: usize, y: usize, w: usize) -> V {
+    (y * w + x) as V
+}
+
+fn lattice_edges(w: usize, h: usize, seed: u64, model: LatticeModel) -> Vec<(V, V)> {
+    assert!(w >= 2 && h >= 2, "lattice needs at least a 2x2 grid");
+    let mut edges = Vec::with_capacity(2 * w * h);
+    // Each vertex owns its "right" and "down" adjacency (torus wrap), so
+    // every undirected adjacency is considered exactly once.
+    for y in 0..h {
+        for x in 0..w {
+            let u = vid(x, y, w);
+            let right = vid((x + 1) % w, y, w);
+            let down = vid(x, (y + 1) % h, w);
+            for (idx, v) in [(0u64, right), (1u64, down)] {
+                if u == v {
+                    continue; // degenerate wrap on 1-wide lattices
+                }
+                let mut rng = SplitMix64::new(hash64(seed).wrapping_add((u as u64) * 2 + idx));
+                match model {
+                    LatticeModel::Oriented => {
+                        if rng.next_bool(0.5) {
+                            edges.push((u, v));
+                        } else {
+                            edges.push((v, u));
+                        }
+                    }
+                    LatticeModel::TriState(p) => {
+                        let r = rng.next_f64();
+                        if r < p {
+                            edges.push((u, v));
+                        } else if r < 2.0 * p {
+                            edges.push((v, u));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// The SQR/REC model: a `w × h` circular lattice with one uniformly
+/// oriented arc per adjacency.
+pub fn lattice_sqr(w: usize, h: usize, seed: u64) -> DiGraph {
+    let edges = lattice_edges(w, h, seed, LatticeModel::Oriented);
+    DiGraph::from_edges(w * h, &edges)
+}
+
+/// The SQR'/REC' model: a `w × h` circular lattice where each adjacency is
+/// `u→v` w.p. 0.3, `v→u` w.p. 0.3, absent otherwise.
+pub fn lattice_sqr_prime(w: usize, h: usize, seed: u64) -> DiGraph {
+    lattice_tristate(w, h, 0.3, seed)
+}
+
+/// The tri-state lattice with an explicit arc probability `p` (each
+/// adjacency: `u→v` w.p. `p`, `v→u` w.p. `p`, absent otherwise). Sweeping
+/// `p` reproduces the percolation study that motivates the lattice family.
+pub fn lattice_tristate(w: usize, h: usize, p: f64, seed: u64) -> DiGraph {
+    assert!((0.0..=0.5).contains(&p), "need p in [0, 0.5]");
+    let edges = lattice_edges(w, h, seed, LatticeModel::TriState(p));
+    DiGraph::from_edges(w * h, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqr_has_one_arc_per_adjacency() {
+        let w = 20;
+        let h = 20;
+        let g = lattice_sqr(w, h, 1);
+        assert_eq!(g.n(), w * h);
+        // Torus: 2 adjacencies per vertex owned, so exactly 2wh arcs.
+        assert_eq!(g.m(), 2 * w * h);
+    }
+
+    #[test]
+    fn sqr_prime_is_sparser() {
+        let w = 30;
+        let h = 30;
+        let g = lattice_sqr_prime(w, h, 2);
+        let expect = (2 * w * h) as f64 * 0.6;
+        let m = g.m() as f64;
+        assert!(m > expect * 0.8 && m < expect * 1.2, "m={m}, expect≈{expect}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = lattice_sqr(10, 10, 7);
+        let b = lattice_sqr(10, 10, 7);
+        assert_eq!(a.out_csr(), b.out_csr());
+        let c = lattice_sqr(10, 10, 8);
+        assert_ne!(a.out_csr(), c.out_csr());
+    }
+
+    #[test]
+    fn rectangle_supported() {
+        let g = lattice_sqr(40, 10, 3);
+        assert_eq!(g.n(), 400);
+    }
+
+    #[test]
+    fn degrees_bounded_by_four() {
+        let g = lattice_sqr(15, 15, 4);
+        for v in 0..g.n() as V {
+            assert!(g.out_degree(v) + g.in_degree(v) <= 8);
+            assert!(g.out_degree(v) <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2")]
+    fn rejects_degenerate_grid() {
+        let _ = lattice_sqr(1, 10, 0);
+    }
+
+    #[test]
+    fn oriented_lattice_percolates() {
+        // The oriented model almost surely has a giant SCC; sanity-check
+        // that most vertices have both in and out arcs.
+        let g = lattice_sqr(30, 30, 9);
+        let both = (0..g.n() as V)
+            .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
+            .count();
+        assert!(both > g.n() * 8 / 10, "both={both}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Deterministic synthetic graph generators for the paper's evaluation
+//! families (§6): lattices, k-NN graphs, RMAT "social" graphs, bowtie
+//! "web" digraphs, and assorted simple structures for testing.
+//!
+//! Every generator takes an explicit seed; the same seed always produces
+//! the same graph, which keeps benchmarks and property tests reproducible.
+
+pub mod knn;
+pub mod lattice;
+pub mod random;
+pub mod rmat;
+pub mod simple;
+
+pub use knn::{clustered_points, knn_digraph, trajectory_points, uniform_points};
+pub use lattice::{lattice_sqr, lattice_sqr_prime, LatticeModel};
+pub use random::{gnm_digraph, gnp_digraph};
+pub use rmat::rmat_digraph;
+pub use simple::{bowtie_web, cycle_digraph, dag_layers, path_digraph, star_digraph};

@@ -1,0 +1,81 @@
+//! Uniform random digraphs (G(n, m) and G(n, p) models) — used mainly by
+//! tests and property-based checks.
+
+use pscc_runtime::SplitMix64;
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// Uniform digraph with `n` vertices and (up to) `m` distinct directed
+/// edges chosen uniformly at random, self loops excluded.
+pub fn gnm_digraph(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.next_below(n as u64) as V;
+        let v = rng.next_below(n as u64) as V;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Erdős–Rényi digraph: each ordered pair `(u, v)`, `u != v`, gets an arc
+/// independently with probability `p`. Quadratic — test-sized graphs only.
+pub fn gnp_digraph(n: usize, p: f64, seed: u64) -> DiGraph {
+    assert!(n >= 1 && (0.0..=1.0).contains(&p));
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as V {
+        for v in 0..n as V {
+            if u != v && rng.next_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_size_bounds() {
+        let g = gnm_digraph(100, 500, 1);
+        assert_eq!(g.n(), 100);
+        assert!(g.m() <= 500);
+        assert!(g.m() > 400); // few duplicates/self-loops expected
+    }
+
+    #[test]
+    fn gnm_no_self_loops() {
+        let g = gnm_digraph(50, 1000, 2);
+        for v in 0..g.n() as V {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let n = 200;
+        let p = 0.05;
+        let g = gnp_digraph(n, p, 3);
+        let expected = (n * (n - 1)) as f64 * p;
+        let m = g.m() as f64;
+        assert!(m > expected * 0.8 && m < expected * 1.2, "m={m} expected≈{expected}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp_digraph(20, 0.0, 1).m(), 0);
+        assert_eq!(gnp_digraph(20, 1.0, 1).m(), 20 * 19);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(gnm_digraph(60, 300, 9).out_csr(), gnm_digraph(60, 300, 9).out_csr());
+    }
+}

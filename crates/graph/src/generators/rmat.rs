@@ -1,0 +1,100 @@
+//! RMAT (recursive-matrix) power-law digraph generator.
+//!
+//! Stand-in for the paper's social-network graphs (LiveJournal, Twitter):
+//! heavy-tailed degrees, low diameter, and one large SCC covering most of
+//! the graph — the regime in which all parallel SCC codes do well (Fig. 1,
+//! "Social" column). Standard Graph500 parameters (a,b,c,d) =
+//! (0.57, 0.19, 0.19, 0.05) with noise to avoid degenerate staircases.
+
+use pscc_runtime::{par_range, SplitMix64};
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// Generates an RMAT digraph with `n = 2^log_n` vertices and about
+/// `m` directed edges (duplicates removed, so slightly fewer).
+pub fn rmat_digraph(log_n: u32, m: usize, seed: u64) -> DiGraph {
+    assert!((1..31).contains(&log_n));
+    let n = 1usize << log_n;
+    let mut edges: Vec<(V, V)> = vec![(0, 0); m];
+    {
+        struct P(*mut (V, V));
+        unsafe impl Sync for P {}
+        unsafe impl Send for P {}
+        impl P {
+            fn get(&self) -> *mut (V, V) {
+                self.0
+            }
+        }
+        let ptr = P(edges.as_mut_ptr());
+        par_range(0..m, 1024, &|r| {
+            for i in r {
+                let mut rng = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
+                let (mut u, mut v) = (0u32, 0u32);
+                for _ in 0..log_n {
+                    u <<= 1;
+                    v <<= 1;
+                    // Per-level noisy quadrant probabilities.
+                    let a = 0.57 + (rng.next_f64() - 0.5) * 0.1;
+                    let b = 0.19;
+                    let c = 0.19;
+                    let r = rng.next_f64();
+                    if r < a {
+                        // top-left: no bits set
+                    } else if r < a + b {
+                        v |= 1;
+                    } else if r < a + b + c {
+                        u |= 1;
+                    } else {
+                        u |= 1;
+                        v |= 1;
+                    }
+                }
+                // Permute ids by a fixed hash so hubs are spread out.
+                let u = (pscc_runtime::hash64(u as u64 ^ 0xabcd) % n as u64) as V;
+                let v = (pscc_runtime::hash64(v as u64 ^ 0x1234) % n as u64) as V;
+                unsafe { *ptr.get().add(i) = (u, v) };
+            }
+        });
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_plausible() {
+        let g = rmat_digraph(12, 40_000, 1);
+        assert_eq!(g.n(), 4096);
+        assert!(g.m() > 20_000, "m={}", g.m());
+        assert!(g.m() <= 40_000);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = rmat_digraph(10, 5000, 3);
+        let b = rmat_digraph(10, 5000, 3);
+        assert_eq!(a.out_csr(), b.out_csr());
+        let c = rmat_digraph(10, 5000, 4);
+        assert_ne!(a.out_csr(), c.out_csr());
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = rmat_digraph(12, 60_000, 7);
+        let max_deg = (0..g.n() as V).map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.m() as f64 / g.n() as f64;
+        assert!(
+            max_deg as f64 > avg * 8.0,
+            "max degree {max_deg} not heavy-tailed vs avg {avg}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_log_n() {
+        let _ = rmat_digraph(0, 10, 1);
+    }
+}

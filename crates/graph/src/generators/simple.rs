@@ -1,0 +1,173 @@
+//! Simple structured digraphs: cycles, paths, stars, layered DAGs, and the
+//! bowtie "web graph" model.
+
+use pscc_runtime::SplitMix64;
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// Directed cycle `0 → 1 → … → n−1 → 0` (one SCC of size n; diameter n−1).
+pub fn cycle_digraph(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let edges: Vec<(V, V)> = (0..n as V).map(|v| (v, ((v as usize + 1) % n) as V)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Directed path `0 → 1 → … → n−1` (n singleton SCCs).
+pub fn path_digraph(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let edges: Vec<(V, V)> = (0..n.saturating_sub(1) as V).map(|v| (v, v + 1)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Star: center 0 with arcs to every other vertex.
+pub fn star_digraph(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let edges: Vec<(V, V)> = (1..n as V).map(|v| (0, v)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Layered DAG: `layers` layers of `width` vertices; each vertex gets
+/// `fanout` random arcs into the next layer. All SCCs are singletons.
+pub fn dag_layers(layers: usize, width: usize, fanout: usize, seed: u64) -> DiGraph {
+    assert!(layers >= 1 && width >= 1);
+    let n = layers * width;
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::new();
+    for l in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            let u = (l * width + i) as V;
+            for _ in 0..fanout {
+                let v = ((l + 1) * width + rng.next_below(width as u64) as usize) as V;
+                edges.push((u, v));
+            }
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+/// A "bowtie" web-like digraph mimicking the macro structure of web crawls
+/// (Broder et al.): a strongly connected core plus an IN component feeding
+/// it and an OUT component fed by it, with power-law-ish extra chords.
+///
+/// `n` vertices split `core_frac` into the core and the rest evenly between
+/// IN and OUT; `avg_deg` random chords per vertex.
+pub fn bowtie_web(n: usize, core_frac: f64, avg_deg: usize, seed: u64) -> DiGraph {
+    assert!(n >= 10 && (0.0..=1.0).contains(&core_frac));
+    let core = ((n as f64 * core_frac) as usize).max(3);
+    let rest = n - core;
+    let in_sz = rest / 2;
+    // Vertex layout: [0, core) = core, [core, core+in_sz) = IN, rest = OUT.
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(V, V)> = Vec::with_capacity(n * (avg_deg + 1));
+
+    // Core: a cycle guarantees strong connectivity, plus random chords.
+    for i in 0..core {
+        edges.push((i as V, ((i + 1) % core) as V));
+    }
+    for _ in 0..core * avg_deg {
+        let u = rng.next_below(core as u64) as V;
+        let v = rng.next_below(core as u64) as V;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    // IN: chains into the core (and into other IN vertices, earlier ids only
+    // to stay acyclic within IN).
+    for i in 0..in_sz {
+        let u = (core + i) as V;
+        for _ in 0..avg_deg.max(1) {
+            if i > 0 && rng.next_bool(0.5) {
+                let j = rng.next_below(i as u64) as usize;
+                edges.push((u, (core + j) as V));
+            } else {
+                edges.push((u, rng.next_below(core as u64) as V));
+            }
+        }
+    }
+    // OUT: fed by the core; internal arcs only to later ids.
+    let out_base = core + in_sz;
+    let out_sz = n - out_base;
+    for i in 0..out_sz {
+        let u = (out_base + i) as V;
+        for _ in 0..avg_deg.max(1) {
+            if i + 1 < out_sz && rng.next_bool(0.5) {
+                let j = i + 1 + rng.next_below((out_sz - i - 1) as u64) as usize;
+                edges.push((u, (out_base + j) as V));
+            } else {
+                edges.push((rng.next_below(core as u64) as V, u));
+            }
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle_digraph(5);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.out_neighbors(4), &[0]);
+        assert_eq!(g.in_neighbors(0), &[4]);
+    }
+
+    #[test]
+    fn cycle_of_one_is_self_loop() {
+        let g = cycle_digraph(1);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.out_neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path_digraph(4);
+        assert_eq!(g.m(), 3);
+        assert!(g.out_neighbors(3).is_empty());
+        assert!(g.in_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star_digraph(6);
+        assert_eq!(g.out_degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.in_neighbors(v), &[0]);
+        }
+    }
+
+    #[test]
+    fn dag_has_no_back_edges() {
+        let g = dag_layers(5, 10, 3, 1);
+        for (u, v) in g.out_csr().edges() {
+            assert!(v as usize / 10 == u as usize / 10 + 1, "edge {u}->{v} skips layers");
+        }
+    }
+
+    #[test]
+    fn bowtie_core_is_strongly_connected_by_cycle() {
+        let g = bowtie_web(100, 0.4, 2, 5);
+        assert_eq!(g.n(), 100);
+        // The core cycle edges must be present.
+        let core = 40;
+        for i in 0..core {
+            assert!(
+                g.out_neighbors(i as V).contains(&(((i + 1) % core) as V)),
+                "core cycle edge missing at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bowtie_deterministic() {
+        assert_eq!(bowtie_web(80, 0.3, 3, 2).out_csr(), bowtie_web(80, 0.3, 3, 2).out_csr());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bowtie_rejects_tiny_n() {
+        let _ = bowtie_web(5, 0.5, 2, 1);
+    }
+}

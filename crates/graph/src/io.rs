@@ -1,0 +1,187 @@
+//! Graph serialization: a human-readable edge-list text format and a
+//! compact little-endian binary CSR format.
+//!
+//! Text format (one record per line):
+//! ```text
+//! # comments allowed
+//! n m          <- header: vertex count, edge count
+//! u v          <- one directed edge per line
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::{Csr, DiGraph};
+use crate::V;
+
+/// Writes `g` as an edge-list text file.
+pub fn write_edge_list<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# parallel-scc edge list")?;
+    writeln!(w, "{} {}", g.n(), g.m())?;
+    for (u, v) in g.out_csr().edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads an edge-list text file into a digraph.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
+    let r = BufReader::new(File::open(path)?);
+    let mut header: Option<(usize, usize)> = None;
+    let mut edges: Vec<(V, V)> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let a: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad record"))?;
+        let b: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad record"))?;
+        match header {
+            None => {
+                header = Some((a as usize, b as usize));
+                edges.reserve(b as usize);
+            }
+            Some(_) => edges.push((a as V, b as V)),
+        }
+    }
+    let (n, m) = header.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header"))?;
+    if edges.len() != m {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("header claims {m} edges, found {}", edges.len()),
+        ));
+    }
+    Ok(DiGraph::from_edges(n, &edges))
+}
+
+const BIN_MAGIC: &[u8; 8] = b"PSCCCSR1";
+
+/// Writes the out-CSR of `g` in the binary format.
+pub fn write_binary<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(BIN_MAGIC)?;
+    let csr = g.out_csr();
+    w.write_all(&(csr.n() as u64).to_le_bytes())?;
+    w.write_all(&(csr.m() as u64).to_le_bytes())?;
+    for &o in csr.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in csr.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a binary CSR file into a digraph.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BIN_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf8)?;
+        offsets.push(u64::from_le_bytes(buf8));
+    }
+    let mut targets = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        targets.push(u32::from_le_bytes(buf4));
+    }
+    Ok(DiGraph::from_out_csr(Csr::from_parts(offsets, targets)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::gnm_digraph;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pscc_io_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = gnm_digraph(50, 200, 1);
+        let path = tmp("text");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = gnm_digraph(64, 500, 2);
+        let path = tmp("bin");
+        write_binary(&g, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_rejects_edge_count_mismatch() {
+        let path = tmp("badcount");
+        std::fs::write(&path, "2 3\n0 1\n").unwrap();
+        assert!(read_edge_list(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "hello world\n").unwrap();
+        assert!(read_edge_list(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let path = tmp("comments");
+        std::fs::write(&path, "# hi\n\n3 2\n0 1\n# mid\n1 2\n").unwrap();
+        let g = read_edge_list(&path).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTMAGIC rest").unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = DiGraph::from_edges(5, &[]);
+        let path = tmp("empty");
+        write_binary(&g, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back.n(), 5);
+        assert_eq!(back.m(), 0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,164 @@
+//! Structural statistics: degree summaries and BFS-based diameter
+//! estimates (the `D` column of Tab. 2 is also "a lower bound of the
+//! actual value" obtained the same way).
+
+use std::collections::VecDeque;
+
+use pscc_runtime::par_sum_u64;
+
+use crate::csr::DiGraph;
+use crate::V;
+
+/// Summary statistics of a digraph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub n: usize,
+    /// Directed edge count.
+    pub m: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of vertices with zero in-degree or zero out-degree (the
+    /// vertices the SCC trimming pass removes immediately).
+    pub trimmable: usize,
+    /// Average degree m/n.
+    pub avg_degree: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    let n = g.n();
+    let max_out = (0..n).map(|v| g.out_degree(v as V)).max().unwrap_or(0);
+    let max_in = (0..n).map(|v| g.in_degree(v as V)).max().unwrap_or(0);
+    let trimmable =
+        par_sum_u64(n, |v| (g.out_degree(v as V) == 0 || g.in_degree(v as V) == 0) as u64) as usize;
+    GraphStats {
+        n,
+        m: g.m(),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        trimmable,
+        avg_degree: if n == 0 { 0.0 } else { g.m() as f64 / n as f64 },
+    }
+}
+
+/// Sequential BFS returning (distance array with `u32::MAX` = unreached,
+/// eccentricity, index of a farthest vertex). Treats the graph as
+/// undirected if `undirected` is set (follows both edge directions).
+pub fn bfs_ecc(g: &DiGraph, src: V, undirected: bool) -> (Vec<u32>, u32, V) {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    let (mut ecc, mut far) = (0u32, src);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        if d > ecc {
+            ecc = d;
+            far = v;
+        }
+        let mut push = |u: V| {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                q.push_back(u);
+            }
+        };
+        for &u in g.out_neighbors(v) {
+            push(u);
+        }
+        if undirected {
+            for &u in g.in_neighbors(v) {
+                push(u);
+            }
+        }
+    }
+    (dist, ecc, far)
+}
+
+/// Double-sweep lower bound on the (undirected) diameter: BFS from `src`,
+/// then BFS again from the farthest vertex found.
+pub fn estimate_diameter(g: &DiGraph, src: V) -> u32 {
+    if g.n() == 0 {
+        return 0;
+    }
+    let (_, _, far) = bfs_ecc(g, src, true);
+    let (_, ecc2, _) = bfs_ecc(g, far, true);
+    ecc2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::simple::{cycle_digraph, path_digraph};
+
+    #[test]
+    fn stats_of_cycle() {
+        let g = cycle_digraph(10);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.trimmable, 0);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_trimmable() {
+        let g = path_digraph(5);
+        let s = graph_stats(&g);
+        // Endpoints 0 (no in) and 4 (no out) are trimmable.
+        assert_eq!(s.trimmable, 2);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_digraph(5);
+        let (dist, ecc, far) = bfs_ecc(&g, 0, false);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ecc, 4);
+        assert_eq!(far, 4);
+    }
+
+    #[test]
+    fn bfs_directed_does_not_go_backwards() {
+        let g = path_digraph(5);
+        let (dist, _, _) = bfs_ecc(&g, 2, false);
+        assert_eq!(dist[0], u32::MAX);
+        assert_eq!(dist[4], 2);
+    }
+
+    #[test]
+    fn bfs_undirected_goes_both_ways() {
+        let g = path_digraph(5);
+        let (dist, ecc, _) = bfs_ecc(&g, 2, true);
+        assert_eq!(dist[0], 2);
+        assert_eq!(dist[4], 2);
+        assert_eq!(ecc, 2);
+    }
+
+    #[test]
+    fn diameter_of_path_is_length() {
+        let g = path_digraph(50);
+        assert_eq!(estimate_diameter(&g, 25), 49);
+    }
+
+    #[test]
+    fn diameter_of_cycle_is_half() {
+        let g = cycle_digraph(20);
+        assert_eq!(estimate_diameter(&g, 0), 10);
+    }
+
+    #[test]
+    fn lattice_diameter_scales_like_sqrt_n() {
+        // Torus w×w has undirected diameter w (w/2 + w/2); verify the
+        // double sweep gets within 2× of it.
+        let w = 16;
+        let g = crate::generators::lattice::lattice_sqr(w, w, 1);
+        let d = estimate_diameter(&g, 0);
+        assert!(d as usize >= w / 2 && (d as usize) <= 2 * w, "d={d}");
+    }
+}

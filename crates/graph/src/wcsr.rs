@@ -1,0 +1,132 @@
+//! Weighted CSR graphs (for shortest-path algorithms).
+//!
+//! Same layout as [`crate::Csr`] with a parallel weights array; weights
+//! are non-negative `u32`s (hop algorithms use weight 1 everywhere).
+
+use crate::{V};
+
+/// A static weighted adjacency structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WCsr {
+    offsets: Box<[u64]>,
+    targets: Box<[V]>,
+    weights: Box<[u32]>,
+}
+
+impl WCsr {
+    /// Builds from a weighted edge list (duplicates keep the minimum
+    /// weight; self loops dropped — they never improve a shortest path).
+    pub fn from_edges(n: usize, edges: &[(V, V, u32)]) -> Self {
+        let mut sorted: Vec<(V, V, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v, _)| u != v)
+            .collect();
+        sorted.sort_unstable();
+        // Keep the lightest parallel edge.
+        sorted.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && {
+            b.2 = b.2.min(a.2);
+            true
+        });
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _, _) in &sorted {
+            assert!((u as usize) < n, "source out of range");
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = Vec::with_capacity(sorted.len());
+        let mut weights = Vec::with_capacity(sorted.len());
+        for &(_, v, w) in &sorted {
+            assert!((v as usize) < n, "target out of range");
+            targets.push(v);
+            weights.push(w);
+        }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            weights: weights.into_boxed_slice(),
+        }
+    }
+
+    /// Undirected construction: every edge is added in both directions.
+    pub fn from_undirected_edges(n: usize, edges: &[(V, V, u32)]) -> Self {
+        let mut sym = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            sym.push((u, v, w));
+            sym.push((v, u, w));
+        }
+        Self::from_edges(n, &sym)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: V) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Weighted neighbours of `v` as parallel slices `(targets, weights)`.
+    #[inline]
+    pub fn neighbors(&self, v: V) -> (&[V], &[u32]) {
+        let v = v as usize;
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let g = WCsr::from_edges(3, &[(0, 1, 5), (0, 2, 7), (1, 2, 1)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        let (ts, ws) = g.neighbors(0);
+        assert_eq!(ts, &[1, 2]);
+        assert_eq!(ws, &[5, 7]);
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight() {
+        let g = WCsr::from_edges(2, &[(0, 1, 9), (0, 1, 3), (0, 1, 6)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(0).1, &[3]);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = WCsr::from_edges(2, &[(0, 0, 1), (0, 1, 2)]);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let g = WCsr::from_undirected_edges(3, &[(0, 1, 4), (1, 2, 2)]);
+        assert_eq!(g.neighbors(1).0, &[0, 2]);
+        assert_eq!(g.neighbors(1).1, &[4, 2]);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        let _ = WCsr::from_edges(2, &[(0, 5, 1)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cohen's sequential LE-list construction (J. CSS 1997): process vertices
+//! in priority order; each runs a BFS pruned wherever it is no longer the
+//! closest-so-far vertex.
+
+use std::collections::VecDeque;
+
+use pscc_graph::{UnGraph, V};
+
+use crate::LeEntry;
+
+/// Builds all LE-lists sequentially for the priority order `perm`
+/// (`perm[0]` has the highest priority). Lists come out sorted by
+/// decreasing distance / increasing priority.
+pub fn cohen_le_lists(g: &UnGraph, perm: &[V]) -> Vec<Vec<LeEntry>> {
+    let n = g.n();
+    assert_eq!(perm.len(), n, "perm must cover every vertex");
+    let mut delta = vec![u32::MAX; n];
+    let mut lists: Vec<Vec<LeEntry>> = vec![Vec::new(); n];
+    let mut dist = vec![u32::MAX; n];
+    let mut touched: Vec<V> = Vec::new();
+    let mut q: VecDeque<V> = VecDeque::new();
+
+    for &s in perm {
+        // Pruned BFS from s: only continue through vertices strictly closer
+        // to s than to every earlier-priority vertex.
+        if delta[s as usize] == 0 {
+            continue; // cannot happen for distinct vertices, but harmless
+        }
+        dist[s as usize] = 0;
+        touched.push(s);
+        q.push_back(s);
+        delta[s as usize] = 0;
+        lists[s as usize].push((s, 0));
+        while let Some(v) = q.pop_front() {
+            let d = dist[v as usize];
+            for &u in g.neighbors(v) {
+                if dist[u as usize] != u32::MAX {
+                    continue; // already seen in this BFS
+                }
+                let du = d + 1;
+                dist[u as usize] = du;
+                touched.push(u);
+                if du < delta[u as usize] {
+                    delta[u as usize] = du;
+                    lists[u as usize].push((s, du));
+                    q.push_back(u);
+                }
+            }
+        }
+        for &v in &touched {
+            dist[v as usize] = u32::MAX;
+        }
+        touched.clear();
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> UnGraph {
+        let edges: Vec<(V, V)> = (0..n as V - 1).map(|v| (v, v + 1)).collect();
+        UnGraph::from_undirected_edges(n, &edges)
+    }
+
+    /// Brute-force oracle straight from the definition.
+    fn brute_force(g: &UnGraph, perm: &[V]) -> Vec<Vec<LeEntry>> {
+        let n = g.n();
+        // All-pairs BFS distances.
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for s in 0..n as V {
+            let mut q = VecDeque::new();
+            dist[s as usize][s as usize] = 0;
+            q.push_back(s);
+            while let Some(v) = q.pop_front() {
+                let d = dist[s as usize][v as usize];
+                for &u in g.neighbors(v) {
+                    if dist[s as usize][u as usize] == u32::MAX {
+                        dist[s as usize][u as usize] = d + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|v| {
+                let mut best = u32::MAX;
+                let mut list = Vec::new();
+                for &u in perm {
+                    let d = dist[u as usize][v];
+                    if d < best {
+                        best = d;
+                        list.push((u, d));
+                    }
+                }
+                list
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_definition_on_path() {
+        let g = path_graph(12);
+        let perm: Vec<V> = vec![5, 0, 11, 3, 8, 1, 2, 4, 6, 7, 9, 10];
+        assert_eq!(cohen_le_lists(&g, &perm), brute_force(&g, &perm));
+    }
+
+    #[test]
+    fn matches_definition_on_random_graphs() {
+        use pscc_runtime::random_permutation;
+        for seed in 0..4u64 {
+            let g = pscc_graph::generators::random::gnm_digraph(60, 150, seed).symmetrize();
+            let perm = random_permutation(60, seed + 100);
+            assert_eq!(cohen_le_lists(&g, &perm), brute_force(&g, &perm), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn first_priority_vertex_is_in_every_reachable_list() {
+        let g = path_graph(8);
+        let perm: Vec<V> = (0..8).collect();
+        let lists = cohen_le_lists(&g, &perm);
+        for (v, list) in lists.iter().enumerate() {
+            assert_eq!(list[0], (0, v as u32), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn distances_strictly_decrease_along_each_list() {
+        let g = pscc_graph::generators::random::gnm_digraph(80, 240, 9).symmetrize();
+        let perm = pscc_runtime::random_permutation(80, 5);
+        for list in cohen_le_lists(&g, &perm) {
+            assert!(list.windows(2).all(|w| w[1].1 < w[0].1));
+        }
+    }
+
+    #[test]
+    fn own_vertex_terminates_each_list() {
+        // Every vertex is distance 0 from itself, so (v, 0) is always last.
+        let g = path_graph(6);
+        let perm: Vec<V> = vec![3, 1, 5, 0, 2, 4];
+        for (v, list) in cohen_le_lists(&g, &perm).into_iter().enumerate() {
+            assert_eq!(*list.last().unwrap(), (v as u32, 0));
+        }
+    }
+
+    #[test]
+    fn disconnected_components_do_not_mix() {
+        let g = UnGraph::from_undirected_edges(4, &[(0, 1), (2, 3)]);
+        let perm: Vec<V> = vec![0, 1, 2, 3];
+        let lists = cohen_le_lists(&g, &perm);
+        assert_eq!(lists[2], vec![(2, 0)]);
+        assert_eq!(lists[3], vec![(2, 1), (3, 0)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # pscc-lelists — least-element lists (§5.2 of the paper)
+//!
+//! Given an undirected graph and a random total order ("priority") on its
+//! vertices, vertex `u` belongs to `v`'s LE-list iff no earlier-priority
+//! vertex is strictly closer to `v`. LE-lists power reachability-set size
+//! estimation, influence estimation, and probabilistic tree embeddings;
+//! each list has `O(log n)` entries whp.
+//!
+//! * [`bgss::le_lists`] — the parallel BGSS algorithm (Alg. 5): prefix-
+//!   doubling batches of simultaneous multi-BFS, frontier maintained by the
+//!   **parallel hash bag** ("ours") or by the edge-revisit/pack scheme
+//!   ("ParlayLib-like" baseline). VGC is *not* applicable here: the BFS
+//!   round = distance invariant must be preserved (§5.2).
+//! * [`cohen::cohen_le_lists`] — Cohen's sequential pruned-BFS algorithm,
+//!   the verification oracle.
+//!
+//! Both produce lists in the canonical order: decreasing distance =
+//! increasing priority, so results are comparable with `==`.
+
+pub mod bgss;
+pub mod cohen;
+
+pub use bgss::{le_lists, FrontierMode, LeListsConfig, LeListsResult};
+pub use cohen::cohen_le_lists;
+
+/// One LE-list entry: `(vertex, distance)`.
+pub type LeEntry = (u32, u32);

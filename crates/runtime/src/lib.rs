@@ -1,0 +1,40 @@
+//! # pscc-runtime
+//!
+//! Fork-join runtime and parallel primitives used throughout the
+//! parallel-scc workspace. The paper ("Parallel Strong Connectivity Based on
+//! Faster Reachability", SIGMOD 2023) assumes the binary fork-join
+//! work-stealing model of ParlayLib; this crate provides the same model on
+//! top of a rayon work-stealing pool, plus the parallel building blocks the
+//! algorithms need:
+//!
+//! * blocked [`par_for`] / [`par_range`] loops with explicit granularity
+//!   (the classic *horizontal* granularity control of §3.1),
+//! * [`scan`] (exclusive prefix sums), [`pack`] / [`pack_index`]
+//!   (parallel compaction, used by the hash bag's `extract_all`),
+//! * [`reduce`]-style combinators,
+//! * a deterministic splittable PRNG ([`rng::SplitMix64`]) and the
+//!   bit-mixing hash [`rng::hash64`] used for sampling and signatures,
+//! * [`permute::random_permutation`] for the BGSS prefix-doubling batches,
+//! * atomic helpers ([`atomic::AtomicBits`], [`atomic::atomic_max_u64`]),
+//! * [`pool::with_threads`] for the processor-count sweeps of Fig. 7/8,
+//! * [`timer::PhaseTimer`] for the Fig. 9 breakdown.
+
+pub mod atomic;
+pub mod pack;
+pub mod parfor;
+pub mod permute;
+pub mod pool;
+pub mod reduce;
+pub mod rng;
+pub mod scan;
+pub mod timer;
+
+pub use atomic::{atomic_max_u32, atomic_max_u64, atomic_min_u32, AtomicBits};
+pub use pack::{pack, pack_index, pack_map};
+pub use parfor::{par_for, par_range, DEFAULT_GRAIN};
+pub use permute::random_permutation;
+pub use pool::{num_workers, with_threads};
+pub use reduce::{par_count, par_max, par_reduce, par_sum_u64};
+pub use rng::{hash32, hash64, SplitMix64};
+pub use scan::scan_exclusive;
+pub use timer::{PhaseTimer, Timer};

@@ -1,0 +1,186 @@
+//! Parallel compaction (pack).
+//!
+//! `pack` gathers the elements of a slice that satisfy a predicate into a
+//! dense output vector, preserving order, using the standard
+//! count → scan → write scheme (JáJá 1992). This is the primitive behind
+//! the hash bag's `extract_all` (§3.3) and the edge-revisit frontier
+//! generation of the GBBS-like baseline.
+
+use crate::parfor::par_range;
+use crate::scan::scan_exclusive;
+
+const BLOCK: usize = 4096;
+
+/// Returns the elements `x` of `data` with `keep(&x) == true`, in order.
+pub fn pack<T, F>(data: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    pack_map(data, |x| if keep(x) { Some(*x) } else { None })
+}
+
+/// Returns the indices `i` with `keep(i) == true`, in increasing order.
+pub fn pack_index<F>(n: usize, keep: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let nblocks = n.div_ceil(BLOCK).max(1);
+    let mut counts = vec![0u64; nblocks];
+    {
+        let counts_ptr = SyncPtr(counts.as_mut_ptr());
+        let keep = &keep;
+        par_range(0..nblocks, 1, &|r| {
+            for b in r {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let c = (lo..hi).filter(|&i| keep(i)).count() as u64;
+                unsafe { *counts_ptr.get().add(b) = c };
+            }
+        });
+    }
+    let total = scan_exclusive(&mut counts) as usize;
+    let mut out: Vec<usize> = Vec::with_capacity(total);
+    {
+        let out_ptr = SyncPtr(out.as_mut_ptr());
+        let counts = &counts;
+        let keep = &keep;
+        par_range(0..nblocks, 1, &|r| {
+            for b in r {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let mut pos = counts[b] as usize;
+                for i in lo..hi {
+                    if keep(i) {
+                        // Safety: positions [counts[b], counts[b+1]) are
+                        // owned exclusively by block b.
+                        unsafe { *out_ptr.get().add(pos) = i };
+                        pos += 1;
+                    }
+                }
+            }
+        });
+    }
+    // Safety: exactly `total` slots were initialized above.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Map-then-pack: applies `f` to each element and keeps the `Some` results,
+/// in order. The workhorse behind [`pack`].
+pub fn pack_map<T, U, F>(data: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Copy + Send + Sync,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    let n = data.len();
+    let nblocks = n.div_ceil(BLOCK).max(1);
+    let mut counts = vec![0u64; nblocks];
+    {
+        let counts_ptr = SyncPtr(counts.as_mut_ptr());
+        let f = &f;
+        par_range(0..nblocks, 1, &|r| {
+            for b in r {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let c = data[lo..hi].iter().filter(|x| f(x).is_some()).count() as u64;
+                unsafe { *counts_ptr.get().add(b) = c };
+            }
+        });
+    }
+    let total = scan_exclusive(&mut counts) as usize;
+    let mut out: Vec<U> = Vec::with_capacity(total);
+    {
+        let out_ptr = SyncPtr(out.as_mut_ptr());
+        let counts = &counts;
+        let f = &f;
+        par_range(0..nblocks, 1, &|r| {
+            for b in r {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let mut pos = counts[b] as usize;
+                for x in &data[lo..hi] {
+                    if let Some(v) = f(x) {
+                        unsafe { *out_ptr.get().add(pos) = v };
+                        pos += 1;
+                    }
+                }
+            }
+        });
+    }
+    unsafe { out.set_len(total) };
+    out
+}
+
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+unsafe impl<T> Send for SyncPtr<T> {}
+impl<T> SyncPtr<T> {
+    #[inline(always)]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_keeps_order() {
+        let data: Vec<u32> = (0..50_000).collect();
+        let evens = pack(&data, |x| x % 2 == 0);
+        let expected: Vec<u32> = (0..50_000).filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, expected);
+    }
+
+    #[test]
+    fn pack_empty_input() {
+        let data: Vec<u32> = vec![];
+        assert!(pack(&data, |_| true).is_empty());
+    }
+
+    #[test]
+    fn pack_none_kept() {
+        let data: Vec<u32> = (0..10_000).collect();
+        assert!(pack(&data, |_| false).is_empty());
+    }
+
+    #[test]
+    fn pack_all_kept() {
+        let data: Vec<u32> = (0..10_000).collect();
+        assert_eq!(pack(&data, |_| true), data);
+    }
+
+    #[test]
+    fn pack_index_matches_filter() {
+        let keep = |i: usize| crate::rng::hash64(i as u64).is_multiple_of(3);
+        let got = pack_index(30_000, keep);
+        let expected: Vec<usize> = (0..30_000).filter(|&i| keep(i)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pack_index_zero_len() {
+        assert!(pack_index(0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn pack_map_transforms() {
+        let data: Vec<u32> = (0..20_000).collect();
+        let got = pack_map(&data, |&x| if x % 5 == 0 { Some(x * 2) } else { None });
+        let expected: Vec<u32> = (0..20_000).filter(|x| x % 5 == 0).map(|x| x * 2).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pack_block_boundary_sizes() {
+        for n in [super::BLOCK - 1, super::BLOCK, super::BLOCK + 1, super::BLOCK * 2 + 17] {
+            let data: Vec<u32> = (0..n as u32).collect();
+            let got = pack(&data, |x| x % 7 == 0);
+            let expected: Vec<u32> = (0..n as u32).filter(|x| x % 7 == 0).collect();
+            assert_eq!(got, expected, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Blocked parallel for-loops with explicit granularity control.
+//!
+//! These are the "horizontal granularity control" primitives of §3.1: a
+//! divide-and-conquer fork-join over an index range that stops forking once
+//! the subrange is at most `grain` long and runs the tail sequentially.
+
+use std::ops::Range;
+
+/// Default sequential base-case size. The paper notes (§3.2) that a base
+/// case of around a thousand operations is enough to hide scheduling
+/// overhead; 1024 matches that guidance.
+pub const DEFAULT_GRAIN: usize = 1024;
+
+/// Runs `f(i)` for every `i` in `0..n` in parallel with the default grain.
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_range(0..n, DEFAULT_GRAIN, &|r: Range<usize>| {
+        for i in r {
+            f(i);
+        }
+    });
+}
+
+/// Runs `f` over disjoint subranges of `range` in parallel.
+///
+/// Each invocation of `f` receives a contiguous subrange of at most `grain`
+/// indices (except that a `grain` of zero is treated as one). The union of
+/// all subranges is exactly `range` and they never overlap, so `f` may
+/// freely write to per-index slots of a shared structure.
+pub fn par_range<F>(range: Range<usize>, grain: usize, f: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let len = range.end.saturating_sub(range.start);
+    if len <= grain {
+        if len > 0 {
+            f(range);
+        }
+        return;
+    }
+    let mid = range.start + len / 2;
+    let (lo, hi) = (range.start..mid, mid..range.end);
+    rayon::join(|| par_range(lo, grain, f), || par_range(hi, grain, f));
+}
+
+/// Runs `f(i)` for every `i` in `0..n` in parallel with a custom grain.
+pub fn par_for_grain<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_range(0..n, grain, &|r: Range<usize>| {
+        for i in r {
+            f(i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_touches_every_index_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_range_is_noop() {
+        let count = AtomicUsize::new(0);
+        par_for(0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn par_range_subranges_partition_the_input() {
+        let total = AtomicU64::new(0);
+        let calls = AtomicUsize::new(0);
+        par_range(7..10_007, 64, &|r| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert!(r.end - r.start <= 64);
+            total.fetch_add(r.map(|i| i as u64).sum::<u64>(), Ordering::Relaxed);
+        });
+        let expected: u64 = (7u64..10_007).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+        assert!(calls.load(Ordering::Relaxed) >= (10_000 / 64));
+    }
+
+    #[test]
+    fn par_range_grain_zero_behaves_like_grain_one() {
+        let count = AtomicUsize::new(0);
+        par_range(0..17, 0, &|r| {
+            assert_eq!(r.end - r.start, 1);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn par_for_grain_respects_large_grain() {
+        // With grain >= n the loop must degrade to a single sequential call.
+        let n = 100;
+        let sum = AtomicU64::new(0);
+        par_for_grain(n, n * 2, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..n as u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,73 @@
+//! Parallel random permutations.
+//!
+//! The BGSS SCC / LE-list algorithms (Alg. 1 and Alg. 5) first randomly
+//! permute the vertex set and then process exponentially growing prefixes.
+//! We generate a permutation by sorting indices by a keyed hash — a
+//! parallel, deterministic equivalent of a Fisher–Yates shuffle.
+
+use crate::rng::hash64;
+
+/// Returns a pseudo-random permutation of `0..n` determined by `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "vertex ids are u32");
+    let mut keyed: Vec<(u64, u32)> = (0..n as u32)
+        .map(|i| (hash64(seed ^ ((i as u64) << 1 | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)), i))
+        .collect();
+    // Parallel stable sort by key; ties (astronomically unlikely) break by id.
+    rayon::slice::ParallelSliceMut::par_sort_unstable(&mut keyed[..]);
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_permutation() {
+        let p = random_permutation(10_000, 1);
+        let mut seen = vec![false; 10_000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(random_permutation(1000, 7), random_permutation(1000, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_permutation(1000, 1), random_permutation(1000, 2));
+    }
+
+    #[test]
+    fn not_identity_for_nontrivial_n() {
+        let p = random_permutation(1000, 3);
+        let identity: Vec<u32> = (0..1000).collect();
+        assert_ne!(p, identity);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(random_permutation(0, 1).is_empty());
+        assert_eq!(random_permutation(1, 1), vec![0]);
+    }
+
+    #[test]
+    fn permutation_is_roughly_uniform() {
+        // The average displacement of elements should be ~n/3 for a uniform
+        // permutation; check it is at least n/6.
+        let n = 10_000usize;
+        let p = random_permutation(n, 11);
+        let total_disp: u64 = p
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as i64 - x as i64).unsigned_abs())
+            .sum();
+        let avg = total_disp as f64 / n as f64;
+        assert!(avg > n as f64 / 6.0, "avg displacement {avg}");
+    }
+}

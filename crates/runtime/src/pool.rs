@@ -1,0 +1,67 @@
+//! Thread-pool control.
+//!
+//! The evaluation (Fig. 7, Fig. 8, Fig. 11) varies the number of processors
+//! from 1 to the machine width. [`with_threads`] runs a closure inside a
+//! dedicated work-stealing pool of the requested width so a benchmark can
+//! sweep processor counts within one process.
+
+/// Number of worker threads in the current pool.
+pub fn num_workers() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Number of logical CPUs on this machine.
+pub fn available_parallelism() -> usize {
+    num_cpus::get()
+}
+
+/// Runs `f` on a dedicated pool with `threads` workers.
+///
+/// All `rayon::join`-based primitives in this workspace inherit the pool of
+/// the calling context, so everything inside `f` is limited to `threads`
+/// processors — exactly what the scalability experiments need.
+pub fn with_threads<R, F>(threads: usize, f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build thread pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_limits_pool_width() {
+        let seen = with_threads(2, num_workers);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn with_threads_one_is_sequentialish() {
+        let seen = with_threads(1, num_workers);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn with_threads_zero_clamps_to_one() {
+        let seen = with_threads(0, num_workers);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn with_threads_returns_closure_value() {
+        let v = with_threads(2, || crate::par_sum_u64(1000, |i| i as u64));
+        assert_eq!(v, (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn available_parallelism_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

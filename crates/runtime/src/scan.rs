@@ -1,0 +1,155 @@
+//! Parallel exclusive prefix sums (scan).
+//!
+//! Classic two-pass blocked scan: per-block sums, a sequential scan over the
+//! (few) block sums, then a parallel pass writing block-local prefixes. Used
+//! by `pack` and the frontier compaction throughout the workspace.
+
+use crate::parfor::par_range;
+
+const BLOCK: usize = 4096;
+
+/// In-place exclusive prefix sum over `data`; returns the grand total.
+///
+/// After the call, `data[i]` holds the sum of the original
+/// `data[0..i]`, and the returned value is the sum of all elements.
+pub fn scan_exclusive(data: &mut [u64]) -> u64 {
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= BLOCK {
+        let mut acc = 0u64;
+        for x in data.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+        return acc;
+    }
+    let nblocks = n.div_ceil(BLOCK);
+    let mut block_sums = vec![0u64; nblocks];
+
+    // Pass 1: per-block totals.
+    {
+        let sums_ptr = SyncPtr(block_sums.as_mut_ptr());
+        let data_ref = &*data;
+        par_range(0..nblocks, 1, &|r| {
+            for b in r {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let s: u64 = data_ref[lo..hi].iter().sum();
+                // Safety: each block index is visited by exactly one task.
+                unsafe { *sums_ptr.get().add(b) = s };
+            }
+        });
+    }
+
+    // Sequential scan over block sums (nblocks is small).
+    let mut acc = 0u64;
+    for s in block_sums.iter_mut() {
+        let v = *s;
+        *s = acc;
+        acc += v;
+    }
+    let total = acc;
+
+    // Pass 2: block-local exclusive scans offset by the block prefix.
+    {
+        let data_ptr = SyncPtr(data.as_mut_ptr());
+        let sums = &block_sums;
+        par_range(0..nblocks, 1, &|r| {
+            for b in r {
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let mut acc = sums[b];
+                for i in lo..hi {
+                    // Safety: blocks are disjoint index ranges.
+                    unsafe {
+                        let p = data_ptr.get().add(i);
+                        let v = *p;
+                        *p = acc;
+                        acc += v;
+                    }
+                }
+            }
+        });
+    }
+    total
+}
+
+/// A raw pointer wrapper asserting cross-thread use is safe because tasks
+/// write disjoint indices.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+unsafe impl<T> Send for SyncPtr<T> {}
+impl<T> SyncPtr<T> {
+    #[inline(always)]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_scan(input: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn scan_empty() {
+        let mut data: Vec<u64> = vec![];
+        assert_eq!(scan_exclusive(&mut data), 0);
+    }
+
+    #[test]
+    fn scan_single() {
+        let mut data = vec![42u64];
+        assert_eq!(scan_exclusive(&mut data), 42);
+        assert_eq!(data, vec![0]);
+    }
+
+    #[test]
+    fn scan_small_matches_reference() {
+        let input: Vec<u64> = (0..100).map(|i| (i * 7 + 3) % 13).collect();
+        let (expected, total) = reference_scan(&input);
+        let mut data = input;
+        assert_eq!(scan_exclusive(&mut data), total);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn scan_large_matches_reference() {
+        let input: Vec<u64> = (0..100_000u64).map(crate::rng::hash64).map(|x| x % 1000).collect();
+        let (expected, total) = reference_scan(&input);
+        let mut data = input;
+        assert_eq!(scan_exclusive(&mut data), total);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn scan_exact_block_boundary() {
+        let n = super::BLOCK * 3;
+        let input: Vec<u64> = vec![1; n];
+        let mut data = input.clone();
+        assert_eq!(scan_exclusive(&mut data), n as u64);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn scan_block_plus_one() {
+        let n = super::BLOCK + 1;
+        let mut data = vec![2u64; n];
+        assert_eq!(scan_exclusive(&mut data), 2 * n as u64);
+        assert_eq!(data[n - 1], 2 * (n as u64 - 1));
+    }
+}

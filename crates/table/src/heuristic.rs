@@ -1,0 +1,50 @@
+//! The hash-table sizing heuristic of §4.5.
+//!
+//! With VGC there is no tight upper bound on the number of reachability
+//! pairs generated in a batch, so the paper sizes the next batch's table
+//! from two observables: `a` = number of pairs produced by the previous
+//! batch, and `b` = number of unfinished vertices. The next capacity is
+//! `max(0.3·b, 1.5·a)`, rounded up to a power of two. Only when an insert
+//! still overflows does the (costly) copying resize happen — rarely.
+
+/// Returns the §4.5 capacity estimate `roundup_pow2(max(0.3·b, 1.5·a))`.
+///
+/// `prev_pairs` is `a`; `unfinished` is `b`. A floor of 1024 keeps tiny
+/// batches from thrashing.
+pub fn next_table_capacity(prev_pairs: usize, unfinished: usize) -> usize {
+    let a = (1.5 * prev_pairs as f64).ceil() as usize;
+    let b = (0.3 * unfinished as f64).ceil() as usize;
+    a.max(b).max(1024).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takes_max_of_both_terms() {
+        // 1.5a dominates.
+        assert_eq!(next_table_capacity(10_000, 1_000), (15_000usize).next_power_of_two());
+        // 0.3b dominates.
+        assert_eq!(next_table_capacity(100, 1_000_000), (300_000usize).next_power_of_two());
+    }
+
+    #[test]
+    fn result_is_power_of_two() {
+        for (a, b) in [(0, 0), (7, 13), (100_000, 3), (12345, 67890)] {
+            assert!(next_table_capacity(a, b).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn has_floor() {
+        assert_eq!(next_table_capacity(0, 0), 1024);
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        let base = next_table_capacity(1000, 1000);
+        assert!(next_table_capacity(10_000, 1000) >= base);
+        assert!(next_table_capacity(1000, 100_000) >= base);
+    }
+}

@@ -1,0 +1,50 @@
+//! Packing of `(vertex, source)` reachability pairs into `u64` keys.
+//!
+//! The vertex occupies the high 32 bits and the source the low 32 bits, so
+//! keys sort by vertex first — convenient when grouping pairs per vertex.
+//! `u32::MAX` is not a valid vertex/source id (it is the graph crate's
+//! `NONE_V` sentinel), which guarantees a packed pair never equals the
+//! table's `u64::MAX` empty sentinel.
+
+/// Packs a `(vertex, source)` pair.
+#[inline(always)]
+pub fn pack_pair(vertex: u32, source: u32) -> u64 {
+    debug_assert!(vertex != u32::MAX && source != u32::MAX);
+    ((vertex as u64) << 32) | source as u64
+}
+
+/// Extracts the vertex from a packed pair.
+#[inline(always)]
+pub fn pair_vertex(pair: u64) -> u32 {
+    (pair >> 32) as u32
+}
+
+/// Extracts the source from a packed pair.
+#[inline(always)]
+pub fn pair_source(pair: u64) -> u32 {
+    pair as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &(v, s) in &[(0u32, 0u32), (1, 2), (u32::MAX - 1, u32::MAX - 1), (123456, 654321)] {
+            let p = pack_pair(v, s);
+            assert_eq!(pair_vertex(p), v);
+            assert_eq!(pair_source(p), s);
+        }
+    }
+
+    #[test]
+    fn never_equals_sentinel() {
+        assert_ne!(pack_pair(u32::MAX - 1, u32::MAX - 1), u64::MAX);
+    }
+
+    #[test]
+    fn orders_by_vertex_first() {
+        assert!(pack_pair(1, 999) < pack_pair(2, 0));
+    }
+}

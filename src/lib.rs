@@ -1,0 +1,60 @@
+//! # parallel-scc
+//!
+//! A Rust reproduction of *"Parallel Strong Connectivity Based on Faster
+//! Reachability"* (Wang, Dong, Gu, Sun — SIGMOD 2023): parallel strongly
+//! connected components via the BGSS algorithm with **vertical granularity
+//! control** reachability searches and the **parallel hash bag**, plus the
+//! paper's two companion applications (graph connectivity and
+//! least-element lists) and every baseline it evaluates against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parallel_scc::prelude::*;
+//!
+//! // A 4-cycle plus a tail: {0,1,2,3} is one SCC, 4 is a singleton.
+//! let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)]);
+//! let result = parallel_scc(&g, &SccConfig::default());
+//! assert_eq!(result.num_sccs, 2);
+//! assert_eq!(result.largest_scc, 4);
+//! assert_eq!(result.labels[0], result.labels[3]);
+//! assert_ne!(result.labels[0], result.labels[4]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`runtime`] | `pscc-runtime` | fork-join primitives, scan/pack, PRNG, atomics |
+//! | [`graph`] | `pscc-graph` | CSR graphs, builders, I/O, generators |
+//! | [`bag`] | `pscc-bag` | the parallel hash bag (§3.3) |
+//! | [`table`] | `pscc-table` | phase-concurrent pair table + §4.5 heuristic |
+//! | [`scc`] | `pscc-core` | VGC reachability + BGSS SCC (the contribution) |
+//! | [`baselines`] | `pscc-baselines` | Tarjan, Kosaraju, GBBS-like, Multi-step, FW-BW |
+//! | [`cc`] | `pscc-cc` | LDD-UF-JTB connectivity (§5.1) |
+//! | [`lelists`] | `pscc-lelists` | BGSS least-element lists (§5.2) |
+//! | [`apps`] | `pscc-apps` | condensation, topological sort, 2-SAT |
+
+pub use pscc_apps as apps;
+pub use pscc_bag as bag;
+pub use pscc_baselines as baselines;
+pub use pscc_cc as cc;
+pub use pscc_core as scc;
+pub use pscc_graph as graph;
+pub use pscc_lelists as lelists;
+pub use pscc_runtime as runtime;
+pub use pscc_table as table;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use pscc_apps::{condense, scc_topological_order, topological_order, Lit, TwoSat};
+    pub use pscc_bag::{BagConfig, HashBag};
+    pub use pscc_baselines::{fwbw_scc, gbbs_scc, kosaraju_scc, multistep_scc, tarjan_scc};
+    pub use pscc_cc::{connected_components, CcConfig, LddConfig, LddMode};
+    pub use pscc_core::{
+        parallel_scc, parallel_scc_with_stats, ReachParams, SccConfig, SccResult,
+    };
+    pub use pscc_graph::{DiGraph, UnGraph, V};
+    pub use pscc_lelists::{cohen_le_lists, le_lists, FrontierMode, LeListsConfig};
+    pub use pscc_runtime::{num_workers, with_threads};
+}

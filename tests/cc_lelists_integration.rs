@@ -1,0 +1,131 @@
+//! Integration tests for the two companion applications (§5): connectivity
+//! and LE-lists, cross-checked against sequential oracles on the paper's
+//! graph families.
+
+use parallel_scc::cc::sequential_cc;
+use parallel_scc::lelists::bgss::le_lists_with_priority;
+use parallel_scc::prelude::*;
+use parallel_scc::runtime::random_permutation;
+use parallel_scc::scc::verify::same_partition;
+use proptest::prelude::*;
+
+fn check_cc(name: &str, g: &UnGraph) {
+    let want = sequential_cc(g);
+    for mode in [LddMode::HashBagVgc, LddMode::EdgeRevisit] {
+        let cfg = CcConfig { ldd: LddConfig { mode, ..LddConfig::default() } };
+        let got = connected_components(g, &cfg);
+        assert!(same_partition(&got.labels, &want), "{name} mode {mode:?}");
+    }
+}
+
+fn check_lelists(name: &str, g: &UnGraph, seed: u64) {
+    let perm = random_permutation(g.n(), seed);
+    let want = cohen_le_lists(g, &perm);
+    for mode in [FrontierMode::HashBag, FrontierMode::EdgeRevisit] {
+        let cfg = LeListsConfig { mode, ..LeListsConfig::default() };
+        let (got, _) = le_lists_with_priority(g, &perm, &cfg);
+        assert_eq!(got, want, "{name} mode {mode:?}");
+    }
+}
+
+#[test]
+fn cc_on_paper_families() {
+    let rmat = parallel_scc::graph::generators::rmat::rmat_digraph(11, 12_000, 1).symmetrize();
+    check_cc("rmat", &rmat);
+    let lat = parallel_scc::graph::generators::lattice::lattice_sqr_prime(40, 40, 2).symmetrize();
+    check_cc("lattice", &lat);
+    let pts = parallel_scc::graph::generators::knn::uniform_points(1200, 3);
+    let knn = parallel_scc::graph::generators::knn::knn_digraph(&pts, 4).symmetrize();
+    check_cc("knn", &knn);
+}
+
+#[test]
+fn lelists_on_paper_families() {
+    let rmat = parallel_scc::graph::generators::rmat::rmat_digraph(9, 4_000, 4).symmetrize();
+    check_lelists("rmat", &rmat, 11);
+    let lat = parallel_scc::graph::generators::lattice::lattice_sqr(15, 15, 5).symmetrize();
+    check_lelists("lattice", &lat, 12);
+    let pts = parallel_scc::graph::generators::knn::clustered_points(400, 4, 6);
+    let knn = parallel_scc::graph::generators::knn::knn_digraph(&pts, 3).symmetrize();
+    check_lelists("knn", &knn, 13);
+}
+
+#[test]
+fn cc_component_count_matches_scc_on_symmetric_graphs() {
+    // On an undirected (symmetrized) graph, SCCs and CCs coincide.
+    let g = parallel_scc::graph::generators::random::gnm_digraph(800, 1200, 9);
+    let ug = g.symmetrize();
+    let cc = connected_components(&ug, &CcConfig::default());
+    let scc = parallel_scc(&ug.as_digraph(), &SccConfig::default());
+    assert_eq!(cc.num_components, scc.num_sccs);
+    assert!(same_partition(&cc.labels, &scc.labels));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_cc_matches_sequential(
+        n in 2usize..120,
+        edges in proptest::collection::vec((0u32..120, 0u32..120), 0..300),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = UnGraph::from_undirected_edges(n, &edges);
+        let want = sequential_cc(&g);
+        let got = connected_components(&g, &CcConfig::default());
+        prop_assert!(same_partition(&got.labels, &want));
+    }
+
+    #[test]
+    fn prop_lelists_match_cohen(
+        n in 2usize..60,
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..150),
+        seed in 0u64..1000,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = UnGraph::from_undirected_edges(n, &edges);
+        let perm = random_permutation(n, seed);
+        let want = cohen_le_lists(&g, &perm);
+        let (got, _) = le_lists_with_priority(&g, &perm, &LeListsConfig::default());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prop_lelists_invariants(
+        n in 2usize..60,
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..150),
+        seed in 0u64..1000,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = UnGraph::from_undirected_edges(n, &edges);
+        let cfg = LeListsConfig { seed, ..LeListsConfig::default() };
+        let res = le_lists(&g, &cfg);
+        let mut rank = vec![0u32; n];
+        for (i, &v) in res.priority.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        for (v, list) in res.lists.iter().enumerate() {
+            // Every list ends with the vertex itself at distance 0.
+            prop_assert_eq!(*list.last().unwrap(), (v as u32, 0));
+            // Distances strictly decrease; priorities strictly increase...
+            // (ranks decrease since earlier-priority = smaller rank appears
+            // first in the list).
+            for w in list.windows(2) {
+                prop_assert!(w[1].1 < w[0].1, "distances must strictly decrease");
+                prop_assert!(
+                    rank[w[1].0 as usize] > rank[w[0].0 as usize],
+                    "priority ranks must increase along the list"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests on the core data structures: the parallel hash
+//! bag, the phase-concurrent pair table, and concurrent union-find.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use parallel_scc::bag::{BagConfig, HashBag};
+use parallel_scc::cc::ConcurrentUnionFind;
+use parallel_scc::table::{Insert, PairTable};
+use parallel_scc::runtime::par_for;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bag_extract_returns_exactly_what_was_inserted(
+        items in proptest::collection::hash_set(0u32..1_000_000, 0..400),
+        lambda_exp in 1usize..8,
+        sigma in 2usize..64,
+    ) {
+        let cfg = BagConfig { lambda: 1 << lambda_exp, sigma, ..BagConfig::default() };
+        let bag: HashBag<u32> = HashBag::with_config(items.len().max(1), cfg);
+        let vec: Vec<u32> = items.iter().copied().collect();
+        par_for(vec.len(), |i| bag.insert(vec[i]));
+        let got: HashSet<u32> = bag.extract_all().into_iter().collect();
+        prop_assert_eq!(got, items);
+    }
+
+    #[test]
+    fn bag_multiple_extract_cycles(
+        rounds in proptest::collection::vec(
+            proptest::collection::hash_set(0u32..100_000, 1..100), 1..6),
+    ) {
+        let max = rounds.iter().map(|r| r.len()).max().unwrap_or(1);
+        let bag: HashBag<u32> = HashBag::new(max);
+        for round in rounds {
+            let vec: Vec<u32> = round.iter().copied().collect();
+            par_for(vec.len(), |i| bag.insert(vec[i]));
+            let got: HashSet<u32> = bag.extract_all().into_iter().collect();
+            prop_assert_eq!(got, round);
+        }
+    }
+
+    #[test]
+    fn table_membership_matches_reference_set(
+        keys in proptest::collection::vec(0u64..1_000_000, 0..500),
+        probes in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut t = PairTable::with_capacity(keys.len().max(8));
+        let mut reference = HashSet::new();
+        for &k in &keys {
+            loop {
+                match t.insert(k) {
+                    Insert::Added => { prop_assert!(reference.insert(k)); break; }
+                    Insert::Present => { prop_assert!(reference.contains(&k)); break; }
+                    Insert::Full => t.grow(),
+                }
+            }
+        }
+        prop_assert_eq!(t.len(), reference.len());
+        for &p in &probes {
+            prop_assert_eq!(t.contains(p), reference.contains(&p));
+        }
+        let got: HashSet<u64> = t.keys().into_iter().collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn union_find_matches_sequential_dsu(
+        n in 2usize..200,
+        unions in proptest::collection::vec((0usize..200, 0usize..200), 0..300),
+    ) {
+        let unions: Vec<(u32, u32)> = unions
+            .into_iter()
+            .map(|(a, b)| ((a % n) as u32, (b % n) as u32))
+            .collect();
+        let uf = ConcurrentUnionFind::new(n);
+        par_for(unions.len(), |i| { uf.unite(unions[i].0, unions[i].1); });
+
+        // Sequential reference.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x { p[x as usize] = p[p[x as usize] as usize]; x = p[x as usize]; }
+            x
+        }
+        for &(a, b) in &unions {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb { let (lo, hi) = (ra.min(rb), ra.max(rb)); parent[hi as usize] = lo; }
+        }
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                prop_assert_eq!(
+                    uf.same_set(a, b),
+                    find(&mut parent, a) == find(&mut parent, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bag_survives_any_config(
+        n in 1usize..2000,
+        lambda_exp in 1usize..6,
+        sigma in 1usize..16,
+        kappa in 1usize..8,
+    ) {
+        // Failure injection: degenerate parameters must never lose items.
+        let cfg = BagConfig { lambda: 1 << lambda_exp, sigma, kappa, alpha: 0.5 };
+        let bag: HashBag<u32> = HashBag::with_config(n, cfg);
+        par_for(n, |i| bag.insert(i as u32));
+        prop_assert_eq!(bag.extract_all().len(), n);
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-algorithm integration tests: every SCC implementation in the
+//! workspace must compute the same partition on every graph family of the
+//! paper's evaluation (§6).
+
+use parallel_scc::prelude::*;
+use parallel_scc::scc::verify::same_partition;
+
+/// Runs all six implementations and checks pairwise agreement.
+fn check_all(name: &str, g: &DiGraph) {
+    let want = tarjan_scc(g);
+    let plain_reach = ReachParams { vgc: false, ..ReachParams::default() };
+
+    let ours = parallel_scc(g, &SccConfig::default());
+    assert!(same_partition(&ours.labels, &want), "{name}: ours vs tarjan");
+
+    let ours_plain = parallel_scc(g, &SccConfig::plain());
+    assert!(same_partition(&ours_plain.labels, &want), "{name}: plain vs tarjan");
+
+    let ours_vgc1 = parallel_scc(g, &SccConfig::vgc1());
+    assert!(same_partition(&ours_vgc1.labels, &want), "{name}: vgc1 vs tarjan");
+
+    let (gbbs, _) = gbbs_scc(g, &SccConfig::default());
+    assert!(same_partition(&gbbs.labels, &want), "{name}: gbbs vs tarjan");
+
+    let ms = multistep_scc(g, &plain_reach);
+    assert!(same_partition(&ms.labels, &want), "{name}: multistep vs tarjan");
+
+    let fb = fwbw_scc(g, &plain_reach);
+    assert!(same_partition(&fb.labels, &want), "{name}: fwbw vs tarjan");
+
+    let kos = kosaraju_scc(g);
+    assert!(same_partition(&kos, &want), "{name}: kosaraju vs tarjan");
+
+    // SCC counts must agree too (Tab. 2's #SCC column is the paper's own
+    // correctness check across implementations).
+    let (k, largest) = parallel_scc::scc::verify::component_stats(&want);
+    assert_eq!(ours.num_sccs, k, "{name}: #SCC");
+    assert_eq!(ours.largest_scc, largest, "{name}: |SCC1|");
+}
+
+#[test]
+fn social_style_rmat() {
+    let g = parallel_scc::graph::generators::rmat::rmat_digraph(11, 16_000, 1);
+    check_all("rmat", &g);
+}
+
+#[test]
+fn web_style_bowtie() {
+    let g = parallel_scc::graph::generators::simple::bowtie_web(2_000, 0.4, 3, 2);
+    check_all("bowtie", &g);
+}
+
+#[test]
+fn knn_uniform() {
+    let pts = parallel_scc::graph::generators::knn::uniform_points(1_500, 3);
+    let g = parallel_scc::graph::generators::knn::knn_digraph(&pts, 4);
+    check_all("knn-uniform", &g);
+}
+
+#[test]
+fn knn_clustered() {
+    let pts = parallel_scc::graph::generators::knn::clustered_points(1_500, 5, 4);
+    let g = parallel_scc::graph::generators::knn::knn_digraph(&pts, 3);
+    check_all("knn-clustered", &g);
+}
+
+#[test]
+fn lattice_oriented_sqr() {
+    let g = parallel_scc::graph::generators::lattice::lattice_sqr(40, 40, 5);
+    check_all("sqr", &g);
+}
+
+#[test]
+fn lattice_oriented_rec() {
+    let g = parallel_scc::graph::generators::lattice::lattice_sqr(80, 20, 6);
+    check_all("rec", &g);
+}
+
+#[test]
+fn lattice_tristate_sqr_prime() {
+    let g = parallel_scc::graph::generators::lattice::lattice_sqr_prime(40, 40, 7);
+    check_all("sqr'", &g);
+}
+
+#[test]
+fn random_gnm_family() {
+    for (n, m, seed) in [(500usize, 600usize, 10u64), (500, 1500, 11), (500, 3000, 12)] {
+        let g = parallel_scc::graph::generators::random::gnm_digraph(n, m, seed);
+        check_all(&format!("gnm-{n}-{m}"), &g);
+    }
+}
+
+#[test]
+fn long_cycle_and_path() {
+    check_all("cycle", &parallel_scc::graph::generators::simple::cycle_digraph(3_000));
+    check_all("path", &parallel_scc::graph::generators::simple::path_digraph(3_000));
+}
+
+#[test]
+fn layered_dag() {
+    let g = parallel_scc::graph::generators::simple::dag_layers(20, 50, 3, 8);
+    check_all("dag", &g);
+}
+
+#[test]
+fn extreme_tau_values_still_correct() {
+    let g = parallel_scc::graph::generators::random::gnm_digraph(400, 1200, 20);
+    let want = tarjan_scc(&g);
+    for tau in [1usize, 2, 8, 64, 1 << 16] {
+        let got = parallel_scc(&g, &SccConfig::default().with_tau(tau));
+        assert!(same_partition(&got.labels, &want), "tau={tau}");
+    }
+}
+
+#[test]
+fn works_under_single_and_dual_thread_pools() {
+    let g = parallel_scc::graph::generators::random::gnm_digraph(600, 2000, 30);
+    let want = tarjan_scc(&g);
+    for threads in [1usize, 2, 4] {
+        let got = with_threads(threads, || parallel_scc(&g, &SccConfig::default()));
+        assert!(same_partition(&got.labels, &want), "threads={threads}");
+    }
+}
+
+#[test]
+fn condensation_is_acyclic() {
+    // Contract each SCC of a random graph; the condensation must be a DAG
+    // (checked by Kahn's algorithm).
+    let g = parallel_scc::graph::generators::random::gnm_digraph(300, 900, 40);
+    let res = parallel_scc(&g, &SccConfig::default());
+    let norm = parallel_scc::scc::verify::normalize_labels(&res.labels);
+    let k = res.num_sccs;
+    let mut edges = std::collections::HashSet::new();
+    for (u, v) in g.out_csr().edges() {
+        let (cu, cv) = (norm[u as usize], norm[v as usize]);
+        if cu != cv {
+            edges.insert((cu, cv));
+        }
+    }
+    let mut indeg = vec![0usize; k];
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for &(a, b) in &edges {
+        adj[a as usize].push(b);
+        indeg[b as usize] += 1;
+    }
+    let mut queue: Vec<u32> = (0..k as u32).filter(|&c| indeg[c as usize] == 0).collect();
+    let mut seen = 0;
+    while let Some(c) = queue.pop() {
+        seen += 1;
+        for &d in &adj[c as usize] {
+            indeg[d as usize] -= 1;
+            if indeg[d as usize] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    assert_eq!(seen, k, "condensation contains a cycle");
+}

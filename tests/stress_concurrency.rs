@@ -1,0 +1,125 @@
+//! Concurrency stress tests: run the concurrent structures and algorithms
+//! under oversubscribed thread pools (more workers than cores) so genuine
+//! interleavings occur even on narrow CI hosts.
+
+use parallel_scc::prelude::*;
+use parallel_scc::runtime::{par_for, with_threads};
+use parallel_scc::scc::verify::same_partition;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn bag_under_oversubscribed_pool() {
+    with_threads(8, || {
+        let n = 300_000;
+        let bag: HashBag<u32> = HashBag::new(n);
+        for round in 0..3 {
+            par_for(n, |i| bag.insert(i as u32));
+            let got = bag.extract_all();
+            assert_eq!(got.len(), n, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn bag_interleaved_sizes_stress() {
+    // Alternate tiny and large rounds to exercise chunk-cursor resets.
+    with_threads(4, || {
+        let bag: HashBag<u32> = HashBag::new(100_000);
+        for round in 0..20 {
+            let k = if round % 2 == 0 { 17 } else { 60_000 };
+            par_for(k, |i| bag.insert(i as u32));
+            assert_eq!(bag.extract_all().len(), k, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn table_concurrent_insert_contains_mix() {
+    use parallel_scc::table::{Insert, PairTable};
+    with_threads(8, || {
+        let t = PairTable::with_capacity(200_000);
+        let added = AtomicUsize::new(0);
+        // Each key contended by 4 workers; membership probes interleave.
+        par_for(400_000, |i| {
+            let key = (i / 4) as u64;
+            if t.insert(key) == Insert::Added {
+                added.fetch_add(1, Ordering::Relaxed);
+            }
+            // Reads racing writes must never see phantom keys.
+            assert!(!t.contains(1_000_000 + key));
+        });
+        assert_eq!(added.load(Ordering::Relaxed), 100_000);
+        assert_eq!(t.len(), 100_000);
+    });
+}
+
+#[test]
+fn union_find_oversubscribed_agrees_with_oracle() {
+    use parallel_scc::cc::ConcurrentUnionFind;
+    with_threads(8, || {
+        let n = 50_000;
+        let uf = ConcurrentUnionFind::new(n);
+        // Star unions from many threads at once.
+        par_for(n - 1, |i| {
+            uf.unite(0, i as u32 + 1);
+        });
+        let labels = uf.labels();
+        assert!(labels.iter().all(|&l| l == 0));
+    });
+}
+
+#[test]
+fn scc_partition_stable_across_pool_widths() {
+    let g = parallel_scc::graph::generators::random::gnm_digraph(2_000, 8_000, 77);
+    let want = tarjan_scc(&g);
+    for threads in [1usize, 2, 4, 8] {
+        let got = with_threads(threads, || parallel_scc(&g, &SccConfig::default()));
+        assert!(same_partition(&got.labels, &want), "threads={threads}");
+        // Deterministic labeling must hold regardless of pool width.
+        let again = with_threads(threads, || parallel_scc(&g, &SccConfig::default()));
+        assert_eq!(got.labels, again.labels, "threads={threads} nondeterministic");
+    }
+}
+
+#[test]
+fn lelists_exact_under_oversubscription() {
+    let g = parallel_scc::graph::generators::random::gnm_digraph(400, 1600, 5).symmetrize();
+    let perm = parallel_scc::runtime::random_permutation(g.n(), 9);
+    let want = cohen_le_lists(&g, &perm);
+    for threads in [2usize, 8] {
+        let got = with_threads(threads, || {
+            parallel_scc::lelists::bgss::le_lists_with_priority(
+                &g,
+                &perm,
+                &LeListsConfig::default(),
+            )
+            .0
+        });
+        assert_eq!(got, want, "threads={threads}");
+    }
+}
+
+#[test]
+fn kcore_stable_across_pool_widths() {
+    use parallel_scc::apps::{core_numbers, core_numbers_sequential};
+    let g = parallel_scc::graph::generators::random::gnm_digraph(1_000, 6_000, 13).symmetrize();
+    let want = core_numbers_sequential(&g);
+    for threads in [1usize, 4, 8] {
+        let got = with_threads(threads, || core_numbers(&g));
+        assert_eq!(got, want, "threads={threads}");
+    }
+}
+
+#[test]
+fn repeated_runs_shake_out_races() {
+    // Same computation many times under a wide pool: any latent race shows
+    // up as a partition difference eventually.
+    let g = parallel_scc::graph::generators::lattice::lattice_sqr(25, 25, 3);
+    let want = tarjan_scc(&g);
+    with_threads(8, || {
+        for run in 0..25 {
+            let got = parallel_scc(&g, &SccConfig::default());
+            assert!(same_partition(&got.labels, &want), "run {run}");
+        }
+    });
+}
