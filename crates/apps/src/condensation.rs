@@ -1,7 +1,7 @@
 //! Graph contraction by SCC: the condensation DAG.
 
-use pscc_graph::{DiGraph, V};
 use pscc_core::verify::normalize_labels;
+use pscc_graph::{DiGraph, V};
 
 /// The condensation of a digraph: one vertex per SCC, one arc per pair of
 /// components joined by at least one original edge. Always a DAG.
@@ -20,6 +20,27 @@ impl Condensation {
     /// Number of components.
     pub fn num_components(&self) -> usize {
         self.sizes.len()
+    }
+
+    /// A topological order of the condensation DAG: every arc goes from an
+    /// earlier to a later position.
+    pub fn topo_order(&self) -> Vec<V> {
+        crate::toposort::topological_order(&self.dag)
+            .expect("condensation is a DAG by construction")
+    }
+
+    /// Longest-path levels of the condensation DAG: `levels[c]` is the
+    /// length of the longest path from any source component to `c`, so
+    /// every arc (and hence every path) strictly increases the level —
+    /// the pruning invariant reachability indexes rely on.
+    pub fn topo_levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.num_components()];
+        for c in self.topo_order() {
+            for &d in self.dag.out_neighbors(c) {
+                levels[d as usize] = levels[d as usize].max(levels[c as usize] + 1);
+            }
+        }
+        levels
     }
 }
 
@@ -104,5 +125,36 @@ mod tests {
         let g = DiGraph::from_edges(0, &[]);
         let c = condense(&g, &Vec::<u64>::new());
         assert_eq!(c.num_components(), 0);
+    }
+
+    #[test]
+    fn topo_order_respects_arcs() {
+        let g = gnm_digraph(250, 700, 17);
+        let c = condensation_of(&g);
+        let order = c.topo_order();
+        assert_eq!(order.len(), c.num_components());
+        let mut pos = vec![0usize; c.num_components()];
+        for (i, &comp) in order.iter().enumerate() {
+            pos[comp as usize] = i;
+        }
+        for (a, b) in c.dag.out_csr().edges() {
+            assert!(pos[a as usize] < pos[b as usize], "arc {a}->{b}");
+        }
+    }
+
+    #[test]
+    fn topo_levels_strictly_increase_along_arcs() {
+        let g = gnm_digraph(250, 700, 18);
+        let c = condensation_of(&g);
+        let levels = c.topo_levels();
+        for (a, b) in c.dag.out_csr().edges() {
+            assert!(levels[a as usize] < levels[b as usize], "arc {a}->{b}");
+        }
+        // Source components sit at level 0.
+        for comp in 0..c.num_components() as u32 {
+            if c.dag.in_degree(comp) == 0 {
+                assert_eq!(levels[comp as usize], 0);
+            }
+        }
     }
 }

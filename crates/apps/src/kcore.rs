@@ -198,11 +198,7 @@ mod tests {
         let core = core_numbers(&g);
         for v in 0..g.n() as V {
             let c = core[v as usize];
-            let supporters = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| core[u as usize] >= c)
-                .count();
+            let supporters = g.neighbors(v).iter().filter(|&&u| core[u as usize] >= c).count();
             assert!(supporters >= c as usize, "vertex {v} coreness {c}");
         }
     }

@@ -127,8 +127,8 @@ pub fn dijkstra(g: &WCsr, src: V) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pscc_runtime::SplitMix64;
     use proptest::prelude::*;
+    use pscc_runtime::SplitMix64;
 
     fn random_wgraph(n: usize, m: usize, max_w: u32, seed: u64) -> WCsr {
         let mut rng = SplitMix64::new(seed);
@@ -163,10 +163,7 @@ mod tests {
     fn revisiting_updates_downstream() {
         // Long chain discovered first, then a cheaper entry point forces
         // re-relaxation of the whole chain (the §8 revisit case).
-        let g = WCsr::from_edges(
-            5,
-            &[(0, 1, 100), (1, 2, 1), (2, 3, 1), (0, 4, 1), (4, 1, 1)],
-        );
+        let g = WCsr::from_edges(5, &[(0, 1, 100), (1, 2, 1), (2, 3, 1), (0, 4, 1), (4, 1, 1)]);
         let got = parallel_sssp(&g, 0);
         assert_eq!(got.dist, vec![0, 2, 3, 4, 1]);
     }

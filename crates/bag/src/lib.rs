@@ -121,9 +121,7 @@ impl<T: BagItem> HashBag<T> {
     /// already resized, which is equally fine.
     fn try_resize(&self, r: usize) {
         if r + 1 < self.tails.len() {
-            let _ = self
-                .cur
-                .compare_exchange(r, r + 1, Ordering::Relaxed, Ordering::Relaxed);
+            let _ = self.cur.compare_exchange(r, r + 1, Ordering::Relaxed, Ordering::Relaxed);
         }
     }
 

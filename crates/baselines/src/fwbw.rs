@@ -43,10 +43,8 @@ pub fn fwbw_scc(g: &DiGraph, reach: &ReachParams) -> SccResult {
 
     while let Some((plabel, verts)) = work.pop() {
         // Keep only the vertices still in this partition.
-        let verts: Vec<V> = verts
-            .into_iter()
-            .filter(|&v| !state.is_done(v) && state.label(v) == plabel)
-            .collect();
+        let verts: Vec<V> =
+            verts.into_iter().filter(|&v| !state.is_done(v) && state.label(v) == plabel).collect();
         if verts.is_empty() {
             continue;
         }

@@ -28,9 +28,7 @@ use pscc_core::stats::{SccStats, SearchRecord};
 use pscc_core::verify::component_stats;
 use pscc_core::SccResult;
 use pscc_graph::{Csr, DiGraph, V};
-use pscc_runtime::{
-    par_range, random_permutation, scan_exclusive, AtomicBits, Timer,
-};
+use pscc_runtime::{par_range, random_permutation, scan_exclusive, AtomicBits, Timer};
 use pscc_table::{pack_pair, pair_source, pair_vertex, Insert, PairTable};
 
 const NONE: u32 = u32::MAX;
@@ -371,8 +369,7 @@ mod tests {
         // The whole point of the baseline: O(D) rounds.
         let g = pscc_graph::generators::lattice::lattice_sqr(30, 30, 5);
         let (_, base_stats) = gbbs_scc(&g, &SccConfig::default());
-        let (_, ours_stats) =
-            pscc_core::parallel_scc_with_stats(&g, &SccConfig::default());
+        let (_, ours_stats) = pscc_core::parallel_scc_with_stats(&g, &SccConfig::default());
         assert!(
             ours_stats.total_rounds() * 2 <= base_stats.total_rounds(),
             "ours {} vs gbbs {}",

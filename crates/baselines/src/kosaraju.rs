@@ -77,10 +77,7 @@ mod tests {
     fn agrees_with_tarjan_on_random_graphs() {
         for seed in 0..8u64 {
             let g = gnm_digraph(300, 900, seed);
-            assert!(
-                same_partition(&kosaraju_scc(&g), &tarjan_scc(&g)),
-                "seed {seed}"
-            );
+            assert!(same_partition(&kosaraju_scc(&g), &tarjan_scc(&g)), "seed {seed}");
         }
     }
 

@@ -88,9 +88,7 @@ pub fn multistep_scc(g: &DiGraph, reach: &ReachParams) -> SccResult {
             state.finish(r, r);
             while let Some(v) = stack.pop() {
                 for &u in g.in_neighbors(v) {
-                    if !state.is_done(u)
-                        && colors[u as usize].load(Ordering::Relaxed) == r as u32
-                    {
+                    if !state.is_done(u) && colors[u as usize].load(Ordering::Relaxed) == r as u32 {
                         state.finish(u, r);
                         stack.push(u);
                     }

@@ -17,8 +17,7 @@ fn main() {
     println!("== Ablation 1+2+3: sizing heuristic, dense mode, adaptive τ ==\n");
     let widths = [7, 10, 10, 10, 10, 10];
     row(
-        &["graph", "final", "naive-size", "no-dense", "adapt-τ", "resize(n/h)"]
-            .map(String::from),
+        &["graph", "final", "naive-size", "no-dense", "adapt-τ", "resize(n/h)"].map(String::from),
         &widths,
     );
     for bg in small_suite() {

@@ -1,0 +1,93 @@
+//! `engine_queries` — throughput of the batched reachability engine.
+//!
+//! Compares three ways of answering the same 10k-query workload on an
+//! RMAT digraph:
+//!
+//! * `batch_parallel_10k` — `QueryBatch::answer` (blocked parallel
+//!   execution over all workers + shared memo);
+//! * `batch_sequential_10k` — `QueryBatch::answer_sequential`
+//!   (one-query-at-a-time on one thread, same index);
+//! * `per_query_bfs_200` — the index-free baseline: a fresh BFS per query
+//!   (200 queries only; scale the timing ×50 to compare).
+//!
+//! Run: `cargo bench -p pscc-bench --bench engine_queries`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscc_engine::{Index, QueryBatch};
+use pscc_graph::generators::rmat::rmat_digraph;
+use pscc_graph::{DiGraph, V};
+use pscc_runtime::SplitMix64;
+use std::hint::black_box;
+
+fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![u];
+    seen[u as usize] = true;
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for &w in g.out_neighbors(x) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let scale = pscc_bench::scale();
+    let log_n = 15 + (scale.log2().round() as i32).clamp(-4, 6);
+    let g = rmat_digraph(log_n as u32, (100_000f64 * scale) as usize, 0xbe9c);
+    let index = Index::build(&g);
+    let s = index.stats();
+    println!(
+        "graph n={} m={}  index tier {:?}  components {}  build {:.1}ms",
+        g.n(),
+        g.m(),
+        index.tier(),
+        s.num_components,
+        (s.scc_seconds + s.condense_seconds + s.levels_seconds + s.summary_seconds) * 1e3,
+    );
+
+    let mut rng = SplitMix64::new(0x10ad);
+    let queries: Vec<(V, V)> = (0..10_000)
+        .map(|_| (rng.next_below(g.n() as u64) as V, rng.next_below(g.n() as u64) as V))
+        .collect();
+
+    let batch = QueryBatch::new(&index);
+    let mut group = c.benchmark_group("engine_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("batch_parallel_10k", |b| b.iter(|| batch.answer(black_box(&queries))));
+    group.bench_function("batch_sequential_10k", |b| {
+        b.iter(|| batch.answer_sequential(black_box(&queries)))
+    });
+    group.bench_function("per_query_bfs_200", |b| {
+        b.iter(|| queries[..200].iter().filter(|&&(u, v)| bfs_reaches(&g, u, v)).count())
+    });
+    group.finish();
+
+    // Direct one-shot speedup report (workers = whole machine).
+    let _warm = (batch.answer(&queries), batch.answer_sequential(&queries));
+    let t = std::time::Instant::now();
+    let par = batch.answer(&queries);
+    let par_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let seq = batch.answer_sequential(&queries);
+    let seq_s = t.elapsed().as_secs_f64();
+    assert_eq!(par, seq);
+    println!(
+        "\n10k batch: parallel {:.2}ms vs sequential {:.2}ms  ({:.2}x, {} workers)",
+        par_s * 1e3,
+        seq_s * 1e3,
+        seq_s / par_s,
+        pscc_runtime::num_workers(),
+    );
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

@@ -24,7 +24,8 @@ fn main() {
         let (base, _) = time_adaptive(1.0, || parallel_scc(g, &SccConfig::default().with_tau(1)));
         let mut cells = vec![bg.name.to_string()];
         for &tau in &taus {
-            let (t, _) = time_adaptive(1.0, || parallel_scc(g, &SccConfig::default().with_tau(tau)));
+            let (t, _) =
+                time_adaptive(1.0, || parallel_scc(g, &SccConfig::default().with_tau(tau)));
             cells.push(format!("{:.2}", t / base));
         }
         row(&cells, &widths);

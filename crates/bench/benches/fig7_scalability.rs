@@ -41,8 +41,9 @@ fn main() {
         let (t_seq, _) = time_adaptive(2.0, || tarjan_scc(g));
         let mut t1_ours = None;
         for &threads in &sweep {
-            let (t_ours, _) =
-                with_threads(threads, || time_adaptive(2.0, || parallel_scc(g, &SccConfig::default())));
+            let (t_ours, _) = with_threads(threads, || {
+                time_adaptive(2.0, || parallel_scc(g, &SccConfig::default()))
+            });
             let (t_gbbs, _) =
                 with_threads(threads, || time_adaptive(2.0, || gbbs_scc(g, &SccConfig::default())));
             let base = *t1_ours.get_or_insert(t_ours);

@@ -58,10 +58,7 @@ fn main() {
     // extraction from a huge bag (Theorem 3.1's O(s + λ)).
     par_for(1000, |i| bag.insert(i as u32));
     let t_small = bench(3, || bag.extract_all());
-    row(
-        &["bag: extract 1k from cap-1M bag".into(), fmt_secs(t_small), "-".into()],
-        &widths,
-    );
+    row(&["bag: extract 1k from cap-1M bag".into(), fmt_secs(t_small), "-".into()], &widths);
 
     // Baseline frontier container: Mutex<Vec> (what a naive implementation
     // would use for concurrent frontier pushes).
@@ -109,7 +106,9 @@ fn main() {
     }
     assert_eq!(missing, 0, "grow lost keys");
     let _ = Insert::Added;
-    println!("\n(bag inserts should be within ~an order of magnitude of raw CAS; the \
+    println!(
+        "\n(bag inserts should be within ~an order of magnitude of raw CAS; the \
               Mutex<Vec> row shows why a lock-based frontier cannot keep up, and the \
-              grow row is the per-resize cost the §4.5 heuristic amortizes away)");
+              grow row is the per-resize cost the §4.5 heuristic amortizes away)"
+    );
 }

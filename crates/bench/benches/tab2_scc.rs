@@ -18,8 +18,8 @@ fn main() {
     let widths = [6, 8, 9, 9, 7, 8, 9, 9, 9, 9, 9, 7, 7, 7, 7];
     row(
         &[
-            "graph", "family", "n", "m", "|SCC1|%", "#SCC", "ours", "gbbs", "mstep", "fwbw",
-            "seq", "ours+", "gbbs+", "mstep+", "fwbw+",
+            "graph", "family", "n", "m", "|SCC1|%", "#SCC", "ours", "gbbs", "mstep", "fwbw", "seq",
+            "ours+", "gbbs+", "mstep+", "fwbw+",
         ]
         .map(String::from),
         &widths,

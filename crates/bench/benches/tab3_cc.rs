@@ -10,18 +10,17 @@ use pscc_core::verify::same_partition;
 fn main() {
     println!("== Tab. 3 (CC): LDD-UF-JTB, ours vs ConnectIt-like ==\n");
     let widths = [7, 9, 9, 9, 9, 8, 8, 8];
-    row(
-        &["graph", "n", "m", "ours", "base", "spd", "rnd(o)", "rnd(b)"].map(String::from),
-        &widths,
-    );
+    row(&["graph", "n", "m", "ours", "base", "spd", "rnd(o)", "rnd(b)"].map(String::from), &widths);
 
     let mut speedups = Vec::new();
     for bg in suite() {
         let g = bg.graph.symmetrize();
         let want = sequential_cc(&g);
 
-        let cfg_ours = CcConfig { ldd: LddConfig { mode: LddMode::HashBagVgc, ..LddConfig::default() } };
-        let cfg_base = CcConfig { ldd: LddConfig { mode: LddMode::EdgeRevisit, ..LddConfig::default() } };
+        let cfg_ours =
+            CcConfig { ldd: LddConfig { mode: LddMode::HashBagVgc, ..LddConfig::default() } };
+        let cfg_base =
+            CcConfig { ldd: LddConfig { mode: LddMode::EdgeRevisit, ..LddConfig::default() } };
 
         let (t_ours, ours) = time_adaptive(1.0, || connected_components(&g, &cfg_ours));
         assert!(same_partition(&ours.labels, &want), "{}: ours wrong", bg.name);

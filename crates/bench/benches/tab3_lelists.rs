@@ -29,7 +29,8 @@ fn main() {
         let perm = random_permutation(g.n(), 0x1e1);
 
         let ours_cfg = LeListsConfig { mode: FrontierMode::HashBag, ..LeListsConfig::default() };
-        let base_cfg = LeListsConfig { mode: FrontierMode::EdgeRevisit, ..LeListsConfig::default() };
+        let base_cfg =
+            LeListsConfig { mode: FrontierMode::EdgeRevisit, ..LeListsConfig::default() };
 
         let (t_ours, ours) = time_adaptive(1.0, || le_lists_with_priority(&g, &perm, &ours_cfg));
         let (t_base, base) = time_adaptive(1.0, || le_lists_with_priority(&g, &perm, &base_cfg));

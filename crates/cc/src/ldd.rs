@@ -111,10 +111,7 @@ pub fn ldd(g: &UnGraph, cfg: &LddConfig) -> LddResult {
         };
     }
 
-    LddResult {
-        labels: labels.into_iter().map(|l| l.into_inner()).collect(),
-        rounds,
-    }
+    LddResult { labels: labels.into_iter().map(|l| l.into_inner()).collect(), rounds }
 }
 
 /// One frontier expansion with hash bag + VGC local search.
@@ -298,10 +295,7 @@ mod tests {
     fn cluster_labels_never_cross_components() {
         // Two disjoint grids: labels must stay within each.
         let g1 = grid_graph(10, 10);
-        let mut edges: Vec<(V, V)> = g1
-            .csr()
-            .edges()
-            .collect();
+        let mut edges: Vec<(V, V)> = g1.csr().edges().collect();
         let off = 100 as V;
         let shifted: Vec<(V, V)> = edges.iter().map(|&(a, b)| (a + off, b + off)).collect();
         edges.extend(shifted);
@@ -309,8 +303,7 @@ mod tests {
         let res = ldd(&g, &LddConfig::default());
         for v in 0..100u32 {
             assert!(res.labels[v as usize] < 100);
-            assert!(res.labels[v as usize
-            + 100] >= 100);
+            assert!(res.labels[v as usize + 100] >= 100);
         }
     }
 

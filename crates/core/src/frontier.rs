@@ -68,10 +68,9 @@ impl VertexSubset {
                 vs.sort_unstable();
                 vs
             }
-            VertexSubset::Dense(bits) => pack_index(bits.len(), |i| bits.get(i))
-                .into_iter()
-                .map(|i| i as V)
-                .collect(),
+            VertexSubset::Dense(bits) => {
+                pack_index(bits.len(), |i| bits.get(i)).into_iter().map(|i| i as V).collect()
+            }
         }
     }
 

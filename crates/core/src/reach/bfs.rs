@@ -65,11 +65,9 @@ pub fn parallel_bfs(g: &DiGraph, src: V, forward: bool, params: &BfsParams) -> B
     while !frontier.is_empty() {
         rounds += 1;
         level += 1;
-        let frontier_edges =
-            par_sum_u64(frontier.len(), |i| csr.degree(frontier[i]) as u64);
+        let frontier_edges = par_sum_u64(frontier.len(), |i| csr.degree(frontier[i]) as u64);
         let go_dense = params.use_dense
-            && frontier.len() as u64 + frontier_edges
-                > m.div_ceil(params.dense_threshold) as u64;
+            && frontier.len() as u64 + frontier_edges > m.div_ceil(params.dense_threshold) as u64;
 
         if go_dense {
             dense_rounds += 1;
@@ -94,8 +92,7 @@ pub fn parallel_bfs(g: &DiGraph, src: V, forward: bool, params: &BfsParams) -> B
                     }
                 }
             });
-            frontier =
-                pack_index(n, |u| next_bits.get(u)).into_iter().map(|u| u as V).collect();
+            frontier = pack_index(n, |u| next_bits.get(u)).into_iter().map(|u| u as V).collect();
         } else {
             par_range(0..frontier.len(), 1, &|r| {
                 for i in r {
@@ -119,11 +116,7 @@ pub fn parallel_bfs(g: &DiGraph, src: V, forward: bool, params: &BfsParams) -> B
         }
     }
 
-    BfsResult {
-        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
-        rounds,
-        dense_rounds,
-    }
+    BfsResult { dist: dist.into_iter().map(|d| d.into_inner()).collect(), rounds, dense_rounds }
 }
 
 #[cfg(test)]

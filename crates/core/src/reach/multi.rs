@@ -146,9 +146,7 @@ pub fn multi_reach(
                                     match table.insert(key) {
                                         Insert::Added => bag_ref.insert(key),
                                         Insert::Present => {}
-                                        Insert::Full => {
-                                            overflow.lock().unwrap().push(key)
-                                        }
+                                        Insert::Full => overflow.lock().unwrap().push(key),
                                     }
                                 }
                             }
@@ -283,12 +281,7 @@ mod tests {
         let g = path_digraph(3000);
         let (_, plain) = run(&g, &[0], true, &ReachParams::plain());
         let (_, vgc) = run(&g, &[0], true, &ReachParams::default());
-        assert!(
-            vgc.rounds * 10 <= plain.rounds,
-            "vgc {} vs plain {}",
-            vgc.rounds,
-            plain.rounds
-        );
+        assert!(vgc.rounds * 10 <= plain.rounds, "vgc {} vs plain {}", vgc.rounds, plain.rounds);
     }
 
     #[test]
@@ -297,8 +290,7 @@ mod tests {
         let sources: Vec<V> = (0..20).collect();
         let labels = fresh_labels(g.n());
         let mut table = PairTable::with_capacity(1); // pathological start
-        let outcome =
-            multi_reach(&g, &sources, true, &labels, &ReachParams::default(), &mut table);
+        let outcome = multi_reach(&g, &sources, true, &labels, &ReachParams::default(), &mut table);
         let got: HashSet<(V, V)> =
             table.keys().into_iter().map(|k| (pair_vertex(k), pair_source(k))).collect();
         assert_eq!(got, seq_pairs(&g, &sources, true));

@@ -27,6 +27,68 @@ pub struct SingleReachOutcome {
     pub edges_scanned: u64,
 }
 
+/// Frontiers at most this large are processed sequentially without the
+/// hash bag (the bag's per-round extract cost dominates tiny rounds).
+const SEQ_FRONTIER: usize = 64;
+
+/// One sequential sparse round: expands `frontier` into the next frontier,
+/// honouring the same label restriction and VGC local search as the
+/// parallel path.
+fn sparse_round_seq(
+    csr: &pscc_graph::Csr,
+    labels: &[AtomicU64],
+    params: &ReachParams,
+    visited: &AtomicBits,
+    frontier: &[V],
+    scanned: &mut u64,
+) -> Vec<V> {
+    let tau = params.effective_tau(frontier.len());
+    let mut next: Vec<V> = Vec::new();
+    let mut queue: Vec<V> = Vec::new();
+    for &v in frontier {
+        let lv = labels[v as usize].load(Ordering::Relaxed);
+        if params.vgc && csr.degree(v) < tau {
+            // Local search: sequential multi-hop exploration bounded by τ
+            // visited neighbours (mirrors the parallel branch).
+            queue.clear();
+            queue.push(v);
+            let mut head = 0usize;
+            let mut t = 0usize;
+            while head < queue.len() {
+                let x = queue[head];
+                head += 1;
+                for &u in csr.neighbors(x) {
+                    t += 1;
+                    *scanned += 1;
+                    if labels[u as usize].load(Ordering::Relaxed) == lv
+                        && visited.test_and_set(u as usize)
+                    {
+                        if queue.len() < tau {
+                            queue.push(u);
+                        } else {
+                            next.push(u);
+                        }
+                    }
+                }
+                if t >= tau {
+                    break;
+                }
+            }
+            next.extend_from_slice(&queue[head..]);
+        } else {
+            for &u in csr.neighbors(v) {
+                *scanned += 1;
+                if labels[u as usize].load(Ordering::Relaxed) == lv
+                    && visited.test_and_set(u as usize)
+                {
+                    next.push(u);
+                }
+            }
+        }
+    }
+    next
+}
+
 /// Runs a reachability search from `src` following out-edges if `forward`
 /// (in-edges otherwise), restricted to vertices labelled like `src`.
 ///
@@ -59,10 +121,18 @@ pub fn single_reach(
         let frontier_edges: u64 =
             pscc_runtime::par_sum_u64(frontier.len(), |i| csr.degree(frontier[i]) as u64);
         let go_dense = params.use_dense
-            && frontier.len() as u64 + frontier_edges
-                > m.div_ceil(params.dense_threshold) as u64;
+            && frontier.len() as u64 + frontier_edges > m.div_ceil(params.dense_threshold) as u64;
 
-        if go_dense {
+        if !go_dense && frontier.len() <= SEQ_FRONTIER {
+            // Tiny frontier: a sequential round into a plain Vec. Skipping
+            // the hash bag here is what keeps high-diameter searches (one
+            // vertex per round for thousands of rounds) from paying the
+            // per-round bag extract cost — FW-BW on a path was cubic
+            // without it.
+            let mut scanned = 0u64;
+            frontier = sparse_round_seq(csr, labels, params, visited, &frontier, &mut scanned);
+            edges.fetch_add(scanned, Ordering::Relaxed);
+        } else if go_dense {
             out.dense_rounds += 1;
             // Mark the current frontier in a bitset.
             cur_bits.clear_all();
@@ -138,7 +208,10 @@ pub fn single_reach(
                             bag.insert(u);
                         }
                     } else {
-                        // Standard (possibly nested-parallel) neighbour scan.
+                        // Standard neighbour scan. The inner par_range runs
+                        // sequentially when this round is already parallel
+                        // (the runtime keeps nested regions on one worker);
+                        // huge-frontier rounds are dense-mode's job instead.
                         scanned += deg as u64;
                         let ns = csr.neighbors(v);
                         par_range(0..ns.len(), 2048, &|rr| {
@@ -165,8 +238,8 @@ pub fn single_reach(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
     use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
 
     fn fresh_labels(n: usize) -> Vec<AtomicU64> {
         (0..n).map(|_| AtomicU64::new(0)).collect()
@@ -247,11 +320,7 @@ mod tests {
             let g = gnm_digraph(300, 900, seed);
             for &vgc in &[false, true] {
                 for &dense in &[false, true] {
-                    let params = ReachParams {
-                        vgc,
-                        use_dense: dense,
-                        ..ReachParams::default()
-                    };
+                    let params = ReachParams { vgc, use_dense: dense, ..ReachParams::default() };
                     let got = reach_set(&g, 0, true, &params);
                     let want = seq_reach(&g, 0, true);
                     assert_eq!(got, want, "seed={seed} vgc={vgc} dense={dense}");
@@ -306,8 +375,7 @@ mod tests {
         let g = DiGraph::from_edges(n, &edges);
         let labels = fresh_labels(n);
         let visited = AtomicBits::new(n);
-        let outcome =
-            single_reach(&g, 0, true, &labels, &ReachParams::default(), &visited);
+        let outcome = single_reach(&g, 0, true, &labels, &ReachParams::default(), &visited);
         assert_eq!(outcome.visited, n);
         assert!(outcome.dense_rounds >= 1, "expected a dense round");
         // Dense result must still match sequential reachability.

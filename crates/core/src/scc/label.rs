@@ -51,12 +51,7 @@ impl LabelScratch {
 /// Labeling after the first-SCC single-reachability searches: `fvis`/`bvis`
 /// are the forward/backward visited sets from source `s0`. Returns the
 /// number of newly finished vertices.
-pub fn label_from_single(
-    state: &SccState,
-    s0: u32,
-    fvis: &AtomicBits,
-    bvis: &AtomicBits,
-) -> usize {
+pub fn label_from_single(state: &SccState, s0: u32, fvis: &AtomicBits, bvis: &AtomicBits) -> usize {
     let n = state.n();
     let newly = AtomicUsize::new(0);
     par_for(n, |v| {

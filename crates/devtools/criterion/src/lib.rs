@@ -1,0 +1,217 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API that this workspace's benches
+//! use — `Criterion::benchmark_group`, `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! min/mean/max timing report instead of criterion's statistical analysis.
+//! Benches using it must set `harness = false` (as with real criterion).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { parent: self, warm_up: None, measurement: None, sample_size: None }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, measurement, samples) = (self.warm_up, self.measurement, self.sample_size);
+        run_one(name, warm_up, measurement, samples, f);
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    warm_up: Option<Duration>,
+    measurement: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = Some(d);
+        self
+    }
+
+    /// Times `f` under this group's configuration.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            name,
+            self.warm_up.unwrap_or(self.parent.warm_up),
+            self.measurement.unwrap_or(self.parent.measurement),
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Accumulated time of the routine under measurement.
+    elapsed: Duration,
+    /// Iterations to run per sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, warm_up: Duration, measurement: Duration, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and per-iteration cost estimate.
+    let mut iters_done: u64 = 0;
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up || iters_done == 0 {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+        f(&mut b);
+        iters_done += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+    // Choose iterations per sample so that all samples fit the budget.
+    let budget_per_sample = measurement.as_secs_f64() / samples as f64;
+    let iters = ((budget_per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    let min = times[0];
+    let max = times[times.len() - 1];
+    let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<28} [{} {} {}]  ({samples} samples x {iters} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.1}ns", s * 1e9)
+    }
+}
+
+/// Declares a set of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(5))
+                .warm_up_time(Duration::from_millis(1));
+            g.bench_function("counter", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            g.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.0), "2.000s");
+        assert_eq!(fmt_time(2e-3), "2.000ms");
+        assert_eq!(fmt_time(2e-6), "2.000us");
+        assert_eq!(fmt_time(2e-9), "2.0ns");
+    }
+}

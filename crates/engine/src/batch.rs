@@ -1,0 +1,301 @@
+//! Batched query execution: answer thousands of `(u, v)` reachability
+//! queries in parallel over one shared [`Index`].
+//!
+//! Queries are distributed over workers with [`pscc_runtime::par_for`]
+//! (blocked, dynamically claimed), writing into disjoint slots of the
+//! result vector. A fixed-capacity concurrent memo caches component-pair
+//! verdicts so hot pairs — repeated sources hitting the interval tier's
+//! DFS fallback — are answered once; entries are evicted by overwrite
+//! (LRU-style: the freshest verdict for a slot always wins, stale ones
+//! simply fall out).
+
+use crate::index::Index;
+use pscc_graph::V;
+use pscc_runtime::par_for_grain;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Options for [`QueryBatch`].
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// log2 of the memo capacity (0 disables the memo).
+    pub memo_bits: u32,
+    /// Queries per worker block.
+    pub grain: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { memo_bits: 16, grain: 512 }
+    }
+}
+
+/// Running tallies of one batch execution.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Memo hits among them.
+    pub memo_hits: usize,
+}
+
+/// A reusable batch executor bound to one index.
+pub struct QueryBatch<'a> {
+    index: &'a Index,
+    memo: std::sync::Arc<MemoCache>,
+    queries: AtomicUsize,
+    grain: usize,
+}
+
+impl<'a> QueryBatch<'a> {
+    /// Creates an executor with default options.
+    pub fn new(index: &'a Index) -> Self {
+        Self::with_options(index, &BatchOptions::default())
+    }
+
+    /// Creates an executor with explicit options.
+    pub fn with_options(index: &'a Index, opts: &BatchOptions) -> Self {
+        let memo = std::sync::Arc::new(MemoCache::new(opts.memo_bits, index.num_components()));
+        Self::with_shared_memo(index, memo, opts.grain)
+    }
+
+    /// Creates an executor over an existing memo (the catalog uses this to
+    /// keep verdicts warm across batches against the same index).
+    pub(crate) fn with_shared_memo(
+        index: &'a Index,
+        memo: std::sync::Arc<MemoCache>,
+        grain: usize,
+    ) -> Self {
+        QueryBatch { index, memo, queries: AtomicUsize::new(0), grain: grain.max(1) }
+    }
+
+    /// The index this executor queries.
+    pub fn index(&self) -> &Index {
+        self.index
+    }
+
+    /// Answers one query through the memo.
+    pub fn reaches(&self, u: V, v: V) -> bool {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (cu, cv) = (self.index.comp(u) as usize, self.index.comp(v) as usize);
+        if cu == cv {
+            return true;
+        }
+        if let Some(hit) = self.memo.get(cu, cv) {
+            self.memo.record_hit();
+            return hit;
+        }
+        let ans = self.index.comp_reaches(cu, cv);
+        self.memo.put(cu, cv, ans);
+        ans
+    }
+
+    /// Answers every query in parallel; `out[i]` corresponds to
+    /// `queries[i]`.
+    pub fn answer(&self, queries: &[(V, V)]) -> Vec<bool> {
+        if pscc_runtime::num_workers() <= 1 {
+            // One worker: the atomic result bitmap buys nothing.
+            return self.answer_sequential(queries);
+        }
+        let out: Vec<AtomicU64> =
+            (0..queries.len().div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        par_for_grain(queries.len(), self.grain, |i| {
+            let (u, v) = queries[i];
+            if self.reaches(u, v) {
+                out[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+            }
+        });
+        (0..queries.len())
+            .map(|i| out[i / 64].load(Ordering::Relaxed) >> (i % 64) & 1 == 1)
+            .collect()
+    }
+
+    /// Answers every query one at a time on the calling thread (the
+    /// baseline the `engine_queries` bench compares against).
+    pub fn answer_sequential(&self, queries: &[(V, V)]) -> Vec<bool> {
+        queries.iter().map(|&(u, v)| self.reaches(u, v)).collect()
+    }
+
+    /// Tallies: queries answered by this executor, and hits of its memo
+    /// (cumulative across executors when the memo is shared).
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            memo_hits: self.memo.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Fixed-capacity concurrent verdict cache: open-addressed, one atomic
+/// u64 per slot packing `(cu, cv, verdict, occupied)`; collisions simply
+/// overwrite.
+pub(crate) struct MemoCache {
+    slots: Vec<AtomicU64>,
+    mask: usize,
+    enabled: bool,
+    hits: AtomicUsize,
+}
+
+/// Component ids must fit 31 bits each to pack into a slot.
+const PACK_LIMIT: usize = 1 << 31;
+
+impl MemoCache {
+    pub(crate) fn new(bits: u32, num_components: usize) -> Self {
+        let enabled = bits > 0 && num_components < PACK_LIMIT;
+        let cap = if enabled { 1usize << bits.min(28) } else { 0 };
+        MemoCache {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap.saturating_sub(1),
+            enabled,
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn pack(cu: usize, cv: usize, verdict: bool) -> u64 {
+        // [cu:31][cv:31][verdict:1][occupied:1]
+        (cu as u64) << 33 | (cv as u64) << 2 | (verdict as u64) << 1 | 1
+    }
+
+    #[inline]
+    fn slot_of(&self, cu: usize, cv: usize) -> usize {
+        let h = pscc_runtime::hash64((cu as u64) << 32 | cv as u64);
+        h as usize & self.mask
+    }
+
+    fn get(&self, cu: usize, cv: usize) -> Option<bool> {
+        if !self.enabled {
+            return None;
+        }
+        let e = self.slots[self.slot_of(cu, cv)].load(Ordering::Relaxed);
+        if e & 1 == 1 && e >> 33 == cu as u64 && (e >> 2) & 0x7fff_ffff == cv as u64 {
+            Some(e >> 1 & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    fn put(&self, cu: usize, cv: usize, verdict: bool) {
+        if self.enabled {
+            self.slots[self.slot_of(cu, cv)].store(Self::pack(cu, cv, verdict), Ordering::Relaxed);
+        }
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::DiGraph;
+    use pscc_runtime::SplitMix64;
+
+    fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![u];
+        seen[u as usize] = true;
+        while let Some(x) = stack.pop() {
+            if x == v {
+                return true;
+            }
+            for &w in g.out_neighbors(x) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    fn random_queries(n: usize, count: usize, seed: u64) -> Vec<(V, V)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count).map(|_| (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V)).collect()
+    }
+
+    #[test]
+    fn batch_matches_oracle_and_sequential() {
+        let g = gnm_digraph(200, 500, 1);
+        let idx = Index::build(&g);
+        let batch = QueryBatch::new(&idx);
+        let queries = random_queries(200, 2000, 42);
+        let par = batch.answer(&queries);
+        let seq = batch.answer_sequential(&queries);
+        assert_eq!(par, seq);
+        for (i, &(u, v)) in queries.iter().enumerate() {
+            assert_eq!(par[i], bfs_reaches(&g, u, v), "query ({u}, {v})");
+        }
+    }
+
+    #[test]
+    fn batch_matches_oracle_interval_tier() {
+        let g = gnm_digraph(150, 350, 2);
+        let cfg = IndexConfig { bitset_budget_bytes: 0, ..IndexConfig::default() };
+        let idx = Index::build_with_config(&g, &cfg);
+        let batch = QueryBatch::new(&idx);
+        let queries = random_queries(150, 3000, 7);
+        for (i, ans) in batch.answer(&queries).into_iter().enumerate() {
+            let (u, v) = queries[i];
+            assert_eq!(ans, bfs_reaches(&g, u, v), "query ({u}, {v})");
+        }
+    }
+
+    #[test]
+    fn memo_hits_on_repeated_queries() {
+        let g = gnm_digraph(100, 220, 3);
+        let cfg = IndexConfig { bitset_budget_bytes: 0, ..IndexConfig::default() };
+        let idx = Index::build_with_config(&g, &cfg);
+        let batch = QueryBatch::new(&idx);
+        // Cross-component pairs repeated many times must mostly hit.
+        let queries: Vec<(V, V)> =
+            (0..1000).map(|i| (1 + (i % 3) as V, 90 + (i % 4) as V)).collect();
+        let _ = batch.answer_sequential(&queries);
+        let stats = batch.stats();
+        assert_eq!(stats.queries, 1000);
+        // At most 12 distinct cross-component pairs exist, so nearly every
+        // non-same-component query after the first dozen hits the memo.
+        let distinct_cross = queries
+            .iter()
+            .map(|&(u, v)| (idx.comp(u), idx.comp(v)))
+            .filter(|(a, b)| a != b)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let same_comp = queries.iter().filter(|&&(u, v)| idx.comp(u) == idx.comp(v)).count();
+        assert_eq!(stats.memo_hits, 1000 - same_comp - distinct_cross, "stats {stats:?}");
+    }
+
+    #[test]
+    fn memo_disabled_still_correct() {
+        let g = gnm_digraph(80, 200, 4);
+        let idx = Index::build(&g);
+        let opts = BatchOptions { memo_bits: 0, ..BatchOptions::default() };
+        let batch = QueryBatch::with_options(&idx, &opts);
+        let queries = random_queries(80, 500, 9);
+        for (i, ans) in batch.answer(&queries).into_iter().enumerate() {
+            let (u, v) = queries[i];
+            assert_eq!(ans, bfs_reaches(&g, u, v));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let g = gnm_digraph(10, 20, 5);
+        let idx = Index::build(&g);
+        let batch = QueryBatch::new(&idx);
+        assert!(batch.answer(&[]).is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_batch_agrees() {
+        let g = gnm_digraph(300, 900, 6);
+        let idx = Index::build(&g);
+        let batch = QueryBatch::with_options(&idx, &BatchOptions { grain: 16, memo_bits: 8 });
+        let queries = random_queries(300, 4000, 11);
+        let seq = batch.answer_sequential(&queries);
+        let par = pscc_runtime::with_threads(8, || batch.answer(&queries));
+        assert_eq!(seq, par);
+    }
+}

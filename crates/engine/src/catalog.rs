@@ -1,0 +1,184 @@
+//! A catalog of named graphs with lazily built, invalidatable indexes —
+//! the multi-tenant face of the engine: register graphs up front, pay for
+//! an index only when a query actually arrives, drop it when the graph
+//! changes.
+
+use crate::batch::{BatchOptions, MemoCache, QueryBatch};
+use crate::index::{Index, IndexConfig};
+use pscc_graph::{DiGraph, V};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+struct Entry {
+    graph: Arc<DiGraph>,
+    config: IndexConfig,
+    /// Built on first use; `None` after invalidation. The per-entry mutex
+    /// serializes concurrent builders of the *same* graph while leaving
+    /// other entries untouched. The memo cache lives (and is invalidated)
+    /// with the index so verdicts stay warm across batches.
+    index: Mutex<Option<(Arc<Index>, Arc<MemoCache>)>>,
+}
+
+/// Holds multiple named graphs, each with a lazily built reachability
+/// index.
+#[derive(Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<String, Arc<Entry>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a graph under `name` with the default index
+    /// configuration. Replacing drops any cached index.
+    pub fn insert(&self, name: &str, graph: DiGraph) {
+        self.insert_with_config(name, graph, IndexConfig::default());
+    }
+
+    /// Registers (or replaces) a graph with an explicit configuration.
+    pub fn insert_with_config(&self, name: &str, graph: DiGraph, config: IndexConfig) {
+        let entry = Arc::new(Entry { graph: Arc::new(graph), config, index: Mutex::new(None) });
+        self.entries.write().expect("catalog lock").insert(name.to_string(), entry);
+    }
+
+    /// Removes a graph (and its index). Returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.entries.write().expect("catalog lock").remove(name).is_some()
+    }
+
+    /// Drops the cached index of `name`, forcing a rebuild on next use;
+    /// returns whether the graph exists.
+    pub fn invalidate(&self, name: &str) -> bool {
+        match self.entry(name) {
+            Some(e) => {
+                e.index.lock().expect("entry lock").take();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Registered graph names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.entries.read().expect("catalog lock").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The graph registered under `name`.
+    pub fn graph(&self, name: &str) -> Option<Arc<DiGraph>> {
+        self.entry(name).map(|e| e.graph.clone())
+    }
+
+    /// True if `name` currently holds a built index.
+    pub fn is_indexed(&self, name: &str) -> bool {
+        self.entry(name).map(|e| e.index.lock().expect("entry lock").is_some()).unwrap_or(false)
+    }
+
+    /// The index for `name`, building it on first use.
+    pub fn index(&self, name: &str) -> Option<Arc<Index>> {
+        self.index_and_memo(name).map(|(index, _)| index)
+    }
+
+    /// Answers one reachability query against `name`'s graph.
+    pub fn reaches(&self, name: &str, u: V, v: V) -> Option<bool> {
+        Some(self.index(name)?.reaches(u, v))
+    }
+
+    /// Answers a batch of queries against `name`'s graph in parallel.
+    /// The memo is shared across calls, so repeated hot pairs are answered
+    /// from cache even in later batches.
+    pub fn answer_batch(&self, name: &str, queries: &[(V, V)]) -> Option<Vec<bool>> {
+        let (index, memo) = self.index_and_memo(name)?;
+        let batch = QueryBatch::with_shared_memo(&index, memo, BatchOptions::default().grain);
+        Some(batch.answer(queries))
+    }
+
+    fn index_and_memo(&self, name: &str) -> Option<(Arc<Index>, Arc<MemoCache>)> {
+        let entry = self.entry(name)?;
+        let mut slot = entry.index.lock().expect("entry lock");
+        if slot.is_none() {
+            let index = Arc::new(Index::build_with_config(&entry.graph, &entry.config));
+            let memo =
+                Arc::new(MemoCache::new(BatchOptions::default().memo_bits, index.num_components()));
+            *slot = Some((index, memo));
+        }
+        slot.clone()
+    }
+
+    fn entry(&self, name: &str) -> Option<Arc<Entry>> {
+        self.entries.read().expect("catalog lock").get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let cat = Catalog::new();
+        cat.insert("p", path_digraph(10));
+        cat.insert("c", cycle_digraph(10));
+        assert_eq!(cat.names(), vec!["c".to_string(), "p".to_string()]);
+        assert_eq!(cat.reaches("p", 0, 9), Some(true));
+        assert_eq!(cat.reaches("p", 9, 0), Some(false));
+        assert_eq!(cat.reaches("c", 7, 3), Some(true));
+        assert_eq!(cat.reaches("missing", 0, 1), None);
+        assert!(cat.remove("p"));
+        assert!(!cat.remove("p"));
+        assert_eq!(cat.reaches("p", 0, 9), None);
+    }
+
+    #[test]
+    fn index_is_lazy_and_invalidatable() {
+        let cat = Catalog::new();
+        cat.insert("g", gnm_digraph(50, 120, 1));
+        assert!(!cat.is_indexed("g"));
+        let _ = cat.index("g").unwrap();
+        assert!(cat.is_indexed("g"));
+        assert!(cat.invalidate("g"));
+        assert!(!cat.is_indexed("g"));
+        // Still answers after invalidation (rebuilds).
+        assert_eq!(cat.reaches("g", 0, 0), Some(true));
+        assert!(!cat.invalidate("missing"));
+    }
+
+    #[test]
+    fn replacing_a_graph_drops_the_stale_index() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(5));
+        assert_eq!(cat.reaches("g", 0, 4), Some(true));
+        // Replace with the reverse orientation: old answer must flip.
+        let rev = DiGraph::from_edges(5, &[(1, 0), (2, 1), (3, 2), (4, 3)]);
+        cat.insert("g", rev);
+        assert!(!cat.is_indexed("g"));
+        assert_eq!(cat.reaches("g", 0, 4), Some(false));
+        assert_eq!(cat.reaches("g", 4, 0), Some(true));
+    }
+
+    #[test]
+    fn batch_through_catalog() {
+        let cat = Catalog::new();
+        cat.insert("p", path_digraph(20));
+        let queries: Vec<(V, V)> = (0..19).map(|i| (i as V, (i + 1) as V)).collect();
+        let ans = cat.answer_batch("p", &queries).unwrap();
+        assert!(ans.iter().all(|&b| b));
+        assert!(cat.answer_batch("missing", &queries).is_none());
+    }
+
+    #[test]
+    fn same_index_instance_is_shared() {
+        let cat = Catalog::new();
+        cat.insert("g", gnm_digraph(30, 60, 2));
+        let a = cat.index("g").unwrap();
+        let b = cat.index("g").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,593 @@
+//! The reachability index: SCC labels + condensation DAG + per-component
+//! descendant summaries.
+//!
+//! ## Query tiers
+//!
+//! [`Index::reaches`] answers `u ⇝ v` through a cascade of increasingly
+//! expensive checks, stopping at the first decisive one:
+//!
+//! 1. **Same SCC** — `comp(u) == comp(v)` ⇒ reachable (and `u == v`
+//!    trivially). O(1).
+//! 2. **Level prune** — components carry longest-path topological levels;
+//!    every DAG path strictly increases the level, so
+//!    `level(cu) ≥ level(cv)` ⇒ unreachable. O(1).
+//! 3. **Descendant summary** — depends on the DAG size (chosen at build
+//!    time, see [`SummaryTier`]):
+//!    * *Bitset tier* (small DAGs): one descendant bitset row per
+//!      component; the answer is a single bit test. O(1).
+//!    * *Interval tier* (large DAGs): GRAIL-style pruned-DFS interval
+//!      labels (d independent randomized post-order labelings; reachable ⇒
+//!      the target's interval nests inside the source's in *every*
+//!      labeling), plus exact *exception lists* — components whose strict
+//!      descendant set is small carry it verbatim, answering exactly.
+//!      Queries that survive every prune fall back to an interval- and
+//!      level-pruned DFS over the condensation DAG. O(log) typical,
+//!      DAG-bounded worst case.
+//!
+//! The index is immutable after construction and all query paths take
+//! `&self`, so batches can share it across threads freely.
+
+use pscc_apps::{condense, Condensation};
+use pscc_core::{parallel_scc, SccConfig};
+use pscc_graph::{DiGraph, V};
+use pscc_runtime::SplitMix64;
+use std::time::Instant;
+
+/// Which descendant-summary representation an [`Index`] chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SummaryTier {
+    /// Full per-component descendant bitsets (small DAGs).
+    Bitset,
+    /// Interval labels + exception lists + pruned DFS (large DAGs).
+    Intervals,
+}
+
+/// Build-time configuration for an [`Index`].
+#[derive(Clone, Debug)]
+pub struct IndexConfig {
+    /// Configuration of the underlying parallel SCC run.
+    pub scc: SccConfig,
+    /// Ceiling (in bytes) on the bitset tier; DAGs whose full descendant
+    /// bitsets would exceed it use the interval tier instead.
+    pub bitset_budget_bytes: usize,
+    /// Number of independent interval labelings in the interval tier
+    /// (more labelings prune more, cost more memory).
+    pub labelings: usize,
+    /// Components with at most this many strict descendants store them as
+    /// an exact exception list in the interval tier (0 disables).
+    pub exception_cap: usize,
+    /// Seed for the randomized labeling orders.
+    pub seed: u64,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            scc: SccConfig::default(),
+            bitset_budget_bytes: 64 << 20,
+            labelings: 2,
+            exception_cap: 16,
+            seed: 0x5cc_1dec5,
+        }
+    }
+}
+
+/// Build-cost breakdown and shape of one [`Index`] (the "index-build
+/// breakdown" of the example server's report).
+#[derive(Clone, Debug, Default)]
+pub struct IndexStats {
+    /// Seconds in the parallel SCC run.
+    pub scc_seconds: f64,
+    /// Seconds contracting into the condensation DAG.
+    pub condense_seconds: f64,
+    /// Seconds computing topological levels.
+    pub levels_seconds: f64,
+    /// Seconds building the descendant summary (bitsets or intervals).
+    pub summary_seconds: f64,
+    /// Number of strongly connected components.
+    pub num_components: usize,
+    /// Arcs in the condensation DAG.
+    pub dag_arcs: usize,
+    /// Bytes held by the descendant summary.
+    pub summary_bytes: usize,
+    /// Components carrying an exact exception list (interval tier only).
+    pub exception_components: usize,
+}
+
+/// One GRAIL-style labeling: a post-order rank and the subtree-minimum
+/// rank per component, giving the containment invariant
+/// `u ⇝ v ⇒ low[u] ≤ low[v] ∧ rank[v] ≤ rank[u]`.
+struct IntervalLabeling {
+    low: Vec<u32>,
+    rank: Vec<u32>,
+}
+
+impl IntervalLabeling {
+    /// True if `v`'s interval nests inside `u`'s (necessary for `u ⇝ v`).
+    #[inline]
+    fn may_reach(&self, u: usize, v: usize) -> bool {
+        self.low[u] <= self.low[v] && self.rank[v] <= self.rank[u]
+    }
+}
+
+enum Summary {
+    /// Flat row-major bitset: row `c` holds one bit per component.
+    Bitset { words_per_row: usize, rows: Vec<u64> },
+    Intervals {
+        labelings: Vec<IntervalLabeling>,
+        /// Strict descendants, sorted, for components under the cap.
+        exceptions: Vec<Option<Box<[V]>>>,
+    },
+}
+
+/// An immutable reachability index over one digraph.
+pub struct Index {
+    comp_of: Vec<u32>,
+    levels: Vec<u32>,
+    dag: DiGraph,
+    sizes: Vec<usize>,
+    summary: Summary,
+    stats: IndexStats,
+}
+
+impl Index {
+    /// Builds an index for `g` with default configuration.
+    pub fn build(g: &DiGraph) -> Index {
+        Self::build_with_config(g, &IndexConfig::default())
+    }
+
+    /// Builds an index for `g`, running SCC + condensation + summaries.
+    pub fn build_with_config(g: &DiGraph, cfg: &IndexConfig) -> Index {
+        let t = Instant::now();
+        let scc = parallel_scc(g, &cfg.scc);
+        let scc_seconds = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let cond = condense(g, &scc.labels);
+        let condense_seconds = t.elapsed().as_secs_f64();
+
+        let mut index = Self::from_condensation(cond, cfg);
+        index.stats.scc_seconds = scc_seconds;
+        index.stats.condense_seconds = condense_seconds;
+        index
+    }
+
+    /// Builds an index from an existing condensation (skips the SCC run;
+    /// useful when labels were computed elsewhere).
+    pub fn from_condensation(cond: Condensation, cfg: &IndexConfig) -> Index {
+        let t = Instant::now();
+        let order = cond.topo_order();
+        let levels = cond.topo_levels();
+        let levels_seconds = t.elapsed().as_secs_f64();
+        let Condensation { comp_of, dag, sizes } = cond;
+        let k = sizes.len();
+
+        let t = Instant::now();
+        let words_per_row = k.div_ceil(64);
+        let bitset_bytes = k.saturating_mul(words_per_row).saturating_mul(8);
+        let (summary, summary_bytes, exception_components) =
+            if bitset_bytes <= cfg.bitset_budget_bytes {
+                let rows = build_bitsets(&dag, &order, words_per_row);
+                (Summary::Bitset { words_per_row, rows }, bitset_bytes, 0)
+            } else {
+                let labelings = build_labelings(&dag, &order, cfg.labelings.max(1), cfg.seed);
+                let exceptions = build_exceptions(&dag, &order, cfg.exception_cap);
+                let exc_count = exceptions.iter().filter(|e| e.is_some()).count();
+                let bytes = labelings.len() * k * 8
+                    + exceptions
+                        .iter()
+                        .map(|e| e.as_ref().map_or(0, |s| s.len() * 4 + 16))
+                        .sum::<usize>();
+                (Summary::Intervals { labelings, exceptions }, bytes, exc_count)
+            };
+        let summary_seconds = t.elapsed().as_secs_f64();
+
+        let stats = IndexStats {
+            scc_seconds: 0.0,
+            condense_seconds: 0.0,
+            levels_seconds,
+            summary_seconds,
+            num_components: k,
+            dag_arcs: dag.m(),
+            summary_bytes,
+            exception_components,
+        };
+        Index { comp_of, levels, dag, sizes, summary, stats }
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn n(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    /// Number of strongly connected components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of vertex `u` (ids are `0..num_components`).
+    #[inline]
+    pub fn comp(&self, u: V) -> u32 {
+        self.comp_of[u as usize]
+    }
+
+    /// Size (vertex count) of component `c`.
+    pub fn component_size(&self, c: u32) -> usize {
+        self.sizes[c as usize]
+    }
+
+    /// Topological level of component `c` (every DAG arc strictly
+    /// increases the level).
+    #[inline]
+    pub fn level(&self, c: u32) -> u32 {
+        self.levels[c as usize]
+    }
+
+    /// The condensation DAG.
+    pub fn dag(&self) -> &DiGraph {
+        &self.dag
+    }
+
+    /// Which summary representation this index built.
+    pub fn tier(&self) -> SummaryTier {
+        match self.summary {
+            Summary::Bitset { .. } => SummaryTier::Bitset,
+            Summary::Intervals { .. } => SummaryTier::Intervals,
+        }
+    }
+
+    /// Build-cost and shape statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// True if a directed path `u ⇝ v` exists (trivially true for
+    /// `u == v`).
+    pub fn reaches(&self, u: V, v: V) -> bool {
+        let (cu, cv) = (self.comp(u) as usize, self.comp(v) as usize);
+        self.comp_reaches(cu, cv)
+    }
+
+    /// Component-level reachability `cu ⇝ cv` on the condensation DAG.
+    pub fn comp_reaches(&self, cu: usize, cv: usize) -> bool {
+        if cu == cv {
+            return true;
+        }
+        if self.levels[cu] >= self.levels[cv] {
+            return false;
+        }
+        match &self.summary {
+            Summary::Bitset { words_per_row, rows } => {
+                rows[cu * words_per_row + cv / 64] >> (cv % 64) & 1 == 1
+            }
+            Summary::Intervals { labelings, exceptions } => {
+                if let Some(desc) = &exceptions[cu] {
+                    return desc.binary_search(&(cv as V)).is_ok();
+                }
+                if !labelings.iter().all(|l| l.may_reach(cu, cv)) {
+                    return false;
+                }
+                self.pruned_dfs(cu, cv, labelings, exceptions)
+            }
+        }
+    }
+
+    /// Interval- and level-pruned DFS over the condensation DAG; the slow
+    /// path of the interval tier for queries every prune lets through.
+    fn pruned_dfs(
+        &self,
+        cu: usize,
+        cv: usize,
+        labelings: &[IntervalLabeling],
+        exceptions: &[Option<Box<[V]>>],
+    ) -> bool {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![cu];
+        visited.insert(cu);
+        while let Some(c) = stack.pop() {
+            for &d in self.dag.out_neighbors(c as V) {
+                let d = d as usize;
+                if d == cv {
+                    return true;
+                }
+                if self.levels[d] >= self.levels[cv] || !visited.insert(d) {
+                    continue;
+                }
+                if let Some(desc) = &exceptions[d] {
+                    // Exact list: membership decides this whole subtree.
+                    if desc.binary_search(&(cv as V)).is_ok() {
+                        return true;
+                    }
+                    continue;
+                }
+                if labelings.iter().all(|l| l.may_reach(d, cv)) {
+                    stack.push(d);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Full descendant bitsets, one row per component, built in reverse
+/// topological order so every child row is final before it is merged.
+fn build_bitsets(dag: &DiGraph, order: &[V], words_per_row: usize) -> Vec<u64> {
+    let k = dag.n();
+    let mut rows = vec![0u64; k * words_per_row];
+    for &c in order.iter().rev() {
+        let c = c as usize;
+        for &d in dag.out_neighbors(c as V) {
+            let d = d as usize;
+            or_row(&mut rows, words_per_row, c, d);
+            rows[c * words_per_row + d / 64] |= 1u64 << (d % 64);
+        }
+    }
+    rows
+}
+
+/// `rows[dst] |= rows[src]` for the flat row-major bitset.
+fn or_row(rows: &mut [u64], words: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    let (d0, s0) = (dst * words, src * words);
+    if d0 < s0 {
+        let (a, b) = rows.split_at_mut(s0);
+        let (d, s) = (&mut a[d0..d0 + words], &b[..words]);
+        for (dw, sw) in d.iter_mut().zip(s) {
+            *dw |= *sw;
+        }
+    } else {
+        let (a, b) = rows.split_at_mut(d0);
+        let (s, d) = (&a[s0..s0 + words], &mut b[..words]);
+        for (dw, sw) in d.iter_mut().zip(s) {
+            *dw |= *sw;
+        }
+    }
+}
+
+/// `count` randomized GRAIL labelings. Each is a DFS over the DAG from its
+/// source components with a per-labeling pseudo-random neighbour order;
+/// `rank` is the post-order number, `low` the minimum rank seen in the
+/// DFS-reachable set, computed in reverse topological order.
+fn build_labelings(dag: &DiGraph, order: &[V], count: usize, seed: u64) -> Vec<IntervalLabeling> {
+    (0..count)
+        .map(|li| {
+            let mut rng = SplitMix64::new(seed ^ (li as u64).wrapping_mul(0x9e37_79b9));
+            let rank = random_postorder(dag, &mut rng);
+            // low[c] = min(rank[c], min over out-neighbours of low[d]),
+            // processed in reverse topological order so neighbours are done.
+            let mut low = rank.clone();
+            for &c in order.iter().rev() {
+                let c = c as usize;
+                for &d in dag.out_neighbors(c as V) {
+                    low[c] = low[c].min(low[d as usize]);
+                }
+            }
+            IntervalLabeling { low, rank }
+        })
+        .collect()
+}
+
+/// Post-order ranks of one randomized iterative DFS covering every
+/// component (roots and neighbour lists visited in shuffled order).
+fn random_postorder(dag: &DiGraph, rng: &mut SplitMix64) -> Vec<u32> {
+    let k = dag.n();
+    let mut rank = vec![u32::MAX; k];
+    let mut visited = vec![false; k];
+    let mut next_rank = 0u32;
+    // Shuffled root order (roots = all components; non-sources are skipped
+    // as already-visited when their turn comes).
+    let mut roots: Vec<V> = (0..k as V).collect();
+    shuffle(&mut roots, rng);
+    // Explicit DFS frames: (component, shuffled out-neighbours, cursor).
+    let mut stack: Vec<(V, Vec<V>, usize)> = Vec::new();
+    let frame = |c: V, rng: &mut SplitMix64| {
+        let mut ns: Vec<V> = dag.out_neighbors(c).to_vec();
+        shuffle(&mut ns, rng);
+        (c, ns, 0usize)
+    };
+    for &r in &roots {
+        if visited[r as usize] {
+            continue;
+        }
+        visited[r as usize] = true;
+        stack.push(frame(r, rng));
+        while let Some(top) = stack.len().checked_sub(1) {
+            let advance = {
+                let (_, ns, i) = &mut stack[top];
+                if *i < ns.len() {
+                    let d = ns[*i];
+                    *i += 1;
+                    Some(d)
+                } else {
+                    None
+                }
+            };
+            match advance {
+                Some(d) if !visited[d as usize] => {
+                    visited[d as usize] = true;
+                    stack.push(frame(d, rng));
+                }
+                Some(_) => {}
+                None => {
+                    let (c, _, _) = stack.pop().expect("non-empty stack");
+                    rank[c as usize] = next_rank;
+                    next_rank += 1;
+                }
+            }
+        }
+    }
+    debug_assert!(rank.iter().all(|&r| r != u32::MAX));
+    rank
+}
+
+/// Fisher–Yates shuffle driven by the workspace PRNG.
+fn shuffle(v: &mut [V], rng: &mut SplitMix64) {
+    for i in (1..v.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Exact strict-descendant lists for components with at most `cap`
+/// descendants, built bottom-up in reverse topological order (a component
+/// overflows if any child overflows or the merged set exceeds `cap`).
+fn build_exceptions(dag: &DiGraph, order: &[V], cap: usize) -> Vec<Option<Box<[V]>>> {
+    let k = dag.n();
+    let mut out: Vec<Option<Box<[V]>>> = vec![None; k];
+    if cap == 0 {
+        return out;
+    }
+    for &c in order.iter().rev() {
+        let c = c as usize;
+        let mut set: Vec<V> = Vec::new();
+        let mut ok = true;
+        for &d in dag.out_neighbors(c as V) {
+            match &out[d as usize] {
+                Some(desc) if set.len() + desc.len() < 2 * cap + 2 => {
+                    set.push(d);
+                    set.extend_from_slice(desc);
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            set.sort_unstable();
+            set.dedup();
+            if set.len() <= cap {
+                out[c] = Some(set.into_boxed_slice());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_graph::generators::random::gnm_digraph;
+    use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
+
+    /// Brute-force vertex-level reachability oracle.
+    fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![u];
+        seen[u as usize] = true;
+        while let Some(x) = stack.pop() {
+            if x == v {
+                return true;
+            }
+            for &w in g.out_neighbors(x) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    fn check_all_pairs(g: &DiGraph, cfg: &IndexConfig) {
+        let idx = Index::build_with_config(g, cfg);
+        for u in 0..g.n() as V {
+            for v in 0..g.n() as V {
+                assert_eq!(
+                    idx.reaches(u, v),
+                    bfs_reaches(g, u, v),
+                    "({u}, {v}) tier {:?}",
+                    idx.tier()
+                );
+            }
+        }
+    }
+
+    fn tiny_budget() -> IndexConfig {
+        // Forces the interval tier even on tiny DAGs.
+        IndexConfig { bitset_budget_bytes: 0, ..IndexConfig::default() }
+    }
+
+    #[test]
+    fn path_reachability_both_tiers() {
+        let g = path_digraph(40);
+        check_all_pairs(&g, &IndexConfig::default());
+        check_all_pairs(&g, &tiny_budget());
+    }
+
+    #[test]
+    fn cycle_collapses_to_single_component() {
+        let g = cycle_digraph(30);
+        let idx = Index::build(&g);
+        assert_eq!(idx.num_components(), 1);
+        assert!(idx.reaches(3, 17) && idx.reaches(17, 3));
+    }
+
+    #[test]
+    fn random_graphs_match_oracle_bitset_tier() {
+        for seed in 0..4u64 {
+            let g = gnm_digraph(60, 150, seed);
+            check_all_pairs(&g, &IndexConfig::default());
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_oracle_interval_tier() {
+        for seed in 0..4u64 {
+            let g = gnm_digraph(60, 150, seed + 100);
+            check_all_pairs(&g, &tiny_budget());
+        }
+    }
+
+    #[test]
+    fn interval_tier_without_exceptions_matches_oracle() {
+        let cfg = IndexConfig { exception_cap: 0, ..tiny_budget() };
+        for seed in 0..3u64 {
+            check_all_pairs(&gnm_digraph(50, 120, seed + 200), &cfg);
+        }
+    }
+
+    #[test]
+    fn tier_selection_follows_budget() {
+        let g = gnm_digraph(100, 200, 7);
+        assert_eq!(Index::build(&g).tier(), SummaryTier::Bitset);
+        assert_eq!(Index::build_with_config(&g, &tiny_budget()).tier(), SummaryTier::Intervals);
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_dag_arcs() {
+        let g = gnm_digraph(120, 300, 3);
+        let idx = Index::build(&g);
+        for (a, b) in idx.dag().out_csr().edges() {
+            assert!(idx.level(a) < idx.level(b), "arc {a}->{b}");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = gnm_digraph(80, 160, 5);
+        let idx = Index::build(&g);
+        let s = idx.stats();
+        assert_eq!(s.num_components, idx.num_components());
+        assert!(s.summary_bytes > 0);
+        assert!(s.scc_seconds >= 0.0 && s.summary_seconds >= 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = DiGraph::from_edges(0, &[]);
+        let idx = Index::build(&g);
+        assert_eq!(idx.num_components(), 0);
+        let g1 = DiGraph::from_edges(1, &[]);
+        let idx1 = Index::build(&g1);
+        assert!(idx1.reaches(0, 0));
+    }
+
+    #[test]
+    fn self_loops_are_single_vertex_components() {
+        let g = DiGraph::from_edges(3, &[(0, 0), (0, 1), (1, 2)]);
+        let idx = Index::build(&g);
+        assert!(idx.reaches(0, 2) && !idx.reaches(2, 0));
+        assert_eq!(idx.num_components(), 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! # pscc-engine — a batched reachability query engine on the condensation DAG
+//!
+//! The paper computes SCCs because strong connectivity underlies
+//! reachability answering at scale: two vertices reach each other iff they
+//! share an SCC, and general `u ⇝ v` reachability factors through the
+//! (acyclic) condensation. This crate turns the workspace's SCC pipeline
+//! (`parallel_scc` → `condense`) into a serving layer:
+//!
+//! * [`Index`] — an immutable per-graph reachability index. Construction
+//!   runs the paper's BGSS SCC, contracts to the condensation DAG, assigns
+//!   longest-path topological levels, and precomputes a descendant summary
+//!   whose representation adapts to the DAG size ([`SummaryTier`]):
+//!   full per-component **bitsets** when they fit a memory budget, and
+//!   GRAIL-style randomized **DFS interval labels with exception lists**
+//!   (exact small descendant sets) plus a pruned-DFS fallback when they
+//!   don't. Queries short-circuit in order: same SCC → level prune →
+//!   summary.
+//! * [`QueryBatch`] — answers query batches in parallel via the runtime's
+//!   blocked `par_for`, with a concurrent fixed-capacity memo for hot
+//!   component-pair verdicts.
+//! * [`Catalog`] — named graphs with lazily built, invalidatable indexes.
+//!
+//! ```
+//! use pscc_engine::{Catalog, Index, QueryBatch};
+//! use pscc_graph::DiGraph;
+//!
+//! // {0,1,2} is a cycle feeding a tail 3 -> 4.
+//! let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+//! let index = Index::build(&g);
+//! assert!(index.reaches(0, 4));     // through the cycle, down the tail
+//! assert!(index.reaches(2, 1));     // same SCC
+//! assert!(!index.reaches(4, 0));    // tails don't flow back
+//!
+//! let batch = QueryBatch::new(&index);
+//! assert_eq!(batch.answer(&[(0, 4), (4, 0)]), vec![true, false]);
+//!
+//! let catalog = Catalog::new();
+//! catalog.insert("demo", g);
+//! assert_eq!(catalog.reaches("demo", 1, 3), Some(true));
+//! ```
+
+pub mod batch;
+pub mod catalog;
+pub mod index;
+
+pub use batch::{BatchOptions, BatchStats, QueryBatch};
+pub use catalog::Catalog;
+pub use index::{Index, IndexConfig, IndexStats, SummaryTier};

@@ -4,14 +4,12 @@
 //! targets. Self loops are preserved (SCC/reachability treat them as
 //! no-ops); duplicates are removed so degree-based heuristics stay honest.
 
-use rayon::slice::ParallelSliceMut;
-
 use crate::csr::Csr;
 use crate::V;
 
 /// Sorts and removes duplicate edges (in place + truncate semantics).
 pub fn dedup_edges(edges: &mut Vec<(V, V)>) {
-    edges.par_sort_unstable();
+    pscc_runtime::par_sort_unstable(&mut edges[..]);
     edges.dedup();
 }
 

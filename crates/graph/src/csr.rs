@@ -6,7 +6,7 @@
 //! searches (Alg. 1 line 7) and the dense mode of §4.2 both need.
 //! [`UnGraph`] is a symmetric CSR for connectivity and LE-lists.
 
-use crate::{V};
+use crate::V;
 
 /// A static compressed-sparse-row adjacency structure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,10 +23,7 @@ impl Csr {
         assert_eq!(offsets[0], 0);
         assert_eq!(*offsets.last().unwrap() as usize, targets.len());
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        Self {
-            offsets: offsets.into_boxed_slice(),
-            targets: targets.into_boxed_slice(),
-        }
+        Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
     }
 
     /// An empty graph with `n` vertices and no edges.

@@ -154,9 +154,7 @@ mod tests {
         // The oriented model almost surely has a giant SCC; sanity-check
         // that most vertices have both in and out arcs.
         let g = lattice_sqr(30, 30, 9);
-        let both = (0..g.n() as V)
-            .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
-            .count();
+        let both = (0..g.n() as V).filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0).count();
         assert!(both > g.n() * 8 / 10, "both={both}");
     }
 }

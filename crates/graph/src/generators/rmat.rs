@@ -86,10 +86,7 @@ mod tests {
         let g = rmat_digraph(12, 60_000, 7);
         let max_deg = (0..g.n() as V).map(|v| g.out_degree(v)).max().unwrap();
         let avg = g.m() as f64 / g.n() as f64;
-        assert!(
-            max_deg as f64 > avg * 8.0,
-            "max degree {max_deg} not heavy-tailed vs avg {avg}"
-        );
+        assert!(max_deg as f64 > avg * 8.0, "max degree {max_deg} not heavy-tailed vs avg {avg}");
     }
 
     #[test]

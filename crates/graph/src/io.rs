@@ -54,7 +54,8 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
             Some(_) => edges.push((a as V, b as V)),
         }
     }
-    let (n, m) = header.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header"))?;
+    let (n, m) =
+        header.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header"))?;
     if edges.len() != m {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

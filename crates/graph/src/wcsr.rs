@@ -3,7 +3,7 @@
 //! Same layout as [`crate::Csr`] with a parallel weights array; weights
 //! are non-negative `u32`s (hop algorithms use weight 1 everywhere).
 
-use crate::{V};
+use crate::V;
 
 /// A static weighted adjacency structure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,16 +17,15 @@ impl WCsr {
     /// Builds from a weighted edge list (duplicates keep the minimum
     /// weight; self loops dropped — they never improve a shortest path).
     pub fn from_edges(n: usize, edges: &[(V, V, u32)]) -> Self {
-        let mut sorted: Vec<(V, V, u32)> = edges
-            .iter()
-            .copied()
-            .filter(|&(u, v, _)| u != v)
-            .collect();
+        let mut sorted: Vec<(V, V, u32)> =
+            edges.iter().copied().filter(|&(u, v, _)| u != v).collect();
         sorted.sort_unstable();
         // Keep the lightest parallel edge.
-        sorted.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && {
-            b.2 = b.2.min(a.2);
-            true
+        sorted.dedup_by(|a, b| {
+            a.0 == b.0 && a.1 == b.1 && {
+                b.2 = b.2.min(a.2);
+                true
+            }
         });
         let mut offsets = vec![0u64; n + 1];
         for &(u, _, _) in &sorted {

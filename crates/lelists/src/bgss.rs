@@ -139,9 +139,7 @@ pub fn le_lists_with_priority(
             let mut next: Vec<u64> = match cfg.mode {
                 FrontierMode::HashBag => {
                     let bag_ref = &bag;
-                    expand(g, &frontier, &delta, &table, d, &overflow, |key| {
-                        bag_ref.insert(key)
-                    });
+                    expand(g, &frontier, &delta, &table, d, &overflow, |key| bag_ref.insert(key));
                     bag.extract_all()
                 }
                 FrontierMode::EdgeRevisit => {
@@ -188,10 +186,9 @@ pub fn le_lists_with_priority(
         // priority order.
         {
             let rank = &rank;
-            rayon::slice::ParallelSliceMut::par_sort_unstable_by_key(
-                &mut triples[..],
-                |&(u, s, _)| ((u as u64) << 32) | rank[s as usize] as u64,
-            );
+            pscc_runtime::par_sort_unstable_by_key(&mut triples[..], |&(u, s, _)| {
+                ((u as u64) << 32) | rank[s as usize] as u64
+            });
         }
         // Group boundaries, then filter each vertex's run independently.
         let bounds: Vec<usize> = {

@@ -128,7 +128,8 @@ impl AtomicBits {
         use std::sync::atomic::AtomicUsize;
         let total = AtomicUsize::new(0);
         par_range(0..self.words.len(), 4096, &|r| {
-            let s: usize = self.words[r].iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum();
+            let s: usize =
+                self.words[r].iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum();
             total.fetch_add(s, Ordering::Relaxed);
         });
         total.load(Ordering::Relaxed)

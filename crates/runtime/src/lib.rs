@@ -3,8 +3,9 @@
 //! Fork-join runtime and parallel primitives used throughout the
 //! parallel-scc workspace. The paper ("Parallel Strong Connectivity Based on
 //! Faster Reachability", SIGMOD 2023) assumes the binary fork-join
-//! work-stealing model of ParlayLib; this crate provides the same model on
-//! top of a rayon work-stealing pool, plus the parallel building blocks the
+//! work-stealing model of ParlayLib; this crate provides an equivalent
+//! blocked-loop model on std scoped threads with dynamic block claiming
+//! (no external dependencies), plus the parallel building blocks the
 //! algorithms need:
 //!
 //! * blocked [`par_for`] / [`par_range`] loops with explicit granularity
@@ -27,14 +28,16 @@ pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod scan;
+pub mod sort;
 pub mod timer;
 
 pub use atomic::{atomic_max_u32, atomic_max_u64, atomic_min_u32, AtomicBits};
 pub use pack::{pack, pack_index, pack_map};
-pub use parfor::{par_for, par_range, DEFAULT_GRAIN};
+pub use parfor::{par_for, par_for_grain, par_range, DEFAULT_GRAIN};
 pub use permute::random_permutation;
 pub use pool::{num_workers, with_threads};
 pub use reduce::{par_count, par_max, par_reduce, par_sum_u64};
 pub use rng::{hash32, hash64, SplitMix64};
 pub use scan::scan_exclusive;
+pub use sort::{par_sort_unstable, par_sort_unstable_by_key};
 pub use timer::{PhaseTimer, Timer};

@@ -1,10 +1,16 @@
 //! Blocked parallel for-loops with explicit granularity control.
 //!
-//! These are the "horizontal granularity control" primitives of §3.1: a
-//! divide-and-conquer fork-join over an index range that stops forking once
-//! the subrange is at most `grain` long and runs the tail sequentially.
+//! These are the "horizontal granularity control" primitives of §3.1: the
+//! index range is cut into blocks of at most `grain` indices, and scoped
+//! worker threads claim blocks from a shared atomic cursor until the range
+//! is exhausted. Dynamic claiming gives the same load balance as the
+//! classic divide-and-conquer fork-join without requiring a work-stealing
+//! runtime; nested parallel calls inside a block run sequentially.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool;
 
 /// Default sequential base-case size. The paper notes (§3.2) that a base
 /// case of around a thousand operations is enough to hide scheduling
@@ -35,15 +41,37 @@ where
 {
     let grain = grain.max(1);
     let len = range.end.saturating_sub(range.start);
-    if len <= grain {
-        if len > 0 {
-            f(range);
+    if len == 0 {
+        return;
+    }
+    let blocks = len.div_ceil(grain);
+    let width = pool::region_width().min(blocks);
+    let block_range = |b: usize| {
+        let lo = range.start + b * grain;
+        lo..(lo + grain).min(range.end)
+    };
+    if width <= 1 {
+        for b in 0..blocks {
+            f(block_range(b));
         }
         return;
     }
-    let mid = range.start + len / 2;
-    let (lo, hi) = (range.start..mid, mid..range.end);
-    rayon::join(|| par_range(lo, grain, f), || par_range(hi, grain, f));
+    let cursor = AtomicUsize::new(0);
+    let work = || {
+        pool::enter_region(|| loop {
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= blocks {
+                break;
+            }
+            f(block_range(b));
+        })
+    };
+    std::thread::scope(|s| {
+        for _ in 1..width {
+            s.spawn(work);
+        }
+        work();
+    });
 }
 
 /// Runs `f(i)` for every `i` in `0..n` in parallel with a custom grain.

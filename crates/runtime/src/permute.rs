@@ -13,8 +13,8 @@ pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
     let mut keyed: Vec<(u64, u32)> = (0..n as u32)
         .map(|i| (hash64(seed ^ ((i as u64) << 1 | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)), i))
         .collect();
-    // Parallel stable sort by key; ties (astronomically unlikely) break by id.
-    rayon::slice::ParallelSliceMut::par_sort_unstable(&mut keyed[..]);
+    // Parallel sort by key; ties (astronomically unlikely) break by id.
+    crate::sort::par_sort_unstable(&mut keyed[..]);
     keyed.into_iter().map(|(_, i)| i).collect()
 }
 
@@ -62,11 +62,8 @@ mod tests {
         // permutation; check it is at least n/6.
         let n = 10_000usize;
         let p = random_permutation(n, 11);
-        let total_disp: u64 = p
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| (i as i64 - x as i64).unsigned_abs())
-            .sum();
+        let total_disp: u64 =
+            p.iter().enumerate().map(|(i, &x)| (i as i64 - x as i64).unsigned_abs()).sum();
         let avg = total_disp as f64 / n as f64;
         assert!(avg > n as f64 / 6.0, "avg displacement {avg}");
     }

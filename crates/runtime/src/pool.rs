@@ -1,35 +1,88 @@
-//! Thread-pool control.
+//! Thread-width control.
 //!
 //! The evaluation (Fig. 7, Fig. 8, Fig. 11) varies the number of processors
-//! from 1 to the machine width. [`with_threads`] runs a closure inside a
-//! dedicated work-stealing pool of the requested width so a benchmark can
-//! sweep processor counts within one process.
+//! from 1 to the machine width. The workspace's parallel primitives spawn
+//! scoped worker threads per call (no external work-stealing runtime), so
+//! "pool width" here is a per-thread *parallelism budget*: [`with_threads`]
+//! overrides it for a closure — including oversubscription beyond the
+//! physical core count, which the stress tests rely on to force real
+//! interleavings on narrow CI hosts.
 
-/// Number of worker threads in the current pool.
+use std::cell::Cell;
+
+thread_local! {
+    /// Width override installed by [`with_threads`]; 0 = unset.
+    static WIDTH_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True while this thread is executing inside a parallel region; nested
+    /// parallel calls then run sequentially instead of spawning again.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of workers a parallel primitive may use from this context.
 pub fn num_workers() -> usize {
-    rayon::current_num_threads()
+    let o = WIDTH_OVERRIDE.with(Cell::get);
+    if o != 0 {
+        o
+    } else {
+        available_parallelism()
+    }
 }
 
 /// Number of logical CPUs on this machine.
+///
+/// Cached: `std::thread::available_parallelism` re-reads cgroup quota files
+/// on every call (~10µs), which dominated tight parallel loops.
 pub fn available_parallelism() -> usize {
-    num_cpus::get()
+    use std::sync::OnceLock;
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
-/// Runs `f` on a dedicated pool with `threads` workers.
+/// Runs `f` with the parallelism budget set to `threads` (clamped to ≥ 1).
 ///
-/// All `rayon::join`-based primitives in this workspace inherit the pool of
-/// the calling context, so everything inside `f` is limited to `threads`
-/// processors — exactly what the scalability experiments need.
+/// Every parallel primitive in this workspace consults the calling thread's
+/// budget, so everything inside `f` is limited to `threads` workers —
+/// exactly what the scalability experiments need. Unlike a real pool there
+/// is no thread reuse across calls; `threads` may exceed the physical core
+/// count to oversubscribe.
 pub fn with_threads<R, F>(threads: usize, f: F) -> R
 where
     R: Send,
     F: FnOnce() -> R + Send,
 {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("failed to build thread pool");
-    pool.install(f)
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WIDTH_OVERRIDE.with(|w| w.set(self.0));
+        }
+    }
+    let prev = WIDTH_OVERRIDE.with(|w| w.replace(threads.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Width a new parallel region started on this thread should use: the
+/// budget, except that regions nested inside a worker stay sequential.
+pub(crate) fn region_width() -> usize {
+    if IN_PARALLEL.with(Cell::get) {
+        1
+    } else {
+        num_workers()
+    }
+}
+
+/// Marks this thread as executing inside a parallel region for the duration
+/// of `f` (so nested primitives do not spawn again).
+pub(crate) fn enter_region<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_PARALLEL.with(|p| p.set(self.0));
+        }
+    }
+    let prev = IN_PARALLEL.with(|p| p.replace(true));
+    let _restore = Restore(prev);
+    f()
 }
 
 #[cfg(test)]
@@ -58,6 +111,17 @@ mod tests {
     fn with_threads_returns_closure_value() {
         let v = with_threads(2, || crate::par_sum_u64(1000, |i| i as u64));
         assert_eq!(v, (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn with_threads_restores_previous_width() {
+        let outer = num_workers();
+        with_threads(3, || {
+            assert_eq!(num_workers(), 3);
+            with_threads(5, || assert_eq!(num_workers(), 5));
+            assert_eq!(num_workers(), 3);
+        });
+        assert_eq!(num_workers(), outer);
     }
 
     #[test]

@@ -56,27 +56,35 @@ where
     F: Fn(usize) -> T + Sync,
     C: Fn(T, T) -> T + Sync,
 {
-    fn go<T, F, C>(lo: usize, hi: usize, grain: usize, id: T, f: &F, combine: &C) -> T
-    where
-        T: Copy + Send + Sync,
-        F: Fn(usize) -> T + Sync,
-        C: Fn(T, T) -> T + Sync,
-    {
-        if hi - lo <= grain {
-            let mut acc = id;
-            for i in lo..hi {
-                acc = combine(acc, f(i));
-            }
-            return acc;
+    const GRAIN: usize = 2048;
+    let fold = |lo: usize, hi: usize| {
+        let mut acc = id;
+        for i in lo..hi {
+            acc = combine(acc, f(i));
         }
-        let mid = lo + (hi - lo) / 2;
-        let (a, b) = rayon::join(
-            || go(lo, mid, grain, id, f, combine),
-            || go(mid, hi, grain, id, f, combine),
-        );
-        combine(a, b)
+        acc
+    };
+    let width = crate::pool::region_width().min(n.div_ceil(GRAIN).max(1));
+    if width <= 1 {
+        return fold(0, n);
     }
-    go(0, n, 2048, id, &f, &combine)
+    // One contiguous segment per worker; combine left-to-right, which equals
+    // any tree order because `combine` is associative by contract.
+    let seg = n.div_ceil(width);
+    let fold = &fold;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..width)
+            .map(|w| {
+                let (lo, hi) = (w * seg, ((w + 1) * seg).min(n));
+                s.spawn(move || crate::pool::enter_region(|| fold(lo, hi)))
+            })
+            .collect();
+        let mut acc = fold(0, seg.min(n));
+        for h in handles {
+            acc = combine(acc, h.join().expect("reduce worker panicked"));
+        }
+        acc
+    })
 }
 
 #[cfg(test)]

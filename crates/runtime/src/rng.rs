@@ -43,9 +43,7 @@ pub struct SplitMix64 {
 impl SplitMix64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            state: hash64(seed ^ 0x5851_f42d_4c95_7f2d),
-        }
+        Self { state: hash64(seed ^ 0x5851_f42d_4c95_7f2d) }
     }
 
     /// Next 64 random bits.

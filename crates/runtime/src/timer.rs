@@ -67,11 +67,7 @@ impl PhaseTimer {
 
     /// Total accumulated seconds in phase `name` (zero if absent).
     pub fn seconds(&self, name: &str) -> f64 {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| d.as_secs_f64())
-            .unwrap_or(0.0)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_secs_f64()).unwrap_or(0.0)
     }
 
     /// All phases in insertion order.

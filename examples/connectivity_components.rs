@@ -13,8 +13,8 @@ use parallel_scc::runtime::Timer;
 fn main() {
     // A road-network-like graph: a big grid with a sprinkling of random
     // shortcuts removed (kept sparse and large-diameter).
-    let g = parallel_scc::graph::generators::lattice::lattice_tristate(400, 400, 0.35, 3)
-        .symmetrize();
+    let g =
+        parallel_scc::graph::generators::lattice::lattice_tristate(400, 400, 0.35, 3).symmetrize();
     println!("road-style graph: n = {}, m = {} (symmetrized)\n", g.n(), g.m());
 
     let run = |mode: LddMode| {

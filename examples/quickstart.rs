@@ -26,7 +26,11 @@ fn main() {
 
     // Instrumentation: phase breakdown (Fig. 9) and per-search rounds
     // (Fig. 10) come back with every run.
-    println!("\nbatches: {}, total reachability rounds: {}", stats.num_batches, stats.total_rounds());
+    println!(
+        "\nbatches: {}, total reachability rounds: {}",
+        stats.num_batches,
+        stats.total_rounds()
+    );
     for (phase, dur) in stats.breakdown.phases() {
         println!("  {:<13} {:>9.3} ms", phase, dur.as_secs_f64() * 1e3);
     }

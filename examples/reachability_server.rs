@@ -1,0 +1,92 @@
+//! A reachability "server" serving one big batch: generate an RMAT graph
+//! (or load an edge list), build the engine index, answer 10 000 random
+//! queries, and report throughput plus the index-build breakdown.
+//!
+//! Run: `cargo run --release --example reachability_server [path.txt]`
+//!
+//! With a path argument the graph is loaded as a whitespace-separated
+//! `u v` edge list; otherwise a 2^17-vertex RMAT graph is generated.
+
+use parallel_scc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // ---- Load or generate ----
+    let t = Instant::now();
+    let g = match std::env::args().nth(1) {
+        Some(path) => {
+            let g = parallel_scc::graph::io::read_edge_list(&path).expect("readable edge list");
+            println!("loaded {path}: n={} m={}", g.n(), g.m());
+            g
+        }
+        None => {
+            let g = parallel_scc::graph::generators::rmat::rmat_digraph(17, 400_000, 0xa11ce);
+            println!("generated RMAT: n={} m={}", g.n(), g.m());
+            g
+        }
+    };
+    println!("graph ready in {:.1}ms\n", t.elapsed().as_secs_f64() * 1e3);
+
+    // ---- Build the index ----
+    let t = Instant::now();
+    let index = ReachIndex::build(&g);
+    let build = t.elapsed().as_secs_f64();
+    let s = index.stats();
+    println!("index built in {:.1}ms  (tier {:?})", build * 1e3, index.tier());
+    println!("  scc        {:>8.1}ms", s.scc_seconds * 1e3);
+    println!("  condense   {:>8.1}ms", s.condense_seconds * 1e3);
+    println!("  levels     {:>8.1}ms", s.levels_seconds * 1e3);
+    println!("  summary    {:>8.1}ms", s.summary_seconds * 1e3);
+    println!(
+        "  components {:>8}  dag arcs {:>8}  summary {:.1} MiB  exceptions {}\n",
+        s.num_components,
+        s.dag_arcs,
+        s.summary_bytes as f64 / (1 << 20) as f64,
+        s.exception_components,
+    );
+
+    // ---- Serve a 10k batch ----
+    let mut rng = pscc_runtime::SplitMix64::new(0xba7c);
+    let queries: Vec<(V, V)> = (0..10_000)
+        .map(|_| (rng.next_below(g.n() as u64) as V, rng.next_below(g.n() as u64) as V))
+        .collect();
+
+    let batch = QueryBatch::new(&index);
+    let t = Instant::now();
+    let answers = batch.answer(&queries);
+    let secs = t.elapsed().as_secs_f64();
+    let reachable = answers.iter().filter(|&&b| b).count();
+    println!(
+        "batch: {} queries in {:.2}ms  ->  {:.0} queries/sec  ({} reachable)",
+        queries.len(),
+        secs * 1e3,
+        queries.len() as f64 / secs,
+        reachable,
+    );
+
+    // ---- Sanity: spot-check 200 queries against a BFS oracle ----
+    let mut checked = 0;
+    for &(u, v) in queries.iter().take(200) {
+        assert_eq!(answers[checked], bfs_reaches(&g, u, v), "query ({u}, {v})");
+        checked += 1;
+    }
+    println!("spot-checked {checked} answers against BFS: all agree");
+}
+
+fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![u];
+    seen[u as usize] = true;
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for &w in g.out_neighbors(x) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}

@@ -40,8 +40,7 @@ fn main() {
         SccResult { labels: labels.iter().map(|&l| l as u64).collect(), num_sccs, largest_scc }
     });
 
-    for (name, r) in [("gbbs-like", &gbbs), ("multi-step", &ms), ("fw-bw", &fb), ("tarjan", &seq)]
-    {
+    for (name, r) in [("gbbs-like", &gbbs), ("multi-step", &ms), ("fw-bw", &fb), ("tarjan", &seq)] {
         assert!(
             parallel_scc::scc::verify::same_partition(&ours.labels, &r.labels),
             "{name} disagrees with ours"
@@ -51,9 +50,5 @@ fn main() {
 
     // Influence interpretation: members of the giant SCC can all reach each
     // other — the mutually-reachable influence core of the network.
-    println!(
-        "influence core: {} of {} accounts are mutually reachable",
-        ours.largest_scc,
-        g.n()
-    );
+    println!("influence core: {} of {} accounts are mutually reachable", ours.largest_scc, g.n());
 }

@@ -34,12 +34,28 @@
 //! | [`cc`] | `pscc-cc` | LDD-UF-JTB connectivity (§5.1) |
 //! | [`lelists`] | `pscc-lelists` | BGSS least-element lists (§5.2) |
 //! | [`apps`] | `pscc-apps` | condensation, topological sort, 2-SAT |
+//! | [`engine`] | `pscc-engine` | batched reachability queries over the condensation DAG |
+//!
+//! ## Serving reachability queries
+//!
+//! The [`engine`] module answers `u ⇝ v` queries over any digraph after a
+//! one-time index build (SCC → condensation → descendant summaries):
+//!
+//! ```
+//! use parallel_scc::prelude::*;
+//!
+//! let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+//! let index = ReachIndex::build(&g);
+//! let batch = QueryBatch::new(&index);
+//! assert_eq!(batch.answer(&[(0, 4), (4, 0), (1, 0)]), vec![true, false, true]);
+//! ```
 
 pub use pscc_apps as apps;
 pub use pscc_bag as bag;
 pub use pscc_baselines as baselines;
 pub use pscc_cc as cc;
 pub use pscc_core as scc;
+pub use pscc_engine as engine;
 pub use pscc_graph as graph;
 pub use pscc_lelists as lelists;
 pub use pscc_runtime as runtime;
@@ -51,9 +67,8 @@ pub mod prelude {
     pub use pscc_bag::{BagConfig, HashBag};
     pub use pscc_baselines::{fwbw_scc, gbbs_scc, kosaraju_scc, multistep_scc, tarjan_scc};
     pub use pscc_cc::{connected_components, CcConfig, LddConfig, LddMode};
-    pub use pscc_core::{
-        parallel_scc, parallel_scc_with_stats, ReachParams, SccConfig, SccResult,
-    };
+    pub use pscc_core::{parallel_scc, parallel_scc_with_stats, ReachParams, SccConfig, SccResult};
+    pub use pscc_engine::{Catalog, Index as ReachIndex, IndexConfig, QueryBatch};
     pub use pscc_graph::{DiGraph, UnGraph, V};
     pub use pscc_lelists::{cohen_le_lists, le_lists, FrontierMode, LeListsConfig};
     pub use pscc_runtime::{num_workers, with_threads};

@@ -1,0 +1,133 @@
+//! Property-based tests for the reachability engine: on arbitrary random
+//! digraphs (cyclic ones very much included), `Index::reaches` must agree
+//! with a brute-force BFS oracle in every summary tier, and the
+//! condensation DAG must be acyclic with reachability preserved.
+
+use proptest::prelude::*;
+
+use parallel_scc::engine::{BatchOptions, IndexConfig as EngineIndexConfig};
+use parallel_scc::prelude::*;
+
+/// Arbitrary digraph: up to 70 vertices, density up to ~4 m/n, so samples
+/// range from forests to graphs with one giant SCC.
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (2usize..70).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..(n * 4))
+            .prop_map(move |edges| DiGraph::from_edges(n, &edges))
+    })
+}
+
+/// Brute-force reachability oracle.
+fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![u];
+    seen[u as usize] = true;
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for &w in g.out_neighbors(x) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Interval-tier config (zero bitset budget forces it on any DAG).
+fn interval_cfg() -> EngineIndexConfig {
+    EngineIndexConfig { bitset_budget_bytes: 0, ..EngineIndexConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn index_matches_bfs_oracle_bitset_tier(g in arb_graph()) {
+        let idx = ReachIndex::build(&g);
+        for u in 0..g.n() as V {
+            for v in 0..g.n() as V {
+                prop_assert_eq!(idx.reaches(u, v), bfs_reaches(&g, u, v),
+                    "({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_bfs_oracle_interval_tier(g in arb_graph()) {
+        let idx = ReachIndex::build_with_config(&g, &interval_cfg());
+        for u in 0..g.n() as V {
+            for v in 0..g.n() as V {
+                prop_assert_eq!(idx.reaches(u, v), bfs_reaches(&g, u, v),
+                    "({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_and_oracle(
+        g in arb_graph(),
+        seed in 0u64..1000,
+    ) {
+        let idx = ReachIndex::build(&g);
+        let batch = QueryBatch::with_options(&idx, &BatchOptions {
+            memo_bits: 8, grain: 7,
+        });
+        let mut rng = pscc_runtime::SplitMix64::new(seed);
+        let queries: Vec<(V, V)> = (0..200)
+            .map(|_| (rng.next_below(g.n() as u64) as V, rng.next_below(g.n() as u64) as V))
+            .collect();
+        let par = batch.answer(&queries);
+        let seq = batch.answer_sequential(&queries);
+        prop_assert_eq!(&par, &seq);
+        for (i, &(u, v)) in queries.iter().enumerate() {
+            prop_assert_eq!(par[i], bfs_reaches(&g, u, v), "query ({}, {})", u, v);
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_preserves_reachability(g in arb_graph()) {
+        let res = parallel_scc(&g, &SccConfig::default());
+        let cond = condense(&g, &res.labels);
+        // Acyclic: a topological order must exist (topo_order panics
+        // otherwise), and every arc must strictly increase its position.
+        let order = cond.topo_order();
+        let mut pos = vec![0usize; cond.num_components()];
+        for (i, &c) in order.iter().enumerate() {
+            pos[c as usize] = i;
+        }
+        for (a, b) in cond.dag.out_csr().edges() {
+            prop_assert!(pos[a as usize] < pos[b as usize], "arc {} -> {}", a, b);
+        }
+        // Levels respect arcs too.
+        let levels = cond.topo_levels();
+        for (a, b) in cond.dag.out_csr().edges() {
+            prop_assert!(levels[a as usize] < levels[b as usize]);
+        }
+        // Reachability preserved: u ⇝ v in g iff comp(u) ⇝ comp(v) in the
+        // condensation DAG.
+        for u in 0..g.n() as V {
+            for v in 0..g.n() as V {
+                let (cu, cv) = (cond.comp_of[u as usize], cond.comp_of[v as usize]);
+                let want = bfs_reaches(&g, u, v);
+                let got = cu == cv || bfs_reaches(&cond.dag, cu, cv);
+                prop_assert_eq!(got, want, "({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_round_trips_queries(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.n();
+        let catalog = Catalog::new();
+        catalog.insert("g", g.clone());
+        let mut rng = pscc_runtime::SplitMix64::new(seed ^ 0xca7a);
+        for _ in 0..50 {
+            let (u, v) = (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V);
+            prop_assert_eq!(catalog.reaches("g", u, v), Some(bfs_reaches(&g, u, v)));
+        }
+    }
+}

@@ -11,9 +11,8 @@ use parallel_scc::scc::verify::{component_stats, normalize_labels, same_partitio
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
     (2usize..80).prop_flat_map(|n| {
         let edge = (0..n as u32, 0..n as u32);
-        proptest::collection::vec(edge, 0..(n * 4)).prop_map(move |edges| {
-            DiGraph::from_edges(n, &edges)
-        })
+        proptest::collection::vec(edge, 0..(n * 4))
+            .prop_map(move |edges| DiGraph::from_edges(n, &edges))
     })
 }
 

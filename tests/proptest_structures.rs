@@ -6,8 +6,8 @@ use std::collections::HashSet;
 
 use parallel_scc::bag::{BagConfig, HashBag};
 use parallel_scc::cc::ConcurrentUnionFind;
-use parallel_scc::table::{Insert, PairTable};
 use parallel_scc::runtime::par_for;
+use parallel_scc::table::{Insert, PairTable};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
