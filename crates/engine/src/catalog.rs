@@ -1,22 +1,32 @@
 //! A catalog of named graphs with lazily built, invalidatable indexes —
 //! the multi-tenant face of the engine: register graphs up front, pay for
 //! an index only when a query actually arrives, drop it when the graph
-//! changes.
+//! changes, and mutate graphs in place with batched [`Delta`]s that keep
+//! the index alive whenever the math allows.
 
 use crate::batch::{BatchOptions, MemoCache, QueryBatch};
-use crate::index::{Index, IndexConfig};
+use crate::delta::{absorbs_all, Delta, DeltaError, DeltaOutcome, DeltaReport};
+use crate::index::{BuildCause, Index, IndexConfig};
 use pscc_graph::{DiGraph, V};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-struct Entry {
+/// Mutable per-graph state: the graph itself plus its (lazily built)
+/// index. One mutex guards both so delta application swaps them together.
+struct EntryState {
     graph: Arc<DiGraph>,
+    /// Built on first use; `None` after invalidation. The memo cache lives
+    /// (and is invalidated) with the index so verdicts stay warm across
+    /// batches — and across absorbed deltas.
+    index: Option<(Arc<Index>, Arc<MemoCache>)>,
+}
+
+struct Entry {
     config: IndexConfig,
-    /// Built on first use; `None` after invalidation. The per-entry mutex
-    /// serializes concurrent builders of the *same* graph while leaving
-    /// other entries untouched. The memo cache lives (and is invalidated)
-    /// with the index so verdicts stay warm across batches.
-    index: Mutex<Option<(Arc<Index>, Arc<MemoCache>)>>,
+    batch: BatchOptions,
+    /// The per-entry mutex serializes concurrent builders and updaters of
+    /// the *same* graph while leaving other entries untouched.
+    state: Mutex<EntryState>,
 }
 
 /// Holds multiple named graphs, each with a lazily built reachability
@@ -33,14 +43,27 @@ impl Catalog {
     }
 
     /// Registers (or replaces) a graph under `name` with the default index
-    /// configuration. Replacing drops any cached index.
+    /// and batch configuration. Replacing drops any cached index.
     pub fn insert(&self, name: &str, graph: DiGraph) {
-        self.insert_with_config(name, graph, IndexConfig::default());
+        self.insert_with_config(name, graph, IndexConfig::default(), BatchOptions::default());
     }
 
-    /// Registers (or replaces) a graph with an explicit configuration.
-    pub fn insert_with_config(&self, name: &str, graph: DiGraph, config: IndexConfig) {
-        let entry = Arc::new(Entry { graph: Arc::new(graph), config, index: Mutex::new(None) });
+    /// Registers (or replaces) a graph with explicit index and batch
+    /// configurations. The [`BatchOptions`] are stored with the entry and
+    /// honored by every subsequent [`Catalog::answer_batch`] (grain) and
+    /// memo construction (capacity).
+    pub fn insert_with_config(
+        &self,
+        name: &str,
+        graph: DiGraph,
+        config: IndexConfig,
+        batch: BatchOptions,
+    ) {
+        let entry = Arc::new(Entry {
+            config,
+            batch,
+            state: Mutex::new(EntryState { graph: Arc::new(graph), index: None }),
+        });
         self.entries.write().expect("catalog lock").insert(name.to_string(), entry);
     }
 
@@ -54,7 +77,7 @@ impl Catalog {
     pub fn invalidate(&self, name: &str) -> bool {
         match self.entry(name) {
             Some(e) => {
-                e.index.lock().expect("entry lock").take();
+                e.state.lock().expect("entry lock").index.take();
                 true
             }
             None => false,
@@ -71,12 +94,14 @@ impl Catalog {
 
     /// The graph registered under `name`.
     pub fn graph(&self, name: &str) -> Option<Arc<DiGraph>> {
-        self.entry(name).map(|e| e.graph.clone())
+        self.entry(name).map(|e| e.state.lock().expect("entry lock").graph.clone())
     }
 
     /// True if `name` currently holds a built index.
     pub fn is_indexed(&self, name: &str) -> bool {
-        self.entry(name).map(|e| e.index.lock().expect("entry lock").is_some()).unwrap_or(false)
+        self.entry(name)
+            .map(|e| e.state.lock().expect("entry lock").index.is_some())
+            .unwrap_or(false)
     }
 
     /// The index for `name`, building it on first use.
@@ -89,25 +114,115 @@ impl Catalog {
         Some(self.index(name)?.reaches(u, v))
     }
 
-    /// Answers a batch of queries against `name`'s graph in parallel.
-    /// The memo is shared across calls, so repeated hot pairs are answered
-    /// from cache even in later batches.
+    /// Answers a batch of queries against `name`'s graph in parallel,
+    /// using the entry's stored [`BatchOptions`]. The memo is shared
+    /// across calls, so repeated hot pairs are answered from cache even in
+    /// later batches.
     pub fn answer_batch(&self, name: &str, queries: &[(V, V)]) -> Option<Vec<bool>> {
-        let (index, memo) = self.index_and_memo(name)?;
-        let batch = QueryBatch::with_shared_memo(&index, memo, BatchOptions::default().grain);
+        let entry = self.entry(name)?;
+        let (index, memo) = Self::entry_index_and_memo(&entry);
+        let batch = QueryBatch::with_shared_memo(&index, memo, entry.batch.grain);
         Some(batch.answer(queries))
+    }
+
+    /// Applies a batched edge update to `name`'s graph, atomically
+    /// swapping in the merged graph ([`DiGraph::with_delta`]) and
+    /// repairing the index incrementally:
+    ///
+    /// * deltas whose every effective change provably keeps the
+    ///   reachability relation (insertions inside one SCC or between
+    ///   already-reachable component pairs) keep the existing index *and*
+    ///   its warm memo ([`DeltaOutcome::Absorbed`]);
+    /// * deltas that can merge components or add DAG reachability — and
+    ///   any effective deletion — rebuild the index eagerly
+    ///   ([`DeltaOutcome::Rebuilt`], stamped
+    ///   [`BuildCause::DeltaRebuild`][crate::index::BuildCause]);
+    /// * if no index was built yet the graph is swapped and indexing stays
+    ///   lazy ([`DeltaOutcome::Deferred`]).
+    ///
+    /// Returns the path taken plus effective edge counts, or a
+    /// [`DeltaError`] (nothing modified) for an unknown graph or an
+    /// out-of-range endpoint.
+    ///
+    /// Like the lazy first-query build, the merge and any rebuild run
+    /// under the entry's mutex: concurrent queries against the *same*
+    /// graph wait for the swap (other entries are unaffected), which is
+    /// what makes the update atomic — callers never observe the new graph
+    /// with the old index or vice versa.
+    pub fn apply_delta(&self, name: &str, delta: &Delta) -> Result<DeltaReport, DeltaError> {
+        let entry = self.entry(name).ok_or_else(|| DeltaError::UnknownGraph(name.to_string()))?;
+        let mut st = entry.state.lock().expect("entry lock");
+        let n = st.graph.n();
+        for &edge in delta.insertions().iter().chain(delta.deletions()) {
+            if edge.0 as usize >= n || edge.1 as usize >= n {
+                return Err(DeltaError::EndpointOutOfRange { edge, n });
+            }
+        }
+
+        // Reduce to the *effective* delta: insertions of absent edges, and
+        // deletions of present edges not re-inserted by this same delta
+        // (insertions win).
+        let graph = &st.graph;
+        let has_edge = |&(u, v): &(V, V)| graph.out_neighbors(u).binary_search(&v).is_ok();
+        let mut ins: Vec<(V, V)> =
+            delta.insertions().iter().filter(|e| !has_edge(e)).copied().collect();
+        pscc_graph::dedup_edges(&mut ins);
+        let mut del: Vec<(V, V)> = if delta.deletions().is_empty() {
+            Vec::new()
+        } else {
+            // Sorted copy of *all* queued insertions (present ones
+            // included) so the reinsertion check is a binary search, not
+            // a linear scan.
+            let mut queued_ins = delta.insertions().to_vec();
+            pscc_graph::dedup_edges(&mut queued_ins);
+            delta
+                .deletions()
+                .iter()
+                .filter(|e| has_edge(e) && queued_ins.binary_search(e).is_err())
+                .copied()
+                .collect()
+        };
+        pscc_graph::dedup_edges(&mut del);
+        if ins.is_empty() && del.is_empty() {
+            return Ok(DeltaReport { outcome: DeltaOutcome::NoOp, inserted: 0, deleted: 0 });
+        }
+
+        let merged = Arc::new(st.graph.with_delta(&ins, &del));
+        let report = |outcome| DeltaReport { outcome, inserted: ins.len(), deleted: del.len() };
+        let outcome = match st.index.take() {
+            None => DeltaOutcome::Deferred,
+            Some((index, memo)) if del.is_empty() && absorbs_all(&index, &ins) => {
+                index.note_absorbed();
+                st.index = Some((index, memo));
+                DeltaOutcome::Absorbed
+            }
+            Some(_) => {
+                let mut index = Index::build_with_config(&merged, &entry.config);
+                index.set_built_by(BuildCause::DeltaRebuild);
+                let memo = MemoCache::new(entry.batch.memo_bits, index.num_components());
+                st.index = Some((Arc::new(index), Arc::new(memo)));
+                DeltaOutcome::Rebuilt
+            }
+        };
+        st.graph = merged;
+        Ok(report(outcome))
     }
 
     fn index_and_memo(&self, name: &str) -> Option<(Arc<Index>, Arc<MemoCache>)> {
         let entry = self.entry(name)?;
-        let mut slot = entry.index.lock().expect("entry lock");
-        if slot.is_none() {
-            let index = Arc::new(Index::build_with_config(&entry.graph, &entry.config));
-            let memo =
-                Arc::new(MemoCache::new(BatchOptions::default().memo_bits, index.num_components()));
-            *slot = Some((index, memo));
+        Some(Self::entry_index_and_memo(&entry))
+    }
+
+    /// The entry's index + memo, built under the entry lock on first use
+    /// with the entry's stored configurations.
+    fn entry_index_and_memo(entry: &Entry) -> (Arc<Index>, Arc<MemoCache>) {
+        let mut st = entry.state.lock().expect("entry lock");
+        if st.index.is_none() {
+            let index = Arc::new(Index::build_with_config(&st.graph, &entry.config));
+            let memo = Arc::new(MemoCache::new(entry.batch.memo_bits, index.num_components()));
+            st.index = Some((index, memo));
         }
-        slot.clone()
+        st.index.clone().expect("just built")
     }
 
     fn entry(&self, name: &str) -> Option<Arc<Entry>> {
@@ -180,5 +295,125 @@ mod tests {
         let a = cat.index("g").unwrap();
         let b = cat.index("g").unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn per_entry_batch_options_are_honored() {
+        let cat = Catalog::new();
+        // memo_bits = 0 disables the memo for this entry only.
+        let opts = BatchOptions { memo_bits: 0, grain: 3 };
+        cat.insert_with_config("g", path_digraph(30), IndexConfig::default(), opts);
+        let queries: Vec<(V, V)> = (0..29).map(|i| (i as V, (i + 1) as V)).collect();
+        let ans = cat.answer_batch("g", &queries).unwrap();
+        assert!(ans.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn delta_unknown_graph_and_out_of_range() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(4));
+        let mut d = Delta::new();
+        d.insert(0, 2);
+        assert_eq!(
+            cat.apply_delta("missing", &d),
+            Err(DeltaError::UnknownGraph("missing".to_string()))
+        );
+        let mut bad = Delta::new();
+        bad.delete(0, 9);
+        assert_eq!(
+            cat.apply_delta("g", &bad),
+            Err(DeltaError::EndpointOutOfRange { edge: (0, 9), n: 4 })
+        );
+        // Nothing was modified by the failed applications.
+        assert_eq!(cat.graph("g").unwrap().m(), 3);
+    }
+
+    #[test]
+    fn redundant_delta_is_a_noop() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(4));
+        let before = cat.index("g").unwrap();
+        let mut d = Delta::new();
+        d.insert(0, 1).delete(3, 0); // edge present / edge absent
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report, DeltaReport { outcome: DeltaOutcome::NoOp, inserted: 0, deleted: 0 });
+        assert!(Arc::ptr_eq(&before, &cat.index("g").unwrap()));
+    }
+
+    #[test]
+    fn absorbable_insertion_keeps_the_index_instance() {
+        // 0 <-> 1 (one SCC) -> 2 -> 3.
+        let cat = Catalog::new();
+        cat.insert("g", DiGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]));
+        let before = cat.index("g").unwrap();
+        assert_eq!(before.stats().absorbed_deltas, 0);
+        // In-SCC edge + already-reachable pair: both absorbable.
+        let mut d = Delta::new();
+        d.insert(0, 0).insert(0, 3);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Absorbed);
+        assert_eq!(report.inserted, 2);
+        let after = cat.index("g").unwrap();
+        assert!(Arc::ptr_eq(&before, &after), "absorbed delta must keep the index");
+        assert_eq!(after.stats().absorbed_deltas, 1);
+        // The graph itself did change.
+        assert_eq!(cat.graph("g").unwrap().m(), 6);
+        assert_eq!(cat.reaches("g", 0, 3), Some(true));
+    }
+
+    #[test]
+    fn merging_delta_rebuilds_the_index() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(5));
+        let before = cat.index("g").unwrap();
+        assert_eq!(before.stats().built_by, BuildCause::Fresh);
+        assert_eq!(before.num_components(), 5);
+        // 4 -> 0 closes the path into one big cycle: components merge.
+        let mut d = Delta::new();
+        d.insert(4, 0);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
+        let after = cat.index("g").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "merging delta must rebuild");
+        assert_eq!(after.stats().built_by, BuildCause::DeltaRebuild);
+        assert_eq!(after.num_components(), 1);
+        assert_eq!(cat.reaches("g", 3, 1), Some(true));
+    }
+
+    #[test]
+    fn effective_deletion_rebuilds_and_flips_answers() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(5));
+        assert_eq!(cat.reaches("g", 0, 4), Some(true));
+        let mut d = Delta::new();
+        d.delete(2, 3);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(cat.reaches("g", 0, 4), Some(false));
+        assert_eq!(cat.reaches("g", 0, 2), Some(true));
+    }
+
+    #[test]
+    fn delta_before_first_query_defers_indexing() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(4));
+        let mut d = Delta::new();
+        d.insert(3, 0);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Deferred);
+        assert!(!cat.is_indexed("g"));
+        assert_eq!(cat.reaches("g", 2, 1), Some(true)); // lazy build sees the cycle
+    }
+
+    #[test]
+    fn insertion_wins_when_delta_names_an_edge_twice() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(3));
+        let mut d = Delta::new();
+        d.insert(0, 1).delete(0, 1);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::NoOp);
+        assert_eq!(cat.reaches("g", 0, 1), Some(true));
     }
 }

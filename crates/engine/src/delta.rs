@@ -1,0 +1,212 @@
+//! Batched edge updates for registered graphs: the [`Delta`] type, the
+//! report of what applying one did, and the absorbability rule behind the
+//! catalog's incremental index repair.
+//!
+//! ## Semantics
+//!
+//! A delta is a set of edge insertions and deletions applied atomically to
+//! one registered graph: the result is `(G ∖ deletions) ∪ insertions`
+//! over the same vertex set (an edge named by both lists ends up
+//! **present**). Inserting an edge that already exists or deleting one
+//! that doesn't is a no-op, so deltas are idempotent.
+//!
+//! ## When the index survives
+//!
+//! The reachability index answers from SCC labels plus a condensation-DAG
+//! summary, so it only has to be rebuilt when a delta can *change* the
+//! reachability relation:
+//!
+//! * an **effective deletion** (the edge was present) can remove paths or
+//!   split an SCC → rebuild;
+//! * an inserted edge `u → v` with `comp(u) == comp(v)` adds a parallel
+//!   route inside one SCC → answers unchanged;
+//! * an inserted edge whose component pair is **already reachable**
+//!   (`comp(u) ⇝ comp(v)` per the summary) only duplicates an existing
+//!   path: `u` reaches `v` through the old graph, so by induction every
+//!   path using new edges can be rerouted over old ones — answers
+//!   unchanged, and no cycle can form (that would need `comp(v) ⇝
+//!   comp(u)`, contradicting DAG acyclicity);
+//! * any other insertion can add DAG reachability or merge components →
+//!   rebuild.
+//!
+//! When every change falls in the two "unchanged" classes the catalog
+//! keeps the existing `Arc<Index>` *and* its warm memo, and the index
+//! records the absorption in [`IndexStats::absorbed_deltas`]; otherwise it
+//! rebuilds with [`BuildCause::DeltaRebuild`].
+//!
+//! [`IndexStats::absorbed_deltas`]: crate::index::IndexStats::absorbed_deltas
+//! [`BuildCause::DeltaRebuild`]: crate::index::BuildCause::DeltaRebuild
+
+use crate::index::Index;
+use pscc_graph::V;
+
+/// A batch of edge insertions and deletions for one graph.
+///
+/// Build one incrementally with [`Delta::insert`] / [`Delta::delete`] (or
+/// in bulk with [`Delta::from_parts`]) and apply it through
+/// [`crate::Catalog::apply_delta`].
+///
+/// ```
+/// use pscc_engine::Delta;
+///
+/// let mut delta = Delta::new();
+/// delta.insert(0, 3).insert(3, 4).delete(1, 2);
+/// assert_eq!(delta.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    insertions: Vec<(V, V)>,
+    deletions: Vec<(V, V)>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A delta from bulk edge lists.
+    pub fn from_parts(insertions: Vec<(V, V)>, deletions: Vec<(V, V)>) -> Self {
+        Delta { insertions, deletions }
+    }
+
+    /// Queues the insertion of edge `u → v`.
+    pub fn insert(&mut self, u: V, v: V) -> &mut Self {
+        self.insertions.push((u, v));
+        self
+    }
+
+    /// Queues the deletion of edge `u → v`.
+    pub fn delete(&mut self, u: V, v: V) -> &mut Self {
+        self.deletions.push((u, v));
+        self
+    }
+
+    /// The queued insertions, in queue order.
+    pub fn insertions(&self) -> &[(V, V)] {
+        &self.insertions
+    }
+
+    /// The queued deletions, in queue order.
+    pub fn deletions(&self) -> &[(V, V)] {
+        &self.deletions
+    }
+
+    /// Total queued operations.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+}
+
+/// Which path [`crate::Catalog::apply_delta`] took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// Every operation was redundant (insertions already present,
+    /// deletions already absent): nothing changed, index untouched.
+    NoOp,
+    /// The graph was updated; no index existed yet, so the next query
+    /// builds a fresh one over the new graph.
+    Deferred,
+    /// The graph was updated and every effective change provably preserves
+    /// the reachability relation: the existing index and its warm memo
+    /// were kept.
+    Absorbed,
+    /// The graph was updated and the delta could change reachability: the
+    /// index was rebuilt (with a fresh memo).
+    Rebuilt,
+}
+
+/// What applying one [`Delta`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Index-repair path taken.
+    pub outcome: DeltaOutcome,
+    /// Edges actually added (queued insertions not already present).
+    pub inserted: usize,
+    /// Edges actually removed (queued deletions that were present and not
+    /// re-inserted by the same delta).
+    pub deleted: usize,
+}
+
+/// Why a [`Delta`] could not be applied. Nothing is modified when
+/// [`crate::Catalog::apply_delta`] returns one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// No graph is registered under the given name.
+    UnknownGraph(String),
+    /// An operation names a vertex outside the graph's vertex set.
+    EndpointOutOfRange {
+        /// The offending edge.
+        edge: (V, V),
+        /// The graph's vertex count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownGraph(name) => write!(f, "no graph registered as {name:?}"),
+            DeltaError::EndpointOutOfRange { edge: (u, v), n } => {
+                write!(f, "delta edge ({u}, {v}) out of range (n={n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// True if inserting every edge in `ins` provably leaves the reachability
+/// relation of the indexed graph unchanged (see the module docs for the
+/// argument). Each edge is checked independently: individual
+/// absorbability implies joint absorbability because every absorbable
+/// edge's endpoints were already connected in the *old* graph.
+pub(crate) fn absorbs_all(index: &Index, ins: &[(V, V)]) -> bool {
+    ins.iter().all(|&(u, v)| {
+        let (cu, cv) = (index.comp(u) as usize, index.comp(v) as usize);
+        cu == cv || index.comp_reaches(cu, cv)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_operations() {
+        let mut d = Delta::new();
+        d.insert(1, 2).insert(2, 3).delete(0, 1);
+        assert_eq!(d.insertions(), &[(1, 2), (2, 3)]);
+        assert_eq!(d.deletions(), &[(0, 1)]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(Delta::new().is_empty());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = DeltaError::UnknownGraph("web".into());
+        assert!(e.to_string().contains("web"));
+        let e = DeltaError::EndpointOutOfRange { edge: (3, 9), n: 5 };
+        assert!(e.to_string().contains("(3, 9)") && e.to_string().contains("n=5"));
+    }
+
+    #[test]
+    fn absorbability_follows_the_summary() {
+        use pscc_graph::DiGraph;
+        // {0,1} is an SCC; 1 -> 2 -> 3 is a tail.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        let idx = Index::build(&g);
+        // In-SCC and already-reachable insertions absorb.
+        assert!(absorbs_all(&idx, &[(1, 0), (0, 3), (1, 3)]));
+        // A back edge would merge components: not absorbable.
+        assert!(!absorbs_all(&idx, &[(3, 0)]));
+        // One bad edge poisons the batch.
+        assert!(!absorbs_all(&idx, &[(0, 3), (3, 0)]));
+    }
+}

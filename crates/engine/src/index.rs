@@ -31,6 +31,7 @@ use pscc_apps::{condense, Condensation};
 use pscc_core::{parallel_scc, SccConfig};
 use pscc_graph::{DiGraph, V};
 use pscc_runtime::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Which descendant-summary representation an [`Index`] chose.
@@ -72,6 +73,19 @@ impl Default for IndexConfig {
     }
 }
 
+/// Why an [`Index`] was (re)built — the "which path was taken" record of
+/// the delta-application machinery in [`crate::catalog::Catalog`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BuildCause {
+    /// Built for a freshly registered graph (or on first query).
+    #[default]
+    Fresh,
+    /// Rebuilt because an applied [`crate::delta::Delta`] could change
+    /// reachability (an effective deletion, or an insertion joining
+    /// component pairs not already reachable).
+    DeltaRebuild,
+}
+
 /// Build-cost breakdown and shape of one [`Index`] (the "index-build
 /// breakdown" of the example server's report).
 #[derive(Clone, Debug, Default)]
@@ -92,6 +106,13 @@ pub struct IndexStats {
     pub summary_bytes: usize,
     /// Components carrying an exact exception list (interval tier only).
     pub exception_components: usize,
+    /// Why this index was built ([`BuildCause::DeltaRebuild`] when a
+    /// non-absorbable delta forced it).
+    pub built_by: BuildCause,
+    /// Deltas this index absorbed *without* rebuilding: every edge in them
+    /// stayed inside one SCC or joined an already-reachable component
+    /// pair, so all query answers were provably unchanged.
+    pub absorbed_deltas: u64,
 }
 
 /// One GRAIL-style labeling: a post-order rank and the subtree-minimum
@@ -128,6 +149,9 @@ pub struct Index {
     sizes: Vec<usize>,
     summary: Summary,
     stats: IndexStats,
+    /// Deltas absorbed without a rebuild; interior-mutable because kept
+    /// indexes are shared as `Arc<Index>` (see [`IndexStats::absorbed_deltas`]).
+    absorbed: AtomicU64,
 }
 
 impl Index {
@@ -191,8 +215,20 @@ impl Index {
             dag_arcs: dag.m(),
             summary_bytes,
             exception_components,
+            built_by: BuildCause::Fresh,
+            absorbed_deltas: 0,
         };
-        Index { comp_of, levels, dag, sizes, summary, stats }
+        Index { comp_of, levels, dag, sizes, summary, stats, absorbed: AtomicU64::new(0) }
+    }
+
+    /// Stamps the build cause (the catalog marks delta-forced rebuilds).
+    pub(crate) fn set_built_by(&mut self, cause: BuildCause) {
+        self.stats.built_by = cause;
+    }
+
+    /// Records one absorbed delta (kept index, unchanged answers).
+    pub(crate) fn note_absorbed(&self) {
+        self.absorbed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of vertices of the indexed graph.
@@ -236,9 +272,12 @@ impl Index {
         }
     }
 
-    /// Build-cost and shape statistics.
-    pub fn stats(&self) -> &IndexStats {
-        &self.stats
+    /// Build-cost and shape statistics (a snapshot: `absorbed_deltas`
+    /// advances as the catalog absorbs deltas into this index).
+    pub fn stats(&self) -> IndexStats {
+        let mut s = self.stats.clone();
+        s.absorbed_deltas = self.absorbed.load(Ordering::Relaxed);
+        s
     }
 
     /// True if a directed path `u ⇝ v` exists (trivially true for

@@ -19,6 +19,13 @@
 //!   blocked `par_for`, with a concurrent fixed-capacity memo for hot
 //!   component-pair verdicts.
 //! * [`Catalog`] — named graphs with lazily built, invalidatable indexes.
+//! * [`Delta`] — batched edge updates applied through
+//!   [`Catalog::apply_delta`]: the graph is merged in parallel
+//!   (`DiGraph::with_delta`) and the index is repaired *incrementally* —
+//!   deltas that provably keep the reachability relation (insertions
+//!   inside one SCC or between already-reachable component pairs) keep
+//!   the live index and its warm memo; only reachability-changing deltas
+//!   rebuild (see [`delta`] for the argument).
 //!
 //! ```
 //! use pscc_engine::{Catalog, Index, QueryBatch};
@@ -41,8 +48,10 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod delta;
 pub mod index;
 
 pub use batch::{BatchOptions, BatchStats, QueryBatch};
 pub use catalog::Catalog;
-pub use index::{Index, IndexConfig, IndexStats, SummaryTier};
+pub use delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
+pub use index::{BuildCause, Index, IndexConfig, IndexStats, SummaryTier};

@@ -1,8 +1,14 @@
-//! Parallel CSR construction from edge lists.
+//! Parallel CSR construction from edge lists, and parallel CSR *merging*
+//! for batched edge updates.
 //!
 //! Edges are sorted (parallel), deduplicated, and packed into offsets +
 //! targets. Self loops are preserved (SCC/reachability treat them as
 //! no-ops); duplicates are removed so degree-based heuristics stay honest.
+//!
+//! [`merge_csr`] applies a sorted insertion/deletion delta to an existing
+//! CSR with one counting pass and one filling pass, both parallel over
+//! vertices — O(n/P + m/P + |delta|) instead of a from-scratch edge-list
+//! rebuild.
 
 use crate::csr::Csr;
 use crate::V;
@@ -39,6 +45,121 @@ pub fn build_csr(n: usize, edges: &[(V, V)]) -> Csr {
     let targets: Vec<V> = sorted.into_iter().map(|(_, v)| v).collect();
     debug_assert_eq!(offsets[n] as usize, m);
     Csr::from_parts(offsets, targets)
+}
+
+/// Merges a sorted, deduplicated edge delta into `base`, producing
+/// `(base ∖ deletions) ∪ insertions`.
+///
+/// `insertions` and `deletions` must be sorted lexicographically with no
+/// duplicates (use [`dedup_edges`]) and every endpoint must be `< base.n()`.
+/// An edge present in both lists ends up **present**: insertions win.
+///
+/// Both passes (degree counting and adjacency filling) run in parallel
+/// over vertices; each vertex merges its already-sorted adjacency list
+/// with its slice of the delta, so the whole merge is
+/// O(n/P + m/P + |delta|) and the output keeps the sorted,
+/// duplicate-free adjacency invariant of [`build_csr`].
+pub fn merge_csr(base: &Csr, insertions: &[(V, V)], deletions: &[(V, V)]) -> Csr {
+    // Real asserts, not debug: unsorted input would make the binary
+    // searches silently return wrong slices and corrupt the output. The
+    // O(|delta|) scans are noise next to the merge itself.
+    assert!(insertions.windows(2).all(|w| w[0] < w[1]), "insertions must be sorted+deduped");
+    assert!(deletions.windows(2).all(|w| w[0] < w[1]), "deletions must be sorted+deduped");
+    let n = base.n();
+    let check = |edges: &[(V, V)]| {
+        if let Some(&(u, v)) = edges.last() {
+            assert!((u as usize) < n, "delta source {u} out of range (n={n})");
+            let maxv = edges.iter().map(|&(_, v)| v).max().unwrap_or(0);
+            assert!((maxv as usize) < n, "delta target {maxv} out of range (n={n})");
+            let _ = v;
+        }
+    };
+    check(insertions);
+    check(deletions);
+
+    // The delta slice owned by vertex u starts where edges with source >= u
+    // do; found by binary search per vertex inside the parallel passes.
+    fn slice_of(edges: &[(V, V)], u: V) -> &[(V, V)] {
+        let lo = edges.partition_point(|&(s, _)| s < u);
+        let hi = lo + edges[lo..].partition_point(|&(s, _)| s == u);
+        &edges[lo..hi]
+    }
+
+    // Pass 1: new per-vertex degrees.
+    let mut offsets = vec![0u64; n + 1];
+    {
+        let off = SendPtr(offsets.as_mut_ptr());
+        pscc_runtime::par_range(0..n, 1024, &|r| {
+            for u in r {
+                let ins = slice_of(insertions, u as V);
+                let del = slice_of(deletions, u as V);
+                let mut count = 0u64;
+                merge_adjacency(base.neighbors(u as V), ins, del, |_| count += 1);
+                // Safety: each vertex writes only its own slot.
+                unsafe { *off.get().add(u) = count };
+            }
+        });
+    }
+    let m = pscc_runtime::scan_exclusive(&mut offsets[..n]) as usize;
+    offsets[n] = m as u64;
+
+    // Pass 2: fill each (disjoint) adjacency segment.
+    let mut targets = vec![0 as V; m];
+    {
+        let tgt = SendPtr(targets.as_mut_ptr());
+        let offsets = &offsets;
+        pscc_runtime::par_range(0..n, 1024, &|r| {
+            for u in r {
+                let ins = slice_of(insertions, u as V);
+                let del = slice_of(deletions, u as V);
+                let mut pos = offsets[u] as usize;
+                merge_adjacency(base.neighbors(u as V), ins, del, |v| {
+                    // Safety: per-vertex segments [offsets[u], offsets[u+1])
+                    // are disjoint.
+                    unsafe { *tgt.get().add(pos) = v };
+                    pos += 1;
+                });
+                debug_assert_eq!(pos, offsets[u + 1] as usize);
+            }
+        });
+    }
+    Csr::from_parts(offsets, targets)
+}
+
+/// Emits the sorted union of `nb` and `ins` minus the members of `del`
+/// that are not in `ins` (insertions win over deletions). All three
+/// inputs are sorted and duplicate-free; each surviving target is emitted
+/// exactly once, in ascending order.
+fn merge_adjacency(nb: &[V], ins: &[(V, V)], del: &[(V, V)], mut emit: impl FnMut(V)) {
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < nb.len() || j < ins.len() {
+        let take_ins = j < ins.len() && (i >= nb.len() || ins[j].1 <= nb[i]);
+        let v = if take_ins { ins[j].1 } else { nb[i] };
+        let also_in_base = i < nb.len() && nb[i] == v;
+        if take_ins {
+            j += 1;
+        }
+        if also_in_base {
+            i += 1;
+        }
+        while k < del.len() && del[k].1 < v {
+            k += 1;
+        }
+        let deleted = k < del.len() && del[k].1 == v;
+        if take_ins || !deleted {
+            emit(v);
+        }
+    }
+}
+
+/// Raw-pointer wrapper letting disjoint parallel writers share one buffer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +214,79 @@ mod tests {
             assert!(g.neighbors(v).is_empty());
         }
         assert_eq!(g.neighbors(0), &[9]);
+    }
+
+    /// Oracle for merge_csr: rebuild from the merged edge list.
+    fn merge_oracle(base: &Csr, ins: &[(V, V)], del: &[(V, V)]) -> Csr {
+        let mut edges: Vec<(V, V)> = base.edges().filter(|e| !del.contains(e)).collect();
+        edges.extend_from_slice(ins);
+        dedup_edges(&mut edges);
+        build_csr(base.n(), &edges)
+    }
+
+    #[test]
+    fn merge_inserts_and_deletes() {
+        let base = build_csr(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let ins = vec![(0, 3), (3, 0)];
+        let del = vec![(0, 2), (1, 3)];
+        let merged = merge_csr(&base, &ins, &del);
+        assert_eq!(merged, merge_oracle(&base, &ins, &del));
+        assert_eq!(merged.neighbors(0), &[1, 3]);
+        assert_eq!(merged.neighbors(1), &[] as &[V]);
+        assert_eq!(merged.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn merge_empty_delta_is_identity() {
+        let base = build_csr(5, &[(0, 1), (2, 4), (4, 4)]);
+        assert_eq!(merge_csr(&base, &[], &[]), base);
+    }
+
+    #[test]
+    fn merge_insert_wins_over_delete() {
+        let base = build_csr(3, &[(0, 1)]);
+        // Same edge inserted and deleted: present afterwards.
+        let merged = merge_csr(&base, &[(0, 1)], &[(0, 1)]);
+        assert_eq!(merged.neighbors(0), &[1]);
+        // And for an edge absent from the base, too.
+        let merged = merge_csr(&base, &[(2, 0)], &[(2, 0)]);
+        assert_eq!(merged.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn merge_ignores_redundant_operations() {
+        let base = build_csr(3, &[(0, 1), (1, 2)]);
+        // Inserting a present edge and deleting an absent one: no change.
+        let merged = merge_csr(&base, &[(0, 1)], &[(2, 0)]);
+        assert_eq!(merged, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn merge_rejects_out_of_range_insertion() {
+        let base = build_csr(2, &[(0, 1)]);
+        let _ = merge_csr(&base, &[(0, 5)], &[]);
+    }
+
+    #[test]
+    fn merge_random_matches_rebuild_oracle() {
+        use pscc_runtime::SplitMix64;
+        let n = 300usize;
+        let mut rng = SplitMix64::new(0xde17a);
+        let pair =
+            |rng: &mut SplitMix64| (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V);
+        let mut base_edges: Vec<(V, V)> = (0..3000).map(|_| pair(&mut rng)).collect();
+        dedup_edges(&mut base_edges);
+        let base = build_csr(n, &base_edges);
+        for _ in 0..10 {
+            let mut ins: Vec<(V, V)> = (0..200).map(|_| pair(&mut rng)).collect();
+            dedup_edges(&mut ins);
+            // Deletions: a mix of real edges and absent ones.
+            let mut del: Vec<(V, V)> = base_edges.iter().step_by(7).copied().collect();
+            del.extend((0..50).map(|_| pair(&mut rng)));
+            dedup_edges(&mut del);
+            assert_eq!(merge_csr(&base, &ins, &del), merge_oracle(&base, &ins, &del));
+        }
     }
 
     #[test]

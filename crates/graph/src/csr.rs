@@ -230,6 +230,38 @@ impl DiGraph {
         Self { out: self.inn, inn: self.out }
     }
 
+    /// Applies a batched edge update, producing
+    /// `(self ∖ deletions) ∪ insertions` over the same vertex set.
+    ///
+    /// The inputs need not be sorted or duplicate-free; an edge appearing
+    /// in both lists ends up **present** (insertions win). Inserting an
+    /// edge that already exists or deleting one that doesn't is a no-op.
+    /// Both adjacency structures are updated by a parallel per-vertex merge
+    /// ([`crate::builder::merge_csr`]) — O(n/P + m/P + |delta| log |delta|)
+    /// — rather than a from-scratch edge-list rebuild.
+    ///
+    /// Panics if an endpoint is `>= self.n()`, matching [`DiGraph::from_edges`].
+    pub fn with_delta(&self, insertions: &[(V, V)], deletions: &[(V, V)]) -> DiGraph {
+        let mut ins = insertions.to_vec();
+        let mut del = deletions.to_vec();
+        crate::builder::dedup_edges(&mut ins);
+        crate::builder::dedup_edges(&mut del);
+        let out = crate::builder::merge_csr(&self.out, &ins, &del);
+        // The transpose is merged directly with the reversed delta instead
+        // of being recomputed from the merged out-CSR.
+        let reverse = |edges: &mut Vec<(V, V)>| {
+            for e in edges.iter_mut() {
+                *e = (e.1, e.0);
+            }
+            crate::builder::dedup_edges(edges);
+        };
+        reverse(&mut ins);
+        reverse(&mut del);
+        let inn = crate::builder::merge_csr(&self.inn, &ins, &del);
+        debug_assert_eq!(out.m(), inn.m());
+        DiGraph { out, inn }
+    }
+
     /// Symmetrizes into an undirected graph: keeps an edge `{u, v}` if
     /// either direction exists.
     pub fn symmetrize(&self) -> UnGraph {
@@ -417,6 +449,40 @@ mod tests {
         let d = u.as_digraph();
         assert_eq!(d.out_neighbors(1), d.in_neighbors(1));
         assert_eq!(d.m(), 4);
+    }
+
+    #[test]
+    fn with_delta_matches_from_edges() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let upd = g.with_delta(&[(4, 0), (1, 3), (1, 2)], &[(2, 3), (0, 4)]);
+        let want = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 0), (1, 3)]);
+        assert_eq!(upd.out_csr(), want.out_csr());
+        assert_eq!(upd.in_csr(), want.in_csr());
+    }
+
+    #[test]
+    fn with_delta_transpose_stays_consistent() {
+        let g = crate::generators::random::gnm_digraph(120, 400, 5);
+        let ins: Vec<(V, V)> = (0..60).map(|i| (i as V, (i * 2 % 120) as V)).collect();
+        let del: Vec<(V, V)> = g.out_csr().edges().step_by(5).collect();
+        let upd = g.with_delta(&ins, &del);
+        assert_eq!(&upd.out_csr().transpose(), upd.in_csr());
+        assert_eq!(&upd.in_csr().transpose(), upd.out_csr());
+    }
+
+    #[test]
+    fn with_delta_empty_is_identity() {
+        let g = crate::generators::random::gnm_digraph(40, 100, 8);
+        let upd = g.with_delta(&[], &[]);
+        assert_eq!(upd.out_csr(), g.out_csr());
+        assert_eq!(upd.in_csr(), g.in_csr());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_delta_rejects_out_of_range() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]);
+        let _ = g.with_delta(&[], &[(0, 7)]);
     }
 
     #[test]

@@ -17,6 +17,21 @@ use crate::V;
 
 /// Writes `g` as an edge-list text file.
 pub fn write_edge_list<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
+    // Refuse to produce a file read_edge_list would reject as a hostile
+    // header (see TEXT_VERTEX_FLOOR): every edge record occupies at least
+    // 4 bytes, so 4 * m lower-bounds the file size the reader will see.
+    let min_len = 4 * g.m() as u64;
+    if g.n() as u64 > TEXT_VERTEX_FLOOR.max(min_len.saturating_mul(TEXT_VERTEX_BYTES_FACTOR)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "graph with {} vertices and {} edges is too sparse for the \
+                 text format's vertex cap; use write_binary",
+                g.n(),
+                g.m()
+            ),
+        ));
+    }
     let mut w = BufWriter::new(File::create(path)?);
     writeln!(w, "# parallel-scc edge list")?;
     writeln!(w, "{} {}", g.n(), g.m())?;
@@ -26,9 +41,37 @@ pub fn write_edge_list<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
     w.flush()
 }
 
+fn invalid<T>(msg: impl Into<String>) -> io::Result<T> {
+    Err(io::Error::new(io::ErrorKind::InvalidData, msg.into()))
+}
+
+/// Isolated vertices occupy no bytes in the text format, so the header's
+/// vertex count cannot be bounded by record counting the way the edge
+/// count is. Instead a hostile header is declared when `n` exceeds a
+/// generous multiple of the file size (with a floor so small files
+/// describing legitimately sparse graphs still roundtrip); graphs larger
+/// or sparser than this belong in the binary format, whose header is
+/// validated against the physical offset array. [`write_edge_list`]
+/// enforces the same cap (conservatively, from the minimum possible
+/// record size), so everything the writer produces the reader accepts.
+pub const TEXT_VERTEX_FLOOR: u64 = 1 << 22;
+/// See [`TEXT_VERTEX_FLOOR`].
+pub const TEXT_VERTEX_BYTES_FACTOR: u64 = 16;
+
 /// Reads an edge-list text file into a digraph.
+///
+/// Every record is validated against the header: endpoints must be
+/// `< n`, the edge count must match `m`, and `n` must fit the `u32`
+/// vertex-id space. Malformed input yields
+/// [`io::ErrorKind::InvalidData`] — never a panic, and never an
+/// allocation beyond a fixed multiple of the file size (edge storage is
+/// bounded by the record count the file can hold, vertex storage by
+/// [`TEXT_VERTEX_BYTES_FACTOR`] bytes-to-vertices with a
+/// [`TEXT_VERTEX_FLOOR`] floor).
 pub fn read_edge_list<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
-    let r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let r = BufReader::new(file);
     let mut header: Option<(usize, usize)> = None;
     let mut edges: Vec<(V, V)> = Vec::new();
     for line in r.lines() {
@@ -38,29 +81,51 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let a: u64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad record"))?;
-        let b: u64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad record"))?;
+        let mut field = || -> io::Result<u64> {
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad record"))
+        };
+        let (a, b) = (field()?, field()?);
         match header {
             None => {
+                if a >= u32::MAX as u64 {
+                    return invalid(format!("vertex count {a} exceeds the u32 id space"));
+                }
+                let vertex_cap =
+                    TEXT_VERTEX_FLOOR.max(file_len.saturating_mul(TEXT_VERTEX_BYTES_FACTOR));
+                if a > vertex_cap {
+                    return invalid(format!(
+                        "header claims {a} vertices, beyond what a {file_len}-byte \
+                         edge list plausibly describes (cap {vertex_cap}); \
+                         use the binary format for graphs this large"
+                    ));
+                }
+                // Each edge record costs at least 4 bytes ("u v\n"), so a
+                // header whose edge count outruns the file is corrupt;
+                // rejecting it here also bounds the reserve below.
+                if b > file_len / 4 + 1 {
+                    return invalid(format!(
+                        "header claims {b} edges but the file only holds {file_len} bytes"
+                    ));
+                }
                 header = Some((a as usize, b as usize));
                 edges.reserve(b as usize);
             }
-            Some(_) => edges.push((a as V, b as V)),
+            Some((n, _)) => {
+                if a >= n as u64 || b >= n as u64 {
+                    return invalid(format!("edge ({a}, {b}) out of range (n={n})"));
+                }
+                edges.push((a as V, b as V));
+            }
         }
     }
-    let (n, m) =
-        header.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header"))?;
+    let (n, m) = match header {
+        Some(h) => h,
+        None => return invalid("missing header"),
+    };
     if edges.len() != m {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("header claims {m} edges, found {}", edges.len()),
-        ));
+        return invalid(format!("header claims {m} edges, found {}", edges.len()));
     }
     Ok(DiGraph::from_edges(n, &edges))
 }
@@ -84,28 +149,69 @@ pub fn write_binary<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
 }
 
 /// Reads a binary CSR file into a digraph.
+///
+/// The header is distrusted: the implied payload size is checked against
+/// the actual file length *before* any allocation, offsets are checked
+/// for `offsets[0] == 0`, monotonicity, and `offsets[n] == m`, and every
+/// target must be `< n`. A corrupt or truncated file yields
+/// [`io::ErrorKind::InvalidData`] (or the underlying read error) — never
+/// a panic and never a speculative multi-GB allocation.
 pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
-    let mut r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BIN_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return invalid("bad magic");
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
+    let n64 = u64::from_le_bytes(buf8);
     r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
+    let m64 = u64::from_le_bytes(buf8);
+    if n64 >= u32::MAX as u64 {
+        return invalid(format!("vertex count {n64} exceeds the u32 id space"));
+    }
+    // Bound allocations by what the file can actually hold: the payload is
+    // (n + 1) offsets of 8 bytes and m targets of 4 bytes after the
+    // 24-byte preamble.
+    let payload = (n64 + 1)
+        .checked_mul(8)
+        .and_then(|o| m64.checked_mul(4).and_then(|t| o.checked_add(t)))
+        .and_then(|p| p.checked_add(24));
+    match payload {
+        Some(want) if want <= file_len => {}
+        _ => {
+            return invalid(format!(
+                "header claims n={n64} m={m64} but the file only holds {file_len} bytes"
+            ))
+        }
+    }
+    let (n, m) = (n64 as usize, m64 as usize);
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         r.read_exact(&mut buf8)?;
         offsets.push(u64::from_le_bytes(buf8));
     }
+    if offsets[0] != 0 {
+        return invalid("offsets[0] must be 0");
+    }
+    if let Some(w) = offsets.windows(2).position(|w| w[0] > w[1]) {
+        return invalid(format!("offsets not monotone at vertex {w}"));
+    }
+    if offsets[n] != m64 {
+        return invalid(format!("offsets[n] = {} disagrees with header m = {m}", offsets[n]));
+    }
     let mut targets = Vec::with_capacity(m);
     let mut buf4 = [0u8; 4];
-    for _ in 0..m {
+    for i in 0..m {
         r.read_exact(&mut buf4)?;
-        targets.push(u32::from_le_bytes(buf4));
+        let t = u32::from_le_bytes(buf4);
+        if t as usize >= n {
+            return invalid(format!("target {t} at position {i} out of range (n={n})"));
+        }
+        targets.push(t);
     }
     Ok(DiGraph::from_out_csr(Csr::from_parts(offsets, targets)))
 }
@@ -165,6 +271,149 @@ mod tests {
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 2);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_rejects_out_of_range_endpoints() {
+        let path = tmp("oor");
+        std::fs::write(&path, "3 2\n0 1\n1 7\n").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("out of range"), "{err}");
+        std::fs::write(&path, "3 1\n9 0\n").unwrap();
+        assert!(read_edge_list(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_rejects_absurd_edge_count_without_allocating() {
+        let path = tmp("hugem");
+        // Header promises 2^60 edges in a 30-byte file; must fail fast
+        // instead of reserving a petabyte.
+        std::fs::write(&path, format!("4 {}\n0 1\n", 1u64 << 60)).unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_rejects_oversized_vertex_count() {
+        let path = tmp("hugen");
+        std::fs::write(&path, format!("{} 0\n", u64::MAX)).unwrap();
+        assert!(read_edge_list(&path).is_err());
+        // A valid-u32 vertex count a tiny file can't plausibly describe is
+        // rejected too — *before* the ~GB-scale CSR build it would imply.
+        std::fs::write(&path, "1000000000 0\n").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("binary format"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_writer_refuses_graphs_the_reader_would_reject() {
+        // 10M vertices, 2 edges: beyond the text vertex cap for any file
+        // this graph can serialize to — the writer must say so up front.
+        let g = DiGraph::from_edges(10_000_000, &[(0, 1), (5, 9_999_999)]);
+        let path = tmp("toosparse");
+        let err = write_edge_list(&g, &path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("write_binary"), "{err}");
+        // The binary format handles it fine.
+        write_binary(&g, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back.n(), 10_000_000);
+        assert_eq!(back.m(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_accepts_sparse_graphs_under_the_floor() {
+        // Isolated vertices occupy no bytes: a small file may still declare
+        // a vertex count far above its edge count and must roundtrip.
+        let path = tmp("sparse");
+        std::fs::write(&path, "1000000 1\n7 999999\n").unwrap();
+        let g = read_edge_list(&path).unwrap();
+        assert_eq!(g.n(), 1_000_000);
+        assert_eq!(g.m(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// A valid binary file as raw bytes, for corruption tests.
+    fn binary_bytes(g: &DiGraph, name: &str) -> Vec<u8> {
+        let path = tmp(name);
+        write_binary(g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        bytes
+    }
+
+    fn read_binary_from(bytes: &[u8], name: &str) -> io::Result<DiGraph> {
+        let path = tmp(name);
+        std::fs::write(&path, bytes).unwrap();
+        let out = read_binary(&path);
+        std::fs::remove_file(path).ok();
+        out
+    }
+
+    #[test]
+    fn binary_rejects_header_larger_than_file() {
+        let g = gnm_digraph(20, 50, 3);
+        let mut bytes = binary_bytes(&g, "hdrbig");
+        // Claim 2^40 vertices: the reader must reject before allocating
+        // the 8 TiB offsets array the header implies.
+        bytes[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = read_binary_from(&bytes, "hdrbig2").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Same for an absurd edge count.
+        let mut bytes = binary_bytes(&g, "hdrbig3");
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_binary_from(&bytes, "hdrbig4").is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation_at_every_length() {
+        let g = gnm_digraph(12, 30, 4);
+        let bytes = binary_bytes(&g, "trunc");
+        for len in 0..bytes.len() {
+            assert!(
+                read_binary_from(&bytes[..len], "trunc_cut").is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_monotone_offsets() {
+        let g = gnm_digraph(10, 25, 5);
+        let mut bytes = binary_bytes(&g, "mono");
+        // offsets live at [24, 24 + (n+1)*8); swap two of them.
+        let off = 24 + 2 * 8;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_binary_from(&bytes, "mono2").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_offset_sum_mismatch() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut bytes = binary_bytes(&g, "sum");
+        // Zero the final offset so offsets[n] != m.
+        let off = 24 + 4 * 8;
+        bytes[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(read_binary_from(&bytes, "sum2").is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_targets() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut bytes = binary_bytes(&g, "tgt");
+        let targets_at = 24 + 5 * 8;
+        bytes[targets_at..targets_at + 4].copy_from_slice(&99u32.to_le_bytes());
+        let err = read_binary_from(&bytes, "tgt2").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

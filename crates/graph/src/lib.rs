@@ -15,7 +15,7 @@ pub mod io;
 pub mod stats;
 pub mod wcsr;
 
-pub use builder::{build_csr, dedup_edges};
+pub use builder::{build_csr, dedup_edges, merge_csr};
 pub use csr::{Csr, DiGraph, UnGraph};
 pub use wcsr::WCsr;
 

@@ -10,7 +10,7 @@
 //!
 //! * blocked [`par_for`] / [`par_range`] loops with explicit granularity
 //!   (the classic *horizontal* granularity control of §3.1),
-//! * [`scan`] (exclusive prefix sums), [`pack`] / [`pack_index`]
+//! * [`scan`] (exclusive prefix sums), [`fn@pack`] / [`pack_index`]
 //!   (parallel compaction, used by the hash bag's `extract_all`),
 //! * [`reduce`]-style combinators,
 //! * a deterministic splittable PRNG ([`rng::SplitMix64`]) and the

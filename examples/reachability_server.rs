@@ -1,14 +1,29 @@
-//! A reachability "server" serving one big batch: generate an RMAT graph
-//! (or load an edge list), build the engine index, answer 10 000 random
-//! queries, and report throughput plus the index-build breakdown.
+//! A reachability "server" with live updates: generate an RMAT graph (or
+//! load an edge list), register it in a [`Catalog`], answer a 10 000-query
+//! batch, then apply batched edge updates (deltas) and serve the batch
+//! again — reporting whether each delta was *absorbed* (index kept) or
+//! forced a *rebuild*.
 //!
-//! Run: `cargo run --release --example reachability_server [path.txt]`
+//! Run: `cargo run --release --example reachability_server [graph.txt [updates.txt]]`
 //!
-//! With a path argument the graph is loaded as a whitespace-separated
-//! `u v` edge list; otherwise a 2^17-vertex RMAT graph is generated.
+//! With a first argument the graph is loaded as a whitespace-separated
+//! `u v` edge list. A second argument is an update-command file applied as
+//! one delta, one command per line:
+//!
+//! ```text
+//! # add an edge          # delete an edge
+//! + 17 42                - 42 17
+//! ```
+//!
+//! Without an update file, two synthetic deltas demonstrate both repair
+//! paths: one made of already-reachable pairs (absorbed, same index
+//! instance) and one closing a back edge (component merge, rebuild).
 
+use parallel_scc::engine::{Delta, DeltaReport};
 use parallel_scc::prelude::*;
 use std::time::Instant;
+
+const NAME: &str = "serve";
 
 fn main() {
     // ---- Load or generate ----
@@ -26,13 +41,100 @@ fn main() {
         }
     };
     println!("graph ready in {:.1}ms\n", t.elapsed().as_secs_f64() * 1e3);
+    let n = g.n();
+
+    let catalog = Catalog::new();
+    catalog.insert(NAME, g);
 
     // ---- Build the index ----
     let t = Instant::now();
-    let index = ReachIndex::build(&g);
+    let index = catalog.index(NAME).expect("registered above");
     let build = t.elapsed().as_secs_f64();
+    print_index_report(&index, build);
+
+    // ---- Serve a 10k batch ----
+    let mut rng = pscc_runtime::SplitMix64::new(0xba7c);
+    let queries: Vec<(V, V)> = (0..10_000)
+        .map(|_| (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V))
+        .collect();
+    let answers = serve_batch(&catalog, &queries);
+    spot_check(&catalog, &queries, &answers);
+
+    // ---- Apply updates ----
+    match std::env::args().nth(2) {
+        Some(path) => {
+            let delta = read_update_commands(&path).expect("readable update file");
+            println!(
+                "\napplying {path}: {} insertions, {} deletions",
+                delta.insertions().len(),
+                delta.deletions().len()
+            );
+            let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
+            print_delta_report(&report);
+        }
+        None => {
+            // Delta 1: edges duplicating answers the batch already proved
+            // reachable — provably absorbable, the index must survive.
+            let reachable_pairs: Vec<(V, V)> = queries
+                .iter()
+                .zip(&answers)
+                .filter(|&(&(u, v), &a)| a && u != v)
+                .map(|(&q, _)| q)
+                .take(64)
+                .collect();
+            let absorb = Delta::from_parts(reachable_pairs, Vec::new());
+            println!("\ndelta 1: {} already-reachable edge insertions", absorb.len());
+            let report = catalog.apply_delta(NAME, &absorb).expect("valid delta");
+            print_delta_report(&report);
+            let kept = catalog.index(NAME).expect("still registered");
+            assert!(
+                std::sync::Arc::ptr_eq(&index, &kept),
+                "absorbable delta must keep the index instance"
+            );
+            println!("  index instance kept (absorbed_deltas = {})", kept.stats().absorbed_deltas);
+
+            // Delta 2: a back edge along the first unreachable pair merges
+            // two components — the index must rebuild.
+            let merge_edge = queries
+                .iter()
+                .zip(&answers)
+                .find(|&(&(u, v), &a)| a && u != v && !kept.reaches(v, u))
+                .map(|(&(u, v), _)| (v, u));
+            if let Some((u, v)) = merge_edge {
+                let mut merge = Delta::new();
+                merge.insert(u, v);
+                println!("\ndelta 2: back edge ({u}, {v}) closing a cycle");
+                let report = catalog.apply_delta(NAME, &merge).expect("valid delta");
+                print_delta_report(&report);
+            }
+        }
+    }
+
+    // ---- Serve the same batch against the updated graph ----
+    let index = catalog.index(NAME).expect("still registered");
+    println!("\nafter updates: built_by {:?}", index.stats().built_by);
+    let answers = serve_batch(&catalog, &queries);
+    spot_check(&catalog, &queries, &answers);
+}
+
+fn serve_batch(catalog: &Catalog, queries: &[(V, V)]) -> Vec<bool> {
+    let t = Instant::now();
+    let answers = catalog.answer_batch(NAME, queries).expect("graph registered");
+    let secs = t.elapsed().as_secs_f64();
+    let reachable = answers.iter().filter(|&&b| b).count();
+    println!(
+        "batch: {} queries in {:.2}ms  ->  {:.0} queries/sec  ({} reachable)",
+        queries.len(),
+        secs * 1e3,
+        queries.len() as f64 / secs,
+        reachable,
+    );
+    answers
+}
+
+fn print_index_report(index: &ReachIndex, build_seconds: f64) {
     let s = index.stats();
-    println!("index built in {:.1}ms  (tier {:?})", build * 1e3, index.tier());
+    println!("index built in {:.1}ms  (tier {:?})", build_seconds * 1e3, index.tier());
     println!("  scc        {:>8.1}ms", s.scc_seconds * 1e3);
     println!("  condense   {:>8.1}ms", s.condense_seconds * 1e3);
     println!("  levels     {:>8.1}ms", s.levels_seconds * 1e3);
@@ -44,33 +146,48 @@ fn main() {
         s.summary_bytes as f64 / (1 << 20) as f64,
         s.exception_components,
     );
+}
 
-    // ---- Serve a 10k batch ----
-    let mut rng = pscc_runtime::SplitMix64::new(0xba7c);
-    let queries: Vec<(V, V)> = (0..10_000)
-        .map(|_| (rng.next_below(g.n() as u64) as V, rng.next_below(g.n() as u64) as V))
-        .collect();
-
-    let batch = QueryBatch::new(&index);
-    let t = Instant::now();
-    let answers = batch.answer(&queries);
-    let secs = t.elapsed().as_secs_f64();
-    let reachable = answers.iter().filter(|&&b| b).count();
+fn print_delta_report(report: &DeltaReport) {
     println!(
-        "batch: {} queries in {:.2}ms  ->  {:.0} queries/sec  ({} reachable)",
-        queries.len(),
-        secs * 1e3,
-        queries.len() as f64 / secs,
-        reachable,
+        "  outcome {:?}: {} edges inserted, {} deleted",
+        report.outcome, report.inserted, report.deleted
     );
+}
 
-    // ---- Sanity: spot-check 200 queries against a BFS oracle ----
-    let mut checked = 0;
-    for &(u, v) in queries.iter().take(200) {
-        assert_eq!(answers[checked], bfs_reaches(&g, u, v), "query ({u}, {v})");
-        checked += 1;
+/// Parses an update-command file: one `+ u v` (insert) or `- u v`
+/// (delete) per line; `#` starts a comment.
+fn read_update_commands(path: &str) -> std::io::Result<Delta> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut delta = Delta::new();
+    for (no, line) in std::fs::read_to_string(path)?.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let op = it.next().expect("non-empty line");
+        let mut endpoint = || -> std::io::Result<V> {
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad(format!("line {}: expected `{op} u v`", no + 1)))
+        };
+        let (u, v) = (endpoint()?, endpoint()?);
+        match op {
+            "+" | "add" => delta.insert(u, v),
+            "-" | "del" => delta.delete(u, v),
+            other => return Err(bad(format!("line {}: unknown op {other:?}", no + 1))),
+        };
     }
-    println!("spot-checked {checked} answers against BFS: all agree");
+    Ok(delta)
+}
+
+fn spot_check(catalog: &Catalog, queries: &[(V, V)], answers: &[bool]) {
+    let g = catalog.graph(NAME).expect("graph registered");
+    for (i, &(u, v)) in queries.iter().take(200).enumerate() {
+        assert_eq!(answers[i], bfs_reaches(&g, u, v), "query ({u}, {v})");
+    }
+    println!("spot-checked 200 answers against BFS: all agree");
 }
 
 fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {

@@ -39,7 +39,9 @@
 //! ## Serving reachability queries
 //!
 //! The [`engine`] module answers `u ⇝ v` queries over any digraph after a
-//! one-time index build (SCC → condensation → descendant summaries):
+//! one-time index build (SCC → condensation → descendant summaries), and
+//! registered graphs accept batched edge updates ([`engine::Delta`])
+//! with incremental index repair:
 //!
 //! ```
 //! use parallel_scc::prelude::*;
@@ -48,6 +50,13 @@
 //! let index = ReachIndex::build(&g);
 //! let batch = QueryBatch::new(&index);
 //! assert_eq!(batch.answer(&[(0, 4), (4, 0), (1, 0)]), vec![true, false, true]);
+//!
+//! let catalog = Catalog::new();
+//! catalog.insert("g", g);
+//! let mut delta = Delta::new();
+//! delta.insert(4, 2); // close 2 -> 3 -> 4 back into a cycle
+//! catalog.apply_delta("g", &delta).unwrap();
+//! assert_eq!(catalog.reaches("g", 4, 0), Some(true));
 //! ```
 
 pub use pscc_apps as apps;
@@ -68,7 +77,7 @@ pub mod prelude {
     pub use pscc_baselines::{fwbw_scc, gbbs_scc, kosaraju_scc, multistep_scc, tarjan_scc};
     pub use pscc_cc::{connected_components, CcConfig, LddConfig, LddMode};
     pub use pscc_core::{parallel_scc, parallel_scc_with_stats, ReachParams, SccConfig, SccResult};
-    pub use pscc_engine::{Catalog, Index as ReachIndex, IndexConfig, QueryBatch};
+    pub use pscc_engine::{Catalog, Delta, Index as ReachIndex, IndexConfig, QueryBatch};
     pub use pscc_graph::{DiGraph, UnGraph, V};
     pub use pscc_lelists::{cohen_le_lists, le_lists, FrontierMode, LeListsConfig};
     pub use pscc_runtime::{num_workers, with_threads};

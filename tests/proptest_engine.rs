@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use parallel_scc::engine::{BatchOptions, IndexConfig as EngineIndexConfig};
+use parallel_scc::engine::{BatchOptions, Delta, IndexConfig as EngineIndexConfig};
 use parallel_scc::prelude::*;
 
 /// Arbitrary digraph: up to 70 vertices, density up to ~4 m/n, so samples
@@ -115,6 +115,54 @@ proptest! {
                 let want = bfs_reaches(&g, u, v);
                 let got = cu == cv || bfs_reaches(&cond.dag, cu, cv);
                 prop_assert_eq!(got, want, "({}, {})", u, v);
+            }
+        }
+    }
+
+    /// Delta-vs-rebuild oracle: a random base graph updated through
+    /// `Catalog::apply_delta` must answer every pair exactly like a BFS
+    /// oracle running on the merged graph — whichever repair path
+    /// (absorb/rebuild/defer) the delta took.
+    #[test]
+    fn apply_delta_matches_bfs_on_merged_graph(
+        g in arb_graph(),
+        raw_ins in proptest::collection::vec((0u32..70, 0u32..70), 0..40),
+        raw_del in proptest::collection::vec((0u32..70, 0u32..70), 0..40),
+        build_first in any::<bool>(),
+    ) {
+        let n = g.n();
+        let clamp = |edges: &[(V, V)]| -> Vec<(V, V)> {
+            edges.iter().map(|&(u, v)| (u % n as V, v % n as V)).collect()
+        };
+        let (ins, del) = (clamp(&raw_ins), clamp(&raw_del));
+
+        let catalog = Catalog::new();
+        catalog.insert("g", g.clone());
+        if build_first {
+            // Exercise the absorb-or-rebuild decision, not just Deferred.
+            let _ = catalog.index("g").unwrap();
+        }
+        let delta = Delta::from_parts(ins.clone(), del.clone());
+        let report = catalog.apply_delta("g", &delta).unwrap();
+
+        // Oracle graph: (g ∖ del) ∪ ins rebuilt from scratch.
+        let mut edges: Vec<(V, V)> = g
+            .out_csr()
+            .edges()
+            .filter(|e| !del.contains(e) || ins.contains(e))
+            .collect();
+        edges.extend_from_slice(&ins);
+        let oracle = DiGraph::from_edges(n, &edges);
+
+        // The stored graph must be exactly the merged graph...
+        let stored = catalog.graph("g").unwrap();
+        prop_assert_eq!(stored.out_csr(), oracle.out_csr());
+        prop_assert_eq!(stored.in_csr(), oracle.in_csr());
+        // ...and every answer must match a BFS on it.
+        for u in 0..n as V {
+            for v in 0..n as V {
+                prop_assert_eq!(catalog.reaches("g", u, v), Some(bfs_reaches(&oracle, u, v)),
+                    "({}, {}) after {:?}", u, v, report.outcome);
             }
         }
     }
