@@ -1,0 +1,144 @@
+//! `bench_engine` — machine-readable engine perf numbers.
+//!
+//! Runs the serving-path measurements the criterion benches explore
+//! interactively and writes them as one JSON object (default
+//! `BENCH_engine.json`, overridable as the first argument) so the perf
+//! trajectory of
+//! the engine is tracked in artifacts rather than scrollback:
+//!
+//! * index build time over an RMAT graph (per-phase breakdown included),
+//! * batched query throughput (10k mixed queries, warm + cold memo),
+//! * delta latency on both repair paths: absorbed (index kept) vs
+//!   rebuild (index reconstructed).
+//!
+//! Run: `cargo run --release -p pscc-bench --bin bench_engine [out.json]`
+
+use pscc_engine::{Catalog, Delta, DeltaOutcome};
+use pscc_graph::V;
+use pscc_runtime::SplitMix64;
+use std::time::Instant;
+
+const NAME: &str = "bench";
+const QUERIES: usize = 10_000;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let t = Instant::now();
+    let g = pscc_graph::generators::rmat::rmat_digraph(16, 400_000, 0xbe7c4);
+    let (n, m) = (g.n(), g.m());
+    let gen_seconds = t.elapsed().as_secs_f64();
+
+    let catalog = Catalog::new();
+    catalog.insert(NAME, g);
+
+    // ---- Index build ----
+    let t = Instant::now();
+    let index = catalog.index(NAME).expect("registered above");
+    let build_seconds = t.elapsed().as_secs_f64();
+    let stats = index.stats();
+
+    // ---- Query throughput (cold memo, then warm) ----
+    let mut rng = SplitMix64::new(0xba7c);
+    let queries: Vec<(V, V)> = (0..QUERIES)
+        .map(|_| (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V))
+        .collect();
+    let t = Instant::now();
+    let answers = catalog.answer_batch(NAME, &queries).expect("registered");
+    let cold_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = catalog.answer_batch(NAME, &queries).expect("registered");
+    let warm_seconds = t.elapsed().as_secs_f64();
+
+    // ---- Absorbed-delta latency: insert already-reachable pairs ----
+    let reachable: Vec<(V, V)> = queries
+        .iter()
+        .zip(&answers)
+        .filter(|&(&(u, v), &a)| a && u != v)
+        .map(|(&q, _)| q)
+        .collect();
+    let mut absorbed_seconds = Vec::new();
+    for chunk in reachable.chunks(64).take(3) {
+        let delta = Delta::from_parts(chunk.to_vec(), Vec::new());
+        let t = Instant::now();
+        let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
+        if report.outcome == DeltaOutcome::Absorbed {
+            absorbed_seconds.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    // ---- Rebuild-delta latency: one effective deletion forces it ----
+    let doomed: Vec<(V, V)> =
+        catalog.graph(NAME).expect("registered").out_csr().edges().take(3).collect();
+    let mut rebuild_seconds = Vec::new();
+    for &(u, v) in &doomed {
+        let mut delta = Delta::new();
+        delta.delete(u, v);
+        let t = Instant::now();
+        let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
+        if report.outcome == DeltaOutcome::Rebuilt {
+            rebuild_seconds.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let json = format!(
+        r#"{{
+  "graph": {{ "family": "rmat", "n": {n}, "m": {m}, "generate_seconds": {gen_seconds:.6} }},
+  "index_build": {{
+    "total_seconds": {build_seconds:.6},
+    "scc_seconds": {scc:.6},
+    "condense_seconds": {condense:.6},
+    "levels_seconds": {levels:.6},
+    "summary_seconds": {summary:.6},
+    "num_components": {comps},
+    "dag_arcs": {arcs},
+    "summary_bytes": {sbytes}
+  }},
+  "batch": {{
+    "queries": {QUERIES},
+    "cold_seconds": {cold_seconds:.6},
+    "cold_qps": {cold_qps:.0},
+    "warm_seconds": {warm_seconds:.6},
+    "warm_qps": {warm_qps:.0}
+  }},
+  "delta": {{
+    "absorbed_mean_seconds": {absorbed:.6},
+    "absorbed_samples": {absorbed_n},
+    "rebuild_mean_seconds": {rebuild:.6},
+    "rebuild_samples": {rebuild_n}
+  }}
+}}
+"#,
+        scc = stats.scc_seconds,
+        condense = stats.condense_seconds,
+        levels = stats.levels_seconds,
+        summary = stats.summary_seconds,
+        comps = stats.num_components,
+        arcs = stats.dag_arcs,
+        sbytes = stats.summary_bytes,
+        cold_qps = QUERIES as f64 / cold_seconds,
+        warm_qps = QUERIES as f64 / warm_seconds,
+        absorbed = mean(&absorbed_seconds),
+        absorbed_n = absorbed_seconds.len(),
+        rebuild = mean(&rebuild_seconds),
+        rebuild_n = rebuild_seconds.len(),
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("wrote {out_path}");
+    assert!(
+        !absorbed_seconds.is_empty() && !rebuild_seconds.is_empty(),
+        "both delta repair paths must have been measured"
+    );
+    assert!(
+        stats.total_build_seconds() <= build_seconds,
+        "phase breakdown cannot exceed the wall build time"
+    );
+}

@@ -1,49 +1,163 @@
 //! A catalog of named graphs with lazily built, invalidatable indexes —
 //! the multi-tenant face of the engine: register graphs up front, pay for
 //! an index only when a query actually arrives, drop it when the graph
-//! changes, and mutate graphs in place with batched [`Delta`]s that keep
-//! the index alive whenever the math allows.
+//! changes, mutate graphs in place with batched [`Delta`]s, and (since the
+//! `pscc-store` integration) make any graph durable so the whole catalog
+//! survives a restart.
+//!
+//! ## Locking: queries never wait on a rebuild
+//!
+//! Every entry carries **two** locks and a **generation counter**:
+//!
+//! * `state` — a short-hold mutex over the `(graph, index, generation)`
+//!   triple. Queries take it only to clone `Arc`s; updates take it only to
+//!   swap them. Nothing expensive ever runs under it.
+//! * `update` — a long-hold mutex serializing *writers* of the same entry
+//!   (delta application, store attachment, compaction). Queries never
+//!   touch it.
+//!
+//! Expensive work — the CSR merge, a multi-second index rebuild, the lazy
+//! first-query build — runs **off-lock** against `Arc` clones. A finished
+//! build re-locks `state` and installs its result only if the generation
+//! it started from is still current; otherwise the result is discarded
+//! (counted in [`Catalog::discarded_builds`]) and the build retries
+//! against the new graph. Concretely: a query-triggered lazy build that
+//! races a delta can never clobber the delta — the generation check
+//! detects the swap and the build starts over.
+//!
+//! ## Durability
+//!
+//! [`Catalog::persist_to`] attaches a [`pscc_store::Store`] to an entry:
+//! from then on [`Catalog::apply_delta`] is **write-ahead** — the
+//! effective delta is appended to the store's log and fsynced *before*
+//! the in-memory swap, so once `apply_delta` returns the update survives
+//! a crash. [`Catalog::open`] recovers a whole catalog from such a
+//! directory: newest valid snapshot per graph + log-suffix replay, torn
+//! tails truncated. A background worker compacts stores whose log
+//! outgrows their snapshot (see [`CompactionPolicy`]); queries never
+//! wait on a compaction (it holds only the update lock), while writers
+//! to that one entry wait for its snapshot write.
 
 use crate::batch::{BatchOptions, MemoCache, QueryBatch};
 use crate::delta::{absorbs_all, Delta, DeltaError, DeltaOutcome, DeltaReport};
 use crate::index::{BuildCause, Index, IndexConfig};
 use pscc_graph::{DiGraph, V};
+use pscc_runtime::Background;
+use pscc_store::{DeltaRecord, Store, StoreMeta};
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Mutable per-graph state: the graph itself plus its (lazily built)
-/// index. One mutex guards both so delta application swaps them together.
+/// When the background worker rewrites a store: once its write-ahead log
+/// exceeds `max(min_wal_bytes, wal_factor × snapshot_bytes)`, a fresh
+/// snapshot is written and the log truncated.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionPolicy {
+    /// Log-to-snapshot size ratio that triggers compaction.
+    pub wal_factor: u64,
+    /// Floor below which the log is never compacted (small graphs would
+    /// otherwise snapshot on every delta).
+    pub min_wal_bytes: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { wal_factor: 4, min_wal_bytes: 64 << 10 }
+    }
+}
+
+/// Mutable per-graph state, guarded by the short-hold `state` mutex: the
+/// graph, its (lazily built) index, and the generation counter that
+/// stamps every graph swap.
 struct EntryState {
     graph: Arc<DiGraph>,
     /// Built on first use; `None` after invalidation. The memo cache lives
     /// (and is invalidated) with the index so verdicts stay warm across
     /// batches — and across absorbed deltas.
     index: Option<(Arc<Index>, Arc<MemoCache>)>,
+    /// Incremented on every graph swap. Off-lock builds capture it before
+    /// starting and install only if it is unchanged, so a racing delta is
+    /// detected rather than overwritten.
+    generation: u64,
 }
 
 struct Entry {
     config: IndexConfig,
     batch: BatchOptions,
-    /// The per-entry mutex serializes concurrent builders and updaters of
-    /// the *same* graph while leaving other entries untouched.
+    /// Short-hold lock: clone/swap the state triple, nothing else.
     state: Mutex<EntryState>,
+    /// Long-hold lock serializing writers of this entry (delta
+    /// application, store attach/compaction). Queries never take it, so
+    /// they keep answering from the current index while a writer merges
+    /// and rebuilds off-lock.
+    update: Mutex<()>,
+    /// Durable backing, when attached ([`Catalog::persist_to`] /
+    /// [`Catalog::open`]).
+    store: Mutex<Option<Arc<Store>>>,
+    /// Off-lock builds discarded because the generation moved mid-build.
+    discarded_builds: AtomicU64,
+    /// True while a compaction job for this entry is queued or running.
+    compaction_queued: AtomicBool,
+}
+
+impl Entry {
+    fn new(
+        config: IndexConfig,
+        batch: BatchOptions,
+        graph: Arc<DiGraph>,
+        generation: u64,
+        store: Option<Arc<Store>>,
+    ) -> Arc<Entry> {
+        Arc::new(Entry {
+            config,
+            batch,
+            state: Mutex::new(EntryState { graph, index: None, generation }),
+            update: Mutex::new(()),
+            store: Mutex::new(store),
+            discarded_builds: AtomicU64::new(0),
+            compaction_queued: AtomicBool::new(false),
+        })
+    }
+
+    fn store(&self) -> Option<Arc<Store>> {
+        self.store.lock().expect("store lock").clone()
+    }
 }
 
 /// Holds multiple named graphs, each with a lazily built reachability
-/// index.
-#[derive(Default)]
+/// index and optional durable backing. See the [module docs](self) for
+/// the locking and durability model.
 pub struct Catalog {
     entries: RwLock<HashMap<String, Arc<Entry>>>,
+    policy: CompactionPolicy,
+    /// Lazily spawned worker running store compactions; dropped (and
+    /// joined, finishing queued jobs) with the catalog.
+    maintenance: Mutex<Option<Background>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::with_compaction(CompactionPolicy::default())
+    }
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog with the default [`CompactionPolicy`].
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty catalog with an explicit compaction policy.
+    pub fn with_compaction(policy: CompactionPolicy) -> Self {
+        Catalog { entries: RwLock::new(HashMap::new()), policy, maintenance: Mutex::new(None) }
+    }
+
     /// Registers (or replaces) a graph under `name` with the default index
-    /// and batch configuration. Replacing drops any cached index.
+    /// and batch configuration. Replacing drops any cached index — and any
+    /// attached store (the files remain on disk; the new graph is not
+    /// durable until [`Catalog::persist_to`] is called for it).
     pub fn insert(&self, name: &str, graph: DiGraph) {
         self.insert_with_config(name, graph, IndexConfig::default(), BatchOptions::default());
     }
@@ -59,15 +173,12 @@ impl Catalog {
         config: IndexConfig,
         batch: BatchOptions,
     ) {
-        let entry = Arc::new(Entry {
-            config,
-            batch,
-            state: Mutex::new(EntryState { graph: Arc::new(graph), index: None }),
-        });
+        let entry = Entry::new(config, batch, Arc::new(graph), 0, None);
         self.entries.write().expect("catalog lock").insert(name.to_string(), entry);
     }
 
-    /// Removes a graph (and its index). Returns whether it existed.
+    /// Removes a graph (and its index). Returns whether it existed. A
+    /// durable entry's files are left on disk untouched.
     pub fn remove(&self, name: &str) -> bool {
         self.entries.write().expect("catalog lock").remove(name).is_some()
     }
@@ -104,6 +215,20 @@ impl Catalog {
             .unwrap_or(false)
     }
 
+    /// The generation counter of `name`: the number of graph swaps
+    /// (applied deltas) since registration — or since the snapshot
+    /// lineage began, for an entry recovered by [`Catalog::open`].
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.entry(name).map(|e| e.state.lock().expect("entry lock").generation)
+    }
+
+    /// Off-lock index builds of `name` that were discarded because a
+    /// delta swapped the graph mid-build (the build then retried against
+    /// the new graph — the delta wins, never the stale index).
+    pub fn discarded_builds(&self, name: &str) -> Option<u64> {
+        self.entry(name).map(|e| e.discarded_builds.load(Ordering::Relaxed))
+    }
+
     /// The index for `name`, building it on first use.
     pub fn index(&self, name: &str) -> Option<Arc<Index>> {
         self.index_and_memo(name).map(|(index, _)| index)
@@ -125,9 +250,9 @@ impl Catalog {
         Some(batch.answer(queries))
     }
 
-    /// Applies a batched edge update to `name`'s graph, atomically
-    /// swapping in the merged graph ([`DiGraph::with_delta`]) and
-    /// repairing the index incrementally:
+    /// Applies a batched edge update to `name`'s graph, swapping in the
+    /// merged graph ([`DiGraph::with_delta`]) and repairing the index
+    /// incrementally:
     ///
     /// * deltas whose every effective change provably keeps the
     ///   reachability relation (insertions inside one SCC or between
@@ -141,18 +266,41 @@ impl Catalog {
     ///   lazy ([`DeltaOutcome::Deferred`]).
     ///
     /// Returns the path taken plus effective edge counts, or a
-    /// [`DeltaError`] (nothing modified) for an unknown graph or an
-    /// out-of-range endpoint.
+    /// [`DeltaError`] (nothing modified) for an unknown graph, an
+    /// out-of-range endpoint, or a failed write-ahead append.
     ///
-    /// Like the lazy first-query build, the merge and any rebuild run
-    /// under the entry's mutex: concurrent queries against the *same*
-    /// graph wait for the swap (other entries are unaffected), which is
-    /// what makes the update atomic — callers never observe the new graph
-    /// with the old index or vice versa.
+    /// The merge and any rebuild run **off-lock**: concurrent queries
+    /// against the same graph keep answering from the current index for
+    /// the whole duration and only wait for the final pointer swap.
+    /// Concurrent `apply_delta` calls to one entry serialize on its
+    /// update lock (other entries are unaffected). If the entry is
+    /// durable, the effective delta is appended to its write-ahead log
+    /// and fsynced before the swap — when this returns, the update is on
+    /// disk.
     pub fn apply_delta(&self, name: &str, delta: &Delta) -> Result<DeltaReport, DeltaError> {
         let entry = self.entry(name).ok_or_else(|| DeltaError::UnknownGraph(name.to_string()))?;
-        let mut st = entry.state.lock().expect("entry lock");
-        let n = st.graph.n();
+        let report = Self::apply_delta_entry(&entry, delta, true)?;
+        if report.outcome != DeltaOutcome::NoOp {
+            self.maybe_schedule_compaction(&entry);
+        }
+        Ok(report)
+    }
+
+    /// The delta-application machinery, shared by the serving path
+    /// (`log = true`: write-ahead through the entry's store) and recovery
+    /// replay (`log = false`: the record is already durable).
+    fn apply_delta_entry(
+        entry: &Arc<Entry>,
+        delta: &Delta,
+        log: bool,
+    ) -> Result<DeltaReport, DeltaError> {
+        // Serialize writers; queries proceed untouched.
+        let _writer = entry.update.lock().expect("update lock");
+        let (graph, generation, index_pair) = {
+            let st = entry.state.lock().expect("entry lock");
+            (st.graph.clone(), st.generation, st.index.clone())
+        };
+        let n = graph.n();
         for &edge in delta.insertions().iter().chain(delta.deletions()) {
             if edge.0 as usize >= n || edge.1 as usize >= n {
                 return Err(DeltaError::EndpointOutOfRange { edge, n });
@@ -161,8 +309,8 @@ impl Catalog {
 
         // Reduce to the *effective* delta: insertions of absent edges, and
         // deletions of present edges not re-inserted by this same delta
-        // (insertions win).
-        let graph = &st.graph;
+        // (insertions win). The graph cannot change under us — every swap
+        // happens under the update lock we hold.
         let has_edge = |&(u, v): &(V, V)| graph.out_neighbors(u).binary_search(&v).is_ok();
         let mut ins: Vec<(V, V)> =
             delta.insertions().iter().filter(|e| !has_edge(e)).copied().collect();
@@ -187,42 +335,309 @@ impl Catalog {
             return Ok(DeltaReport { outcome: DeltaOutcome::NoOp, inserted: 0, deleted: 0 });
         }
 
-        let merged = Arc::new(st.graph.with_delta(&ins, &del));
-        let report = |outcome| DeltaReport { outcome, inserted: ins.len(), deleted: del.len() };
-        let outcome = match st.index.take() {
-            None => DeltaOutcome::Deferred,
-            Some((index, memo)) if del.is_empty() && absorbs_all(&index, &ins) => {
-                index.note_absorbed();
-                st.index = Some((index, memo));
-                DeltaOutcome::Absorbed
+        // WRITE-AHEAD: the effective delta hits the fsynced log before any
+        // in-memory mutation. A failed append changes nothing.
+        if log {
+            if let Some(store) = entry.store() {
+                let record = DeltaRecord { insertions: ins.clone(), deletions: del.clone() };
+                store.append(&record).map_err(|e| DeltaError::Storage(e.to_string()))?;
             }
+        }
+
+        // Merge and (when needed) rebuild off-lock: queries keep answering
+        // from the current graph + index throughout.
+        let merged = Arc::new(graph.with_delta(&ins, &del));
+        enum Plan {
+            Deferred,
+            Keep,
+            Install(Arc<Index>, Arc<MemoCache>),
+        }
+        let plan = match &index_pair {
+            None => Plan::Deferred,
+            Some((index, _)) if del.is_empty() && absorbs_all(index, &ins) => Plan::Keep,
             Some(_) => {
                 let mut index = Index::build_with_config(&merged, &entry.config);
                 index.set_built_by(BuildCause::DeltaRebuild);
                 let memo = MemoCache::new(entry.batch.memo_bits, index.num_components());
-                st.index = Some((Arc::new(index), Arc::new(memo)));
+                Plan::Install(Arc::new(index), Arc::new(memo))
+            }
+        };
+
+        // Re-lock only to swap. The graph is still the one we read (swaps
+        // are update-lock-serialized), but the *index* slot may have moved:
+        // a lazy first-query build can have installed an index for the old
+        // graph, or `invalidate` can have cleared it.
+        let mut st = entry.state.lock().expect("entry lock");
+        debug_assert!(Arc::ptr_eq(&st.graph, &graph), "graph swapped without the update lock");
+        debug_assert_eq!(st.generation, generation, "generation moved without the update lock");
+        let outcome = match plan {
+            Plan::Install(index, memo) => {
+                st.index = Some((index, memo));
                 DeltaOutcome::Rebuilt
+            }
+            Plan::Keep => match &st.index {
+                // Whichever index is installed describes the same (old)
+                // graph, so the absorbability argument holds for it too.
+                Some((index, _)) => {
+                    index.note_absorbed();
+                    DeltaOutcome::Absorbed
+                }
+                None => DeltaOutcome::Deferred, // invalidated mid-flight
+            },
+            Plan::Deferred => {
+                // An index installed mid-flight describes the pre-delta
+                // graph; keeping it past the swap would serve stale
+                // answers. Drop it — the next query rebuilds lazily.
+                if st.index.take().is_some() {
+                    entry.discarded_builds.fetch_add(1, Ordering::Relaxed);
+                }
+                DeltaOutcome::Deferred
             }
         };
         st.graph = merged;
-        Ok(report(outcome))
+        st.generation += 1;
+        Ok(DeltaReport { outcome, inserted: ins.len(), deleted: del.len() })
     }
+
+    // ---- Durability -----------------------------------------------------
+
+    /// Attaches a durable store to `name` under `data_dir` (the catalog's
+    /// data directory; each graph gets its own subdirectory). Writes the
+    /// initial snapshot; every subsequent [`Catalog::apply_delta`] on this
+    /// entry is then write-ahead logged and fsynced before it returns.
+    ///
+    /// Fails with [`io::ErrorKind::NotFound`] for an unknown graph,
+    /// [`io::ErrorKind::AlreadyExists`] if the entry already has a store
+    /// or the subdirectory already holds one, and
+    /// [`io::ErrorKind::InvalidInput`] for the empty name (it has no
+    /// subdirectory to live in, so [`Catalog::open`] could never recover
+    /// it).
+    pub fn persist_to(&self, name: &str, data_dir: impl AsRef<Path>) -> io::Result<()> {
+        if name.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the empty graph name cannot be persisted (no subdirectory to recover from)",
+            ));
+        }
+        let entry = self.entry(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no graph registered as {name:?}"))
+        })?;
+        let _writer = entry.update.lock().expect("update lock");
+        let mut slot = entry.store.lock().expect("store lock");
+        if slot.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("graph {name:?} already has a store"),
+            ));
+        }
+        let (graph, generation) = {
+            let st = entry.state.lock().expect("entry lock");
+            (st.graph.clone(), st.generation)
+        };
+        let meta = StoreMeta {
+            generation,
+            memo_bits: entry.batch.memo_bits,
+            grain: entry.batch.grain as u64,
+        };
+        let store = Store::create(data_dir.as_ref().join(encode_name(name)), &graph, meta)?;
+        *slot = Some(Arc::new(store));
+        Ok(())
+    }
+
+    /// True if `name` has a durable store attached.
+    pub fn is_durable(&self, name: &str) -> bool {
+        self.entry(name).map(|e| e.store().is_some()).unwrap_or(false)
+    }
+
+    /// `(wal_bytes, snapshot_bytes)` of `name`'s store, if durable.
+    pub fn store_bytes(&self, name: &str) -> Option<(u64, u64)> {
+        let store = self.entry(name)?.store()?;
+        Some((store.wal_bytes(), store.snapshot_bytes()))
+    }
+
+    /// Recovers a catalog from a data directory previously populated via
+    /// [`Catalog::persist_to`]: every subdirectory that looks like a
+    /// store (holds a `wal.log` or snapshot files) is opened — newest
+    /// valid snapshot, write-ahead log suffix replayed through the
+    /// regular merge path, torn tail truncated — and registered under its
+    /// original name with its persisted [`BatchOptions`]. Indexes are not
+    /// persisted; they rebuild lazily on first query.
+    ///
+    /// Unrelated directories (`lost+found`, operator backups — anything
+    /// without store files) are skipped; a directory that *does* hold
+    /// store files but cannot be recovered is an error, never silently
+    /// dropped.
+    ///
+    /// Entries use the default [`IndexConfig`]; use
+    /// [`Catalog::open_with_config`] to override it.
+    pub fn open(data_dir: impl AsRef<Path>) -> io::Result<Catalog> {
+        Self::open_with_config(data_dir, IndexConfig::default())
+    }
+
+    /// [`Catalog::open`] with an explicit per-entry [`IndexConfig`]
+    /// (applied to every recovered graph).
+    pub fn open_with_config(
+        data_dir: impl AsRef<Path>,
+        config: IndexConfig,
+    ) -> io::Result<Catalog> {
+        let catalog = Catalog::new();
+        for dir_entry in std::fs::read_dir(data_dir.as_ref())? {
+            let dir_entry = dir_entry?;
+            if !dir_entry.file_type()?.is_dir() {
+                continue;
+            }
+            if !looks_like_store(&dir_entry.path()) {
+                continue; // lost+found, backups, ... — not ours
+            }
+            if Store::is_aborted_create(dir_entry.path())? {
+                // A persist_to crashed before its initial snapshot:
+                // nothing was ever acknowledged for this graph, so it is
+                // absent, not corrupt.
+                continue;
+            }
+            let file_name = dir_entry.file_name();
+            // Canonical encodings only: decode + re-encode must roundtrip,
+            // or two directories (e.g. "g" and "%67") could decode to the
+            // same name and one would silently shadow the other.
+            let name = file_name
+                .to_str()
+                .and_then(decode_name)
+                .filter(|name| encode_name(name) == file_name.to_str().expect("checked above"))
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "directory {:?} holds store files but its name is not a \
+                             canonically encoded graph name",
+                            dir_entry.path()
+                        ),
+                    )
+                })?;
+            let (store, recovery) = Store::open(dir_entry.path())?;
+            let batch = BatchOptions {
+                memo_bits: recovery.meta.memo_bits,
+                grain: recovery.meta.grain as usize,
+            };
+            let entry = Entry::new(
+                config.clone(),
+                batch,
+                Arc::new(recovery.graph),
+                recovery.meta.generation,
+                Some(Arc::new(store)),
+            );
+            for record in recovery.replayed {
+                let delta = Delta::from_parts(record.insertions, record.deletions);
+                // `log = false`: the record came *from* the log.
+                Self::apply_delta_entry(&entry, &delta, false).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("replaying {name:?}: {e}"))
+                })?;
+            }
+            catalog.entries.write().expect("catalog lock").insert(name, entry);
+        }
+        Ok(catalog)
+    }
+
+    /// Blocks until every queued maintenance job (store compaction) has
+    /// finished. Tests and orderly shutdowns use this; serving paths never
+    /// need it.
+    pub fn flush_maintenance(&self) {
+        let guard = self.maintenance.lock().expect("maintenance lock");
+        if let Some(worker) = guard.as_ref() {
+            worker.flush();
+        }
+    }
+
+    /// Queues a compaction for `entry` if its log has outgrown the policy
+    /// and none is already queued.
+    fn maybe_schedule_compaction(&self, entry: &Arc<Entry>) {
+        let Some(store) = entry.store() else { return };
+        let threshold = self
+            .policy
+            .min_wal_bytes
+            .max(self.policy.wal_factor.saturating_mul(store.snapshot_bytes()));
+        if store.wal_bytes() <= threshold {
+            return;
+        }
+        if entry.compaction_queued.swap(true, Ordering::AcqRel) {
+            return; // already queued or running
+        }
+        /// Clears the entry's queued flag when dropped — including during
+        /// a panic unwind inside the job, so one failed compaction never
+        /// wedges the entry out of all future compactions.
+        struct ClearQueued(Arc<Entry>);
+        impl Drop for ClearQueued {
+            fn drop(&mut self) {
+                self.0.compaction_queued.store(false, Ordering::Release);
+            }
+        }
+        let job = ClearQueued(entry.clone());
+        let mut guard = self.maintenance.lock().expect("maintenance lock");
+        let worker = guard.get_or_insert_with(|| Background::spawn("pscc-catalog-maintenance"));
+        if !worker.submit(move || Self::compact_entry(&job.0)) {
+            // Worker died (a job panicked fatally): the closure — and its
+            // flag-clearing guard — was dropped unrun, so the flag is
+            // already clear; just surface the condition.
+            eprintln!("pscc-engine: maintenance worker is dead; compaction skipped");
+        }
+    }
+
+    /// Runs one compaction: under the entry's update lock (so the log is
+    /// quiescent and the captured graph matches its last record), snapshot
+    /// the current graph and truncate the log. Queries are unaffected —
+    /// they only ever take the state lock, which is held just long enough
+    /// to clone two `Arc`s.
+    fn compact_entry(entry: &Arc<Entry>) {
+        let _writer = entry.update.lock().expect("update lock");
+        let Some(store) = entry.store() else { return };
+        let (graph, generation) = {
+            let st = entry.state.lock().expect("entry lock");
+            (st.graph.clone(), st.generation)
+        };
+        let meta = StoreMeta {
+            generation,
+            memo_bits: entry.batch.memo_bits,
+            grain: entry.batch.grain as u64,
+        };
+        if let Err(e) = store.compact(&graph, meta) {
+            eprintln!("pscc-engine: compaction of {} failed: {e}", store.dir().display());
+        }
+    }
+
+    // ---- Index plumbing -------------------------------------------------
 
     fn index_and_memo(&self, name: &str) -> Option<(Arc<Index>, Arc<MemoCache>)> {
         let entry = self.entry(name)?;
         Some(Self::entry_index_and_memo(&entry))
     }
 
-    /// The entry's index + memo, built under the entry lock on first use
-    /// with the entry's stored configurations.
+    /// The entry's index + memo, built **off-lock** on first use: the
+    /// state lock is taken only to read the graph (with its generation)
+    /// and again to install the result. If a delta swapped the graph
+    /// mid-build, the stale index is discarded and the build retries —
+    /// the generation counter guarantees an installed index always
+    /// describes the graph it is installed next to.
     fn entry_index_and_memo(entry: &Entry) -> (Arc<Index>, Arc<MemoCache>) {
-        let mut st = entry.state.lock().expect("entry lock");
-        if st.index.is_none() {
-            let index = Arc::new(Index::build_with_config(&st.graph, &entry.config));
+        loop {
+            let (graph, generation) = {
+                let st = entry.state.lock().expect("entry lock");
+                if let Some(pair) = st.index.clone() {
+                    return pair;
+                }
+                (st.graph.clone(), st.generation)
+            };
+            let index = Arc::new(Index::build_with_config(&graph, &entry.config));
             let memo = Arc::new(MemoCache::new(entry.batch.memo_bits, index.num_components()));
-            st.index = Some((index, memo));
+            let mut st = entry.state.lock().expect("entry lock");
+            if st.generation == generation {
+                // A concurrent lazy builder may have won the install race;
+                // share its instance instead of double-installing.
+                if st.index.is_none() {
+                    st.index = Some((index, memo));
+                }
+                return st.index.clone().expect("installed above");
+            }
+            entry.discarded_builds.fetch_add(1, Ordering::Relaxed);
         }
-        st.index.clone().expect("just built")
     }
 
     fn entry(&self, name: &str) -> Option<Arc<Entry>> {
@@ -230,11 +645,75 @@ impl Catalog {
     }
 }
 
+/// True if `dir` holds store files (a write-ahead log or snapshots) —
+/// the recovery scan's "is this ours?" test, so unrelated directories in
+/// a data dir never block [`Catalog::open`].
+fn looks_like_store(dir: &Path) -> bool {
+    if dir.join("wal.log").exists() {
+        return true;
+    }
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.flatten().any(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".pscc"))
+            })
+        })
+        .unwrap_or(false)
+}
+
+/// Encodes a graph name as a filesystem-safe directory name: ASCII
+/// alphanumerics, `-`, and `_` pass through; every other byte becomes
+/// `%XX`. Reversible via [`decode_name`].
+fn encode_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverts [`encode_name`]; `None` if `encoded` is not a valid encoding.
+fn decode_name(encoded: &str) -> Option<String> {
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (*hex.first()? as char).to_digit(16)?;
+                let lo = (*hex.get(1)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pscc_graph::generators::random::gnm_digraph;
     use pscc_graph::generators::simple::{cycle_digraph, path_digraph};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pscc_catalog_test_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
 
     #[test]
     fn insert_query_remove_roundtrip() {
@@ -338,6 +817,7 @@ mod tests {
         let report = cat.apply_delta("g", &d).unwrap();
         assert_eq!(report, DeltaReport { outcome: DeltaOutcome::NoOp, inserted: 0, deleted: 0 });
         assert!(Arc::ptr_eq(&before, &cat.index("g").unwrap()));
+        assert_eq!(cat.generation("g"), Some(0), "noop must not bump the generation");
     }
 
     #[test]
@@ -378,6 +858,7 @@ mod tests {
         assert_eq!(after.stats().built_by, BuildCause::DeltaRebuild);
         assert_eq!(after.num_components(), 1);
         assert_eq!(cat.reaches("g", 3, 1), Some(true));
+        assert_eq!(cat.generation("g"), Some(1));
     }
 
     #[test]
@@ -415,5 +896,154 @@ mod tests {
         let report = cat.apply_delta("g", &d).unwrap();
         assert_eq!(report.outcome, DeltaOutcome::NoOp);
         assert_eq!(cat.reaches("g", 0, 1), Some(true));
+    }
+
+    #[test]
+    fn name_encoding_roundtrips() {
+        for name in ["plain", "with space", "sl/ash", "döt", "%", "a%20b", ""] {
+            let enc = encode_name(name);
+            assert!(enc
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'));
+            assert_eq!(decode_name(&enc).as_deref(), Some(name), "{name:?} via {enc:?}");
+        }
+        assert_eq!(decode_name("bad|char"), None);
+        assert_eq!(decode_name("trailing%2"), None);
+        assert_eq!(decode_name("%zz"), None);
+    }
+
+    #[test]
+    fn persist_apply_reopen_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(6));
+        cat.persist_to("g", &dir).unwrap();
+        assert!(cat.is_durable("g"));
+        let mut d = Delta::new();
+        d.insert(5, 0); // close the cycle (durable, write-ahead)
+        cat.apply_delta("g", &d).unwrap();
+        let mut d2 = Delta::new();
+        d2.delete(2, 3);
+        cat.apply_delta("g", &d2).unwrap();
+        drop(cat);
+
+        let back = Catalog::open(&dir).unwrap();
+        assert_eq!(back.names(), vec!["g".to_string()]);
+        assert!(back.is_durable("g"));
+        assert_eq!(back.generation("g"), Some(2));
+        // 5 -> 0 present, 2 -> 3 gone: 3 wraps around to 0, but 1 dead-ends at 2.
+        assert_eq!(back.reaches("g", 3, 0), Some(true));
+        assert_eq!(back.reaches("g", 1, 3), Some(false));
+        let expected = path_digraph(6).with_delta(&[(5, 0)], &[(2, 3)]);
+        assert_eq!(back.graph("g").unwrap().out_csr(), expected.out_csr());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn persist_to_rejects_unknown_and_double_attach() {
+        let dir = tmpdir("reject");
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(3));
+        assert_eq!(cat.persist_to("missing", &dir).unwrap_err().kind(), io::ErrorKind::NotFound);
+        // The empty name encodes to the data dir itself and could never
+        // be recovered: refused up front.
+        cat.insert("", path_digraph(3));
+        assert_eq!(cat.persist_to("", &dir).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        cat.persist_to("g", &dir).unwrap();
+        assert_eq!(cat.persist_to("g", &dir).unwrap_err().kind(), io::ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn noop_deltas_skip_the_log_and_real_ones_hit_it() {
+        let dir = tmpdir("walhits");
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(4));
+        cat.persist_to("g", &dir).unwrap();
+        let wal = dir.join(encode_name("g")).join("wal.log");
+        let before = std::fs::metadata(&wal).unwrap().len();
+        let mut noop = Delta::new();
+        noop.insert(0, 1); // already present
+        assert_eq!(cat.apply_delta("g", &noop).unwrap().outcome, DeltaOutcome::NoOp);
+        assert_eq!(
+            std::fs::metadata(&wal).unwrap().len(),
+            before,
+            "noop deltas must not hit the log"
+        );
+        let mut real = Delta::new();
+        real.insert(3, 0);
+        cat.apply_delta("g", &real).unwrap();
+        assert!(std::fs::metadata(&wal).unwrap().len() > before);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compaction_truncates_an_outgrown_log() {
+        let dir = tmpdir("compact");
+        // Tiny thresholds: every delta overflows the policy.
+        let cat = Catalog::with_compaction(CompactionPolicy { wal_factor: 0, min_wal_bytes: 0 });
+        cat.insert("g", path_digraph(50));
+        cat.persist_to("g", &dir).unwrap();
+        for i in 0..10u32 {
+            let mut d = Delta::new();
+            d.insert(i + 10, i); // back edges, each effective
+            cat.apply_delta("g", &d).unwrap();
+        }
+        cat.flush_maintenance();
+        let (wal_bytes, _) = cat.store_bytes("g").unwrap();
+        assert_eq!(wal_bytes, 8, "compacted log holds only its header");
+        drop(cat);
+        // The compacted store still recovers the full state.
+        let back = Catalog::open(&dir).unwrap();
+        assert_eq!(back.graph("g").unwrap().m(), 49 + 10);
+        assert_eq!(back.generation("g"), Some(10));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopened_catalog_keeps_batch_options() {
+        let dir = tmpdir("batchopts");
+        let cat = Catalog::new();
+        let opts = BatchOptions { memo_bits: 3, grain: 7 };
+        cat.insert_with_config("g", path_digraph(10), IndexConfig::default(), opts);
+        cat.persist_to("g", &dir).unwrap();
+        drop(cat);
+        let back = Catalog::open(&dir).unwrap();
+        let entry = back.entry("g").unwrap();
+        assert_eq!(entry.batch.memo_bits, 3);
+        assert_eq!(entry.batch.grain, 7);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_on_an_empty_directory_is_an_empty_catalog() {
+        let dir = tmpdir("empty");
+        let cat = Catalog::open(&dir).unwrap();
+        assert!(cat.names().is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_skips_unrelated_directories() {
+        // Stray directories in a data dir (lost+found, backups) must not
+        // block recovery of the real stores next to them.
+        let dir = tmpdir("stray");
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(4));
+        cat.persist_to("g", &dir).unwrap();
+        std::fs::create_dir(dir.join("lost+found")).unwrap();
+        std::fs::create_dir(dir.join("backups")).unwrap();
+        std::fs::write(dir.join("backups").join("notes.txt"), "not a store").unwrap();
+        drop(cat);
+        let back = Catalog::open(&dir).unwrap();
+        assert_eq!(back.names(), vec!["g".to_string()]);
+        // But a directory that *does* hold store data (a log with
+        // records, not just an aborted creation's header) under an
+        // undecodable name is an error, not a silent skip.
+        std::fs::create_dir(dir.join("bad|name")).unwrap();
+        std::fs::write(dir.join("bad|name").join("wal.log"), b"PSCCWAL1 plus record bytes")
+            .unwrap();
+        assert!(Catalog::open(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
     }
 }

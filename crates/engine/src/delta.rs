@@ -146,6 +146,10 @@ pub enum DeltaError {
         /// The graph's vertex count.
         n: usize,
     },
+    /// The entry is durable and its write-ahead append failed (the
+    /// rendered `io::Error`). The delta was **not** applied: write-ahead
+    /// means nothing mutates until the log has it.
+    Storage(String),
 }
 
 impl std::fmt::Display for DeltaError {
@@ -155,6 +159,7 @@ impl std::fmt::Display for DeltaError {
             DeltaError::EndpointOutOfRange { edge: (u, v), n } => {
                 write!(f, "delta edge ({u}, {v}) out of range (n={n})")
             }
+            DeltaError::Storage(msg) => write!(f, "write-ahead append failed: {msg}"),
         }
     }
 }

@@ -115,6 +115,15 @@ pub struct IndexStats {
     pub absorbed_deltas: u64,
 }
 
+impl IndexStats {
+    /// Total seconds spent building this index (SCC + condensation +
+    /// levels + summary) — the figure the bench runner and the example
+    /// server report.
+    pub fn total_build_seconds(&self) -> f64 {
+        self.scc_seconds + self.condense_seconds + self.levels_seconds + self.summary_seconds
+    }
+}
+
 /// One GRAIL-style labeling: a post-order rank and the subtree-minimum
 /// rank per component, giving the containment invariant
 /// `u ⇝ v ⇒ low[u] ≤ low[v] ∧ rank[v] ≤ rank[u]`.

@@ -19,6 +19,14 @@
 //!   blocked `par_for`, with a concurrent fixed-capacity memo for hot
 //!   component-pair verdicts.
 //! * [`Catalog`] — named graphs with lazily built, invalidatable indexes.
+//!   Merges and index builds run **off-lock** with a generation counter
+//!   (queries keep answering from the current index during a multi-second
+//!   rebuild; a racing delta is detected, never lost — see
+//!   [`catalog`]), and any entry can be made durable: [`Catalog::persist_to`]
+//!   attaches a `pscc-store` snapshot + write-ahead log, after which
+//!   deltas are fsynced before they return and [`Catalog::open`] recovers
+//!   the whole catalog after a restart (torn log tails truncated), with
+//!   background compaction under a [`CompactionPolicy`].
 //! * [`Delta`] — batched edge updates applied through
 //!   [`Catalog::apply_delta`]: the graph is merged in parallel
 //!   (`DiGraph::with_delta`) and the index is repaired *incrementally* —
@@ -52,6 +60,6 @@ pub mod delta;
 pub mod index;
 
 pub use batch::{BatchOptions, BatchStats, QueryBatch};
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CompactionPolicy};
 pub use delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
 pub use index::{BuildCause, Index, IndexConfig, IndexStats, SummaryTier};

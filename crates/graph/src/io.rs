@@ -132,9 +132,63 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
 
 const BIN_MAGIC: &[u8; 8] = b"PSCCCSR1";
 
-/// Writes the out-CSR of `g` in the binary format.
-pub fn write_binary<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
+/// Streaming 64-bit FNV-1a checksum, used to frame binary graph payloads
+/// (snapshots, write-ahead log records) so torn or corrupted writes are
+/// detected on read. Not cryptographic: it guards against crashes and bit
+/// rot, not adversaries.
+///
+/// ```
+/// use pscc_graph::io::Checksum64;
+///
+/// let mut c = Checksum64::new();
+/// c.update(b"hello ");
+/// c.update(b"world");
+/// let mut whole = Checksum64::new();
+/// whole.update(b"hello world");
+/// assert_eq!(c.finish(), whole.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Checksum64(u64);
+
+impl Default for Checksum64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checksum64 {
+    /// A fresh checksum (FNV-1a offset basis).
+    pub fn new() -> Self {
+        Checksum64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot checksum of a byte slice.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut c = Checksum64::new();
+        c.update(bytes);
+        c.finish()
+    }
+}
+
+/// Writes the out-CSR of `g` in the binary format to an arbitrary writer
+/// (the embeddable form of [`write_binary`]; `pscc-store` frames it inside
+/// checksummed snapshot files).
+pub fn write_binary_to<W: Write>(g: &DiGraph, w: &mut W) -> io::Result<()> {
     w.write_all(BIN_MAGIC)?;
     let csr = g.out_csr();
     w.write_all(&(csr.n() as u64).to_le_bytes())?;
@@ -145,6 +199,20 @@ pub fn write_binary<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
     for &t in csr.targets() {
         w.write_all(&t.to_le_bytes())?;
     }
+    Ok(())
+}
+
+/// Number of bytes [`write_binary_to`] emits for `g` (magic + header +
+/// offsets + targets). Lets embedding formats reserve or validate space
+/// without serializing twice.
+pub fn binary_len(g: &DiGraph) -> u64 {
+    24 + (g.n() as u64 + 1) * 8 + g.m() as u64 * 4
+}
+
+/// Writes the out-CSR of `g` in the binary format.
+pub fn write_binary<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_binary_to(g, &mut w)?;
     w.flush()
 }
 
@@ -160,6 +228,18 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<DiGraph> {
     let file = File::open(path)?;
     let file_len = file.metadata()?.len();
     let mut r = BufReader::new(file);
+    read_binary_from(&mut r, file_len)
+}
+
+/// Reads one binary CSR graph from an arbitrary reader (the embeddable
+/// form of [`read_binary`]; `pscc-store` uses it to parse snapshot files).
+///
+/// `limit` is the number of bytes the caller can vouch for (for a plain
+/// file, its length): the distrusted header is validated against it before
+/// any allocation, exactly like [`read_binary`]. Reads exactly the graph's
+/// serialized bytes from `r`, leaving any trailing bytes unconsumed.
+pub fn read_binary_from<R: Read>(r: &mut R, limit: u64) -> io::Result<DiGraph> {
+    let file_len = limit;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BIN_MAGIC {
@@ -348,7 +428,7 @@ mod tests {
         bytes
     }
 
-    fn read_binary_from(bytes: &[u8], name: &str) -> io::Result<DiGraph> {
+    fn read_binary_bytes(bytes: &[u8], name: &str) -> io::Result<DiGraph> {
         let path = tmp(name);
         std::fs::write(&path, bytes).unwrap();
         let out = read_binary(&path);
@@ -363,12 +443,12 @@ mod tests {
         // Claim 2^40 vertices: the reader must reject before allocating
         // the 8 TiB offsets array the header implies.
         bytes[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
-        let err = read_binary_from(&bytes, "hdrbig2").unwrap_err();
+        let err = read_binary_bytes(&bytes, "hdrbig2").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         // Same for an absurd edge count.
         let mut bytes = binary_bytes(&g, "hdrbig3");
         bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(read_binary_from(&bytes, "hdrbig4").is_err());
+        assert!(read_binary_bytes(&bytes, "hdrbig4").is_err());
     }
 
     #[test]
@@ -377,7 +457,7 @@ mod tests {
         let bytes = binary_bytes(&g, "trunc");
         for len in 0..bytes.len() {
             assert!(
-                read_binary_from(&bytes[..len], "trunc_cut").is_err(),
+                read_binary_bytes(&bytes[..len], "trunc_cut").is_err(),
                 "truncation to {len} bytes must fail"
             );
         }
@@ -390,7 +470,7 @@ mod tests {
         // offsets live at [24, 24 + (n+1)*8); swap two of them.
         let off = 24 + 2 * 8;
         bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-        let err = read_binary_from(&bytes, "mono2").unwrap_err();
+        let err = read_binary_bytes(&bytes, "mono2").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("monotone"), "{err}");
     }
@@ -402,7 +482,7 @@ mod tests {
         // Zero the final offset so offsets[n] != m.
         let off = 24 + 4 * 8;
         bytes[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
-        assert!(read_binary_from(&bytes, "sum2").is_err());
+        assert!(read_binary_bytes(&bytes, "sum2").is_err());
     }
 
     #[test]
@@ -411,7 +491,7 @@ mod tests {
         let mut bytes = binary_bytes(&g, "tgt");
         let targets_at = 24 + 5 * 8;
         bytes[targets_at..targets_at + 4].copy_from_slice(&99u32.to_le_bytes());
-        let err = read_binary_from(&bytes, "tgt2").unwrap_err();
+        let err = read_binary_bytes(&bytes, "tgt2").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("out of range"), "{err}");
     }
@@ -422,6 +502,34 @@ mod tests {
         std::fs::write(&path, b"NOTMAGIC rest").unwrap();
         assert!(read_binary(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn streaming_binary_roundtrips_with_trailing_bytes() {
+        // write_binary_to / read_binary_from embed a graph inside a larger
+        // stream: trailing bytes must be left unconsumed.
+        let g = gnm_digraph(40, 120, 9);
+        let mut bytes = Vec::new();
+        write_binary_to(&g, &mut bytes).unwrap();
+        assert_eq!(bytes.len() as u64, binary_len(&g));
+        bytes.extend_from_slice(b"TRAILER");
+        let mut r = std::io::Cursor::new(&bytes[..]);
+        let back = read_binary_from(&mut r, bytes.len() as u64).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"TRAILER");
+    }
+
+    #[test]
+    fn checksum_is_streaming_and_order_sensitive() {
+        assert_eq!(Checksum64::of(b"abc"), Checksum64::of(b"abc"));
+        assert_ne!(Checksum64::of(b"abc"), Checksum64::of(b"acb"));
+        assert_ne!(Checksum64::of(b""), 0);
+        let mut c = Checksum64::new();
+        c.update(b"ab");
+        c.update(b"c");
+        assert_eq!(c.finish(), Checksum64::of(b"abc"));
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! * [`permute::random_permutation`] for the BGSS prefix-doubling batches,
 //! * atomic helpers ([`atomic::AtomicBits`], [`atomic::atomic_max_u64`]),
 //! * [`pool::with_threads`] for the processor-count sweeps of Fig. 7/8,
-//! * [`timer::PhaseTimer`] for the Fig. 9 breakdown.
+//! * [`timer::PhaseTimer`] for the Fig. 9 breakdown,
+//! * [`background::Background`], a named single-threaded worker for
+//!   deferred maintenance (the engine's store compaction runs on one).
 
 pub mod atomic;
+pub mod background;
 pub mod pack;
 pub mod parfor;
 pub mod permute;
@@ -32,6 +35,7 @@ pub mod sort;
 pub mod timer;
 
 pub use atomic::{atomic_max_u32, atomic_max_u64, atomic_min_u32, AtomicBits};
+pub use background::Background;
 pub use pack::{pack, pack_index, pack_map};
 pub use parfor::{par_for, par_for_grain, par_range, DEFAULT_GRAIN};
 pub use permute::random_permutation;

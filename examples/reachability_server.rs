@@ -1,14 +1,14 @@
-//! A reachability "server" with live updates: generate an RMAT graph (or
-//! load an edge list), register it in a [`Catalog`], answer a 10 000-query
-//! batch, then apply batched edge updates (deltas) and serve the batch
-//! again — reporting whether each delta was *absorbed* (index kept) or
-//! forced a *rebuild*.
+//! A reachability "server" with live updates and optional durability:
+//! generate an RMAT graph (or load an edge list), register it in a
+//! [`Catalog`], answer a 10 000-query batch, then apply batched edge
+//! updates (deltas) and serve the batch again — reporting whether each
+//! delta was *absorbed* (index kept) or forced a *rebuild*.
 //!
-//! Run: `cargo run --release --example reachability_server [graph.txt [updates.txt]]`
+//! Run: `cargo run --release --example reachability_server [--data-dir DIR] [graph.txt [updates.txt]]`
 //!
-//! With a first argument the graph is loaded as a whitespace-separated
-//! `u v` edge list. A second argument is an update-command file applied as
-//! one delta, one command per line:
+//! With a first positional argument the graph is loaded as a
+//! whitespace-separated `u v` edge list. A second positional argument is
+//! an update-command file applied as one delta, one command per line:
 //!
 //! ```text
 //! # add an edge          # delete an edge
@@ -18,19 +18,55 @@
 //! Without an update file, two synthetic deltas demonstrate both repair
 //! paths: one made of already-reachable pairs (absorbed, same index
 //! instance) and one closing a back edge (component merge, rebuild).
+//!
+//! ## Persistence mode (`--data-dir DIR`)
+//!
+//! On a **fresh** directory the catalog persists the graph
+//! ([`Catalog::persist_to`]): every delta is then write-ahead logged and
+//! fsynced before it returns, and the final batch answers are saved next
+//! to the store. On a directory that **already holds** a store, the run
+//! becomes a restart: the catalog is recovered ([`Catalog::open`] —
+//! newest valid snapshot + WAL replay, torn tails truncated), the same
+//! batch is served again, and the answers are verified byte-for-byte
+//! against the previous run's — kill the process between the two
+//! invocations and nothing is lost.
 
 use parallel_scc::engine::{Delta, DeltaReport};
 use parallel_scc::prelude::*;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const NAME: &str = "serve";
 
 fn main() {
+    // ---- Arguments: [--data-dir DIR] [graph.txt [updates.txt]] ----
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let data_dir: Option<PathBuf> = match args.iter().position(|a| a == "--data-dir") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--data-dir needs a directory argument");
+                std::process::exit(2);
+            }
+            Some(PathBuf::from(args.remove(i)))
+        }
+        None => None,
+    };
+    let graph_path = args.first().cloned();
+    let updates_path = args.get(1).cloned();
+
+    // A directory that already holds a store means this run is a restart.
+    if let Some(dir) = &data_dir {
+        if dir.join(NAME).join("wal.log").exists() {
+            return recover_and_verify(dir, updates_path.as_deref());
+        }
+    }
+
     // ---- Load or generate ----
     let t = Instant::now();
-    let g = match std::env::args().nth(1) {
+    let g = match &graph_path {
         Some(path) => {
-            let g = parallel_scc::graph::io::read_edge_list(&path).expect("readable edge list");
+            let g = parallel_scc::graph::io::read_edge_list(path).expect("readable edge list");
             println!("loaded {path}: n={} m={}", g.n(), g.m());
             g
         }
@@ -46,6 +82,20 @@ fn main() {
     let catalog = Catalog::new();
     catalog.insert(NAME, g);
 
+    // ---- Durability: snapshot now, write-ahead log every delta ----
+    if let Some(dir) = &data_dir {
+        let t = Instant::now();
+        catalog.persist_to(NAME, dir).expect("writable data dir");
+        let (wal, snap) = catalog.store_bytes(NAME).expect("durable");
+        println!(
+            "persisted to {} in {:.1}ms  (snapshot {:.1} MiB, wal {} B)\n",
+            dir.display(),
+            t.elapsed().as_secs_f64() * 1e3,
+            snap as f64 / (1 << 20) as f64,
+            wal,
+        );
+    }
+
     // ---- Build the index ----
     let t = Instant::now();
     let index = catalog.index(NAME).expect("registered above");
@@ -53,17 +103,14 @@ fn main() {
     print_index_report(&index, build);
 
     // ---- Serve a 10k batch ----
-    let mut rng = pscc_runtime::SplitMix64::new(0xba7c);
-    let queries: Vec<(V, V)> = (0..10_000)
-        .map(|_| (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V))
-        .collect();
+    let queries = query_batch(n);
     let answers = serve_batch(&catalog, &queries);
     spot_check(&catalog, &queries, &answers);
 
     // ---- Apply updates ----
-    match std::env::args().nth(2) {
+    match &updates_path {
         Some(path) => {
-            let delta = read_update_commands(&path).expect("readable update file");
+            let delta = read_update_commands(path).expect("readable update file");
             println!(
                 "\napplying {path}: {} insertions, {} deletions",
                 delta.insertions().len(),
@@ -115,6 +162,95 @@ fn main() {
     println!("\nafter updates: built_by {:?}", index.stats().built_by);
     let answers = serve_batch(&catalog, &queries);
     spot_check(&catalog, &queries, &answers);
+
+    // ---- Persistence epilogue: save answers, explain the restart ----
+    if let Some(dir) = &data_dir {
+        let (wal, snap) = catalog.store_bytes(NAME).expect("durable");
+        println!("\ndurable state: wal {wal} B, snapshot {snap} B (every delta fsynced)");
+        save_answers(dir, &answers);
+        println!(
+            "answers saved — rerun with `--data-dir {}` (after killing this \
+             process at any point) to recover and verify",
+            dir.display()
+        );
+    }
+}
+
+/// The restart path: recover the catalog from disk, serve the same batch,
+/// and verify the answers match the pre-restart run byte for byte.
+fn recover_and_verify(dir: &Path, updates_path: Option<&str>) {
+    let t = Instant::now();
+    let catalog = Catalog::open(dir).expect("recoverable data dir");
+    println!(
+        "recovered catalog {:?} from {} in {:.1}ms",
+        catalog.names(),
+        dir.display(),
+        t.elapsed().as_secs_f64() * 1e3,
+    );
+    let g = catalog.graph(NAME).expect("recovered graph");
+    let generation = catalog.generation(NAME).expect("recovered graph");
+    println!("graph: n={} m={}  (generation {generation}, index rebuilds lazily)\n", g.n(), g.m());
+
+    let queries = query_batch(g.n());
+    let answers = serve_batch(&catalog, &queries);
+    spot_check(&catalog, &queries, &answers);
+
+    match load_answers(dir) {
+        Some(saved) => {
+            assert_eq!(
+                answers, saved,
+                "restarted catalog must answer the batch identically to the run that saved it"
+            );
+            println!(
+                "verified: {} recovered answers identical to the pre-restart run",
+                saved.len()
+            );
+        }
+        None => println!("no saved answers to verify against (first run saved none)"),
+    }
+
+    if let Some(path) = updates_path {
+        let delta = read_update_commands(path).expect("readable update file");
+        println!("\napplying {path} durably: {} operations", delta.len());
+        let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
+        print_delta_report(&report);
+        let answers = serve_batch(&catalog, &queries);
+        spot_check(&catalog, &queries, &answers);
+        save_answers(dir, &answers);
+    }
+}
+
+/// The deterministic 10k-query batch every run serves (a pure function of
+/// the vertex count, so pre- and post-restart runs agree).
+fn query_batch(n: usize) -> Vec<(V, V)> {
+    let mut rng = pscc_runtime::SplitMix64::new(0xba7c);
+    (0..10_000).map(|_| (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V)).collect()
+}
+
+const ANSWERS_MAGIC: &[u8; 8] = b"PSCCANS1";
+
+/// Saves batch answers next to the store (magic + count + one byte each).
+fn save_answers(dir: &Path, answers: &[bool]) {
+    let mut bytes = Vec::with_capacity(16 + answers.len());
+    bytes.extend_from_slice(ANSWERS_MAGIC);
+    bytes.extend_from_slice(&(answers.len() as u64).to_le_bytes());
+    bytes.extend(answers.iter().map(|&b| b as u8));
+    std::fs::write(dir.join("answers.bin"), bytes).expect("write answers");
+}
+
+/// Loads previously saved batch answers, if any.
+fn load_answers(dir: &Path) -> Option<Vec<bool>> {
+    let bytes = std::fs::read(dir.join("answers.bin")).ok()?;
+    let (magic, rest) = bytes.split_at_checked(8)?;
+    if magic != ANSWERS_MAGIC {
+        return None;
+    }
+    let (count, body) = rest.split_at_checked(8)?;
+    let count = u64::from_le_bytes(count.try_into().ok()?) as usize;
+    if body.len() != count {
+        return None;
+    }
+    Some(body.iter().map(|&b| b != 0).collect())
 }
 
 fn serve_batch(catalog: &Catalog, queries: &[(V, V)]) -> Vec<bool> {

@@ -35,6 +35,7 @@
 //! | [`lelists`] | `pscc-lelists` | BGSS least-element lists (§5.2) |
 //! | [`apps`] | `pscc-apps` | condensation, topological sort, 2-SAT |
 //! | [`engine`] | `pscc-engine` | batched reachability queries over the condensation DAG |
+//! | [`store`] | `pscc-store` | durable snapshots + write-ahead delta log with crash recovery |
 //!
 //! ## Serving reachability queries
 //!
@@ -58,6 +59,12 @@
 //! catalog.apply_delta("g", &delta).unwrap();
 //! assert_eq!(catalog.reaches("g", 4, 0), Some(true));
 //! ```
+//!
+//! Registered graphs can also be made **durable**
+//! ([`engine::Catalog::persist_to`]): deltas are then write-ahead logged
+//! and fsynced before they return, and [`engine::Catalog::open`] recovers
+//! the whole catalog — newest valid snapshot plus log replay, torn tails
+//! truncated — after a crash or restart. See [`store`].
 
 pub use pscc_apps as apps;
 pub use pscc_bag as bag;
@@ -68,6 +75,7 @@ pub use pscc_engine as engine;
 pub use pscc_graph as graph;
 pub use pscc_lelists as lelists;
 pub use pscc_runtime as runtime;
+pub use pscc_store as store;
 pub use pscc_table as table;
 
 /// The most common imports in one place.

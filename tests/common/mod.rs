@@ -1,0 +1,24 @@
+//! Shared helpers for the integration-test targets that declare
+//! `mod common;` (a directory module, so cargo does not treat it as a
+//! test target of its own).
+
+use parallel_scc::prelude::*;
+
+/// Brute-force reachability oracle: iterative DFS over the out-CSR.
+pub fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![u];
+    seen[u as usize] = true;
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for &w in g.out_neighbors(x) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}

@@ -8,6 +8,9 @@ use proptest::prelude::*;
 use parallel_scc::engine::{BatchOptions, Delta, IndexConfig as EngineIndexConfig};
 use parallel_scc::prelude::*;
 
+mod common;
+use common::bfs_reaches;
+
 /// Arbitrary digraph: up to 70 vertices, density up to ~4 m/n, so samples
 /// range from forests to graphs with one giant SCC.
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
@@ -16,25 +19,6 @@ fn arb_graph() -> impl Strategy<Value = DiGraph> {
         proptest::collection::vec(edge, 0..(n * 4))
             .prop_map(move |edges| DiGraph::from_edges(n, &edges))
     })
-}
-
-/// Brute-force reachability oracle.
-fn bfs_reaches(g: &DiGraph, u: V, v: V) -> bool {
-    let mut seen = vec![false; g.n()];
-    let mut stack = vec![u];
-    seen[u as usize] = true;
-    while let Some(x) = stack.pop() {
-        if x == v {
-            return true;
-        }
-        for &w in g.out_neighbors(x) {
-            if !seen[w as usize] {
-                seen[w as usize] = true;
-                stack.push(w);
-            }
-        }
-    }
-    false
 }
 
 /// Interval-tier config (zero bitset budget forces it on any DAG).

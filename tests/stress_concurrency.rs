@@ -2,10 +2,12 @@
 //! under oversubscribed thread pools (more workers than cores) so genuine
 //! interleavings occur even on narrow CI hosts.
 
+use parallel_scc::engine::Delta;
 use parallel_scc::prelude::*;
 use parallel_scc::runtime::{par_for, with_threads};
 use parallel_scc::scc::verify::same_partition;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[test]
 fn bag_under_oversubscribed_pool() {
@@ -108,6 +110,131 @@ fn kcore_stable_across_pool_widths() {
         let got = with_threads(threads, || core_numbers(&g));
         assert_eq!(got, want, "threads={threads}");
     }
+}
+
+/// An IndexConfig that makes index builds take long enough for another
+/// thread to reliably land work mid-build: force the interval tier (no
+/// bitset shortcut) with many randomized labelings over a large DAG.
+fn slow_build_config(labelings: usize) -> IndexConfig {
+    IndexConfig { bitset_budget_bytes: 0, labelings, exception_cap: 0, ..IndexConfig::default() }
+}
+
+/// Closes the ROADMAP open item, part 1: while `apply_delta` is merging
+/// and rebuilding **off-lock**, queries against the same graph keep being
+/// answered from the old index instead of stalling for the rebuild.
+#[test]
+fn queries_answered_from_old_index_during_delta_rebuild() {
+    // Sparse digraph -> a DAG with ~n components, so the forced interval
+    // tier rebuild costs a long, measurable time.
+    let g = parallel_scc::graph::generators::random::gnm_digraph(200_000, 300_000, 42);
+    let doomed_edge = g.out_csr().edges().next().expect("graph has edges");
+    let cat = Arc::new(Catalog::new());
+    cat.insert_with_config(
+        "g",
+        g,
+        slow_build_config(10),
+        parallel_scc::engine::BatchOptions::default(),
+    );
+    let _ = cat.index("g").expect("eager first build");
+
+    let rebuild_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let cat = cat.clone();
+        let done = rebuild_done.clone();
+        std::thread::spawn(move || {
+            // Any effective deletion forces a full (slow) rebuild.
+            let mut d = Delta::new();
+            d.delete(doomed_edge.0, doomed_edge.1);
+            let report = cat.apply_delta("g", &d).expect("valid delta");
+            done.store(true, Ordering::SeqCst);
+            report
+        })
+    };
+
+    // While the writer merges + rebuilds off-lock, queries must keep
+    // flowing. Count complete batches answered strictly before the
+    // rebuild finishes.
+    let queries: Vec<(V, V)> = (0..256).map(|i| (i as V, (i * 7 + 1) as V)).collect();
+    let mut batches_during_rebuild = 0u64;
+    while !rebuild_done.load(Ordering::SeqCst) {
+        let answers = cat.answer_batch("g", &queries).expect("registered");
+        assert_eq!(answers.len(), queries.len());
+        if !rebuild_done.load(Ordering::SeqCst) {
+            batches_during_rebuild += 1;
+        }
+    }
+    let report = writer.join().expect("writer thread");
+    assert_eq!(report.outcome, parallel_scc::engine::DeltaOutcome::Rebuilt);
+    assert!(
+        batches_during_rebuild > 0,
+        "queries stalled for the whole rebuild (old behavior: merge under the entry mutex)"
+    );
+    // After the swap, answers reflect the deletion-rebuilt index.
+    assert_eq!(
+        cat.index("g").unwrap().stats().built_by,
+        parallel_scc::engine::BuildCause::DeltaRebuild
+    );
+}
+
+/// Closes the ROADMAP open item, part 2: an `apply_delta` racing an
+/// off-lock (lazy first-query) index build is detected via the
+/// generation counter — the stale build is discarded and retried, and
+/// the delta is never lost.
+#[test]
+fn racing_delta_during_off_lock_build_is_detected_not_lost() {
+    let n = 200_000usize;
+    let mut raced = false;
+    for attempt in 0..10u64 {
+        let name = format!("g{attempt}");
+        let g = parallel_scc::graph::generators::random::gnm_digraph(n, 300_000, 100 + attempt);
+        // An edge absent from the graph: the delta is always effective.
+        let mut rng = pscc_runtime::SplitMix64::new(0x5eed ^ attempt);
+        let new_edge = loop {
+            let (u, v) = (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V);
+            if u != v && g.out_neighbors(u).binary_search(&v).is_err() {
+                break (u, v);
+            }
+        };
+        let cat = Arc::new(Catalog::new());
+        cat.insert_with_config(
+            &name,
+            g,
+            slow_build_config(8),
+            parallel_scc::engine::BatchOptions::default(),
+        );
+
+        // Thread 1: first query triggers the lazy off-lock build.
+        let builder = {
+            let (cat, name) = (cat.clone(), name.clone());
+            std::thread::spawn(move || cat.index(&name).expect("registered"))
+        };
+        // Thread 2 (here): land a delta mid-build.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut d = Delta::new();
+        d.insert(new_edge.0, new_edge.1);
+        cat.apply_delta(&name, &d).expect("valid delta");
+        let _ = builder.join().expect("builder thread");
+
+        // The delta must never be lost, raced or not. (The builder's own
+        // return value may legitimately be the pre-delta index — if it
+        // installed just before the swap, the *delta's* Deferred branch
+        // discards it — so the authoritative check goes through the
+        // catalog, which always reflects the post-delta graph.)
+        assert!(
+            cat.graph(&name).unwrap().out_neighbors(new_edge.0).contains(&new_edge.1),
+            "attempt {attempt}: inserted edge vanished"
+        );
+        assert_eq!(cat.reaches(&name, new_edge.0, new_edge.1), Some(true));
+        if cat.discarded_builds(&name) == Some(0) {
+            continue; // delta landed before/after the build window; retry
+        }
+        // The race happened: the generation counter detected the swap and
+        // the stale index was discarded instead of shadowing the delta.
+        assert_eq!(cat.generation(&name), Some(1));
+        raced = true;
+        break;
+    }
+    assert!(raced, "no attempt raced the delta against the off-lock build");
 }
 
 #[test]
