@@ -34,14 +34,21 @@ impl Condensation {
     /// every arc (and hence every path) strictly increases the level —
     /// the pruning invariant reachability indexes rely on.
     pub fn topo_levels(&self) -> Vec<u32> {
-        let mut levels = vec![0u32; self.num_components()];
-        for c in self.topo_order() {
-            for &d in self.dag.out_neighbors(c) {
-                levels[d as usize] = levels[d as usize].max(levels[c as usize] + 1);
-            }
-        }
-        levels
+        topo_levels_of(&self.dag, &self.topo_order())
     }
+}
+
+/// Longest-path levels of any DAG given one of its topological orders
+/// (the sweep behind [`Condensation::topo_levels`], reusable by callers
+/// that already hold an order — e.g. incremental index assembly).
+pub fn topo_levels_of(dag: &DiGraph, order: &[V]) -> Vec<u32> {
+    let mut levels = vec![0u32; dag.n()];
+    for &c in order {
+        for &d in dag.out_neighbors(c) {
+            levels[d as usize] = levels[d as usize].max(levels[c as usize] + 1);
+        }
+    }
+    levels
 }
 
 /// Contracts `g` using precomputed SCC `labels` (any label type that marks

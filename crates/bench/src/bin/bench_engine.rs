@@ -3,13 +3,16 @@
 //! Runs the serving-path measurements the criterion benches explore
 //! interactively and writes them as one JSON object (default
 //! `BENCH_engine.json`, overridable as the first argument) so the perf
-//! trajectory of
-//! the engine is tracked in artifacts rather than scrollback:
+//! trajectory of the engine is tracked in artifacts rather than
+//! scrollback:
 //!
 //! * index build time over an RMAT graph (per-phase breakdown included),
 //! * batched query throughput (10k mixed queries, warm + cold memo),
-//! * delta latency on both repair paths: absorbed (index kept) vs
-//!   rebuild (index reconstructed).
+//! * delta latency on **every repair tier** of the planner: absorbed
+//!   (index kept), dag-spliced (condensation arc splice), region
+//!   recompute (SCC re-run on the affected DAG region), and the full
+//!   rebuild fallback (deletion-forced) — plus the speedup of each
+//!   localized tier over the equivalent full rebuild.
 //!
 //! Run: `cargo run --release -p pscc-bench --bin bench_engine [out.json]`
 
@@ -20,6 +23,27 @@ use std::time::Instant;
 
 const NAME: &str = "bench";
 const QUERIES: usize = 10_000;
+
+/// Applies one single-edge delta and returns its latency if the outcome
+/// matched; tallies a mismatch into `fallbacks` otherwise.
+fn timed_delta(
+    catalog: &Catalog,
+    edge: (V, V),
+    want: DeltaOutcome,
+    fallbacks: &mut usize,
+) -> Option<f64> {
+    let mut delta = Delta::new();
+    delta.insert(edge.0, edge.1);
+    let t = Instant::now();
+    let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
+    let secs = t.elapsed().as_secs_f64();
+    if report.outcome == want {
+        Some(secs)
+    } else {
+        *fallbacks += 1;
+        None
+    }
+}
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".to_string());
@@ -67,6 +91,63 @@ fn main() {
         }
     }
 
+    // ---- DAG-splice latency: joins with no reachability either way ----
+    let mut splice_seconds = Vec::new();
+    let mut splice_fallbacks = 0usize;
+    {
+        let idx = catalog.index(NAME).expect("registered");
+        let candidates: Vec<(V, V)> = queries
+            .iter()
+            .zip(&answers)
+            .filter(|&(&(u, v), &a)| !a && u != v && !idx.reaches(v, u))
+            .map(|(&q, _)| q)
+            .take(5)
+            .collect();
+        for &edge in &candidates {
+            // Re-check against the current index: an earlier splice can
+            // have made this pair reachable (then it would absorb).
+            let idx = catalog.index(NAME).expect("registered");
+            if idx.reaches(edge.0, edge.1) || idx.reaches(edge.1, edge.0) {
+                continue;
+            }
+            if let Some(s) =
+                timed_delta(&catalog, edge, DeltaOutcome::DagSpliced, &mut splice_fallbacks)
+            {
+                splice_seconds.push(s);
+            }
+        }
+    }
+
+    // ---- Region-recompute latency: reversed one-way pairs ----
+    let mut region_seconds = Vec::new();
+    let mut region_fallbacks = 0usize;
+    {
+        let one_way: Vec<(V, V)> = {
+            let idx = catalog.index(NAME).expect("registered");
+            queries
+                .iter()
+                .zip(&answers)
+                .filter(|&(&(u, v), &a)| a && u != v && !idx.reaches(v, u))
+                .map(|(&(u, v), _)| (v, u))
+                .take(24)
+                .collect()
+        };
+        for &edge in &one_way {
+            if region_seconds.len() >= 5 {
+                break;
+            }
+            let idx = catalog.index(NAME).expect("registered");
+            if idx.reaches(edge.0, edge.1) {
+                continue; // an earlier merge already absorbed this pair
+            }
+            if let Some(s) =
+                timed_delta(&catalog, edge, DeltaOutcome::RegionRecomputed, &mut region_fallbacks)
+            {
+                region_seconds.push(s);
+            }
+        }
+    }
+
     // ---- Rebuild-delta latency: one effective deletion forces it ----
     let doomed: Vec<(V, V)> =
         catalog.graph(NAME).expect("registered").out_csr().edges().take(3).collect();
@@ -81,11 +162,26 @@ fn main() {
         }
     }
 
+    let tiers = catalog.repair_counts(NAME).expect("registered");
+
     let mean = |xs: &[f64]| {
         if xs.is_empty() {
             f64::NAN
         } else {
             xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let best = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let rebuild_mean = mean(&rebuild_seconds);
+    let splice_speedup = rebuild_mean / mean(&splice_seconds);
+    let region_speedup = rebuild_mean / mean(&region_seconds);
+    // JSON must stay strictly valid even when a tier got no samples on
+    // this graph: non-finite numbers serialize as null, never NaN.
+    let num = |x: f64, digits: usize| {
+        if x.is_finite() {
+            format!("{x:.digits$}")
+        } else {
+            "null".to_string()
         }
     };
     let json = format!(
@@ -109,10 +205,22 @@ fn main() {
     "warm_qps": {warm_qps:.0}
   }},
   "delta": {{
-    "absorbed_mean_seconds": {absorbed:.6},
+    "absorbed_mean_seconds": {absorbed},
     "absorbed_samples": {absorbed_n},
-    "rebuild_mean_seconds": {rebuild:.6},
-    "rebuild_samples": {rebuild_n}
+    "dag_splice_mean_seconds": {splice},
+    "dag_splice_samples": {splice_n},
+    "region_recompute_mean_seconds": {region},
+    "region_recompute_samples": {region_n},
+    "rebuild_mean_seconds": {rebuild},
+    "rebuild_samples": {rebuild_n},
+    "dag_splice_speedup_vs_rebuild": {splice_speedup_json},
+    "region_recompute_speedup_vs_rebuild": {region_speedup_json}
+  }},
+  "repair_tiers": {{
+    "absorbed": {t_abs},
+    "dag_spliced": {t_splice},
+    "region_recomputed": {t_region},
+    "full_rebuilds": {t_rebuild}
   }}
 }}
 "#,
@@ -125,17 +233,44 @@ fn main() {
         sbytes = stats.summary_bytes,
         cold_qps = QUERIES as f64 / cold_seconds,
         warm_qps = QUERIES as f64 / warm_seconds,
-        absorbed = mean(&absorbed_seconds),
+        absorbed = num(mean(&absorbed_seconds), 6),
         absorbed_n = absorbed_seconds.len(),
-        rebuild = mean(&rebuild_seconds),
+        splice = num(mean(&splice_seconds), 6),
+        splice_n = splice_seconds.len(),
+        region = num(mean(&region_seconds), 6),
+        region_n = region_seconds.len(),
+        rebuild = num(rebuild_mean, 6),
         rebuild_n = rebuild_seconds.len(),
+        splice_speedup_json = num(splice_speedup, 2),
+        region_speedup_json = num(region_speedup, 2),
+        t_abs = tiers.absorbed,
+        t_splice = tiers.dag_spliced,
+        t_region = tiers.region_recomputed,
+        t_rebuild = tiers.full_rebuilds,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("{json}");
     println!("wrote {out_path}");
+    println!(
+        "splice {:.2}x / region {:.2}x faster than a full rebuild \
+         ({splice_fallbacks} splice / {region_fallbacks} region candidates fell back)",
+        splice_speedup, region_speedup
+    );
     assert!(
-        !absorbed_seconds.is_empty() && !rebuild_seconds.is_empty(),
-        "both delta repair paths must have been measured"
+        !absorbed_seconds.is_empty() && !rebuild_seconds.is_empty() && !splice_seconds.is_empty(),
+        "the absorbed, dag-splice, and rebuild tiers must all have been measured"
+    );
+    // Gate on the best observed repair latency rather than the mean: the
+    // mean is what the JSON tracks, but a single descheduled sample on a
+    // noisy runner must not fail the build when the tier demonstrably
+    // clears the bar.
+    let best_speedup =
+        (rebuild_mean / best(&splice_seconds)).max(rebuild_mean / best(&region_seconds));
+    assert!(
+        best_speedup >= 5.0,
+        "a localized repair tier must beat the full rebuild by at least 5x \
+         (best {best_speedup:.2}x; means: splice {splice_speedup:.2}x, \
+          region {region_speedup:.2}x)"
     );
     assert!(
         stats.total_build_seconds() <= build_seconds,

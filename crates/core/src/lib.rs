@@ -29,7 +29,7 @@ pub mod verify;
 
 pub use config::{ReachParams, SccConfig};
 pub use frontier::{edge_map, EdgeMapOptions, VertexSubset};
-pub use scc::{parallel_scc, parallel_scc_with_stats, SccResult};
+pub use scc::{parallel_scc, parallel_scc_induced, parallel_scc_with_stats, SccResult};
 pub use state::{SccState, FINAL_TAG};
 pub use stats::{SccStats, SearchRecord};
 pub use verify::{component_stats, normalize_labels, same_partition};

@@ -168,6 +168,29 @@ pub fn parallel_scc_with_stats(g: &DiGraph, cfg: &SccConfig) -> (SccResult, SccS
     (SccResult { labels, num_sccs, largest_scc }, stats)
 }
 
+/// Computes SCCs of the subgraph of `g` induced by `vertices`, overlaid
+/// with `extra_arcs` (global endpoints, both inside `vertices`).
+///
+/// Returns one label per view vertex, aligned with `vertices`: positions
+/// `i` and `j` share a label iff `vertices[i]` and `vertices[j]` are
+/// strongly connected **within** the overlaid induced subgraph (paths
+/// through vertices outside the view do not count).
+///
+/// This is the subgraph entry point the incremental condensation repair
+/// in `pscc-engine` drives: when a delta merges components, the full BGSS
+/// machinery runs on just the affected region of the condensation DAG
+/// plus the freshly inserted arcs, not on the whole graph.
+pub fn parallel_scc_induced(
+    g: &DiGraph,
+    vertices: &[V],
+    extra_arcs: &[(V, V)],
+    cfg: &SccConfig,
+) -> Vec<u64> {
+    let view = pscc_graph::SubgraphView::new(g, vertices);
+    let sub = view.extract_with_arcs(extra_arcs);
+    parallel_scc(&sub, cfg).labels
+}
+
 /// Next prefix-doubling batch size: `max(s + 1, ceil(s·β))`.
 fn next_batch_size(s: usize, beta: f64) -> usize {
     ((s as f64 * beta).ceil() as usize).max(s + 1)
@@ -432,6 +455,39 @@ mod tests {
         let cfg = SccConfig { adaptive_tau: true, ..SccConfig::default() };
         let res = parallel_scc(&g, &cfg);
         assert!(same_partition(&res.labels, &want));
+    }
+
+    #[test]
+    fn induced_scc_matches_tarjan_on_the_extracted_subgraph() {
+        let g = gnm_digraph(200, 700, 31);
+        // An arbitrary subset: every third vertex.
+        let vertices: Vec<V> = (0..200).step_by(3).map(|v| v as V).collect();
+        let labels = parallel_scc_induced(&g, &vertices, &[], &SccConfig::default());
+        let view = pscc_graph::SubgraphView::new(&g, &vertices);
+        let want = tarjan_labels(&view.extract());
+        assert_eq!(labels.len(), vertices.len());
+        assert!(same_partition(&labels, &want));
+    }
+
+    #[test]
+    fn induced_scc_sees_extra_arcs() {
+        // A path 0 -> 1 -> 2 -> 3: no cycles anywhere.
+        let g = path_digraph(4);
+        let vertices = vec![1, 2, 3];
+        let plain = parallel_scc_induced(&g, &vertices, &[], &SccConfig::default());
+        assert_eq!(component_stats(&plain).0, 3);
+        // Overlaying the back arc 3 -> 1 collapses the view to one SCC.
+        let closed = parallel_scc_induced(&g, &vertices, &[(3, 1)], &SccConfig::default());
+        assert_eq!(component_stats(&closed).0, 1);
+    }
+
+    #[test]
+    fn induced_scc_ignores_paths_through_outside_vertices() {
+        // 0 <-> 1 via 2: 1 -> 2 -> 0 and 0 -> 1. With 2 outside the view,
+        // 0 and 1 are *not* strongly connected in the induced subgraph.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let labels = parallel_scc_induced(&g, &[0, 1], &[], &SccConfig::default());
+        assert_ne!(labels[0], labels[1]);
     }
 
     #[test]

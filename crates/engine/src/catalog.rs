@@ -39,8 +39,9 @@
 //! to that one entry wait for its snapshot write.
 
 use crate::batch::{BatchOptions, MemoCache, QueryBatch};
-use crate::delta::{absorbs_all, Delta, DeltaError, DeltaOutcome, DeltaReport};
+use crate::delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
 use crate::index::{BuildCause, Index, IndexConfig};
+use crate::planner::{plan_repair, RepairPlan};
 use pscc_graph::{DiGraph, V};
 use pscc_runtime::Background;
 use pscc_store::{DeltaRecord, Store, StoreMeta};
@@ -65,6 +66,40 @@ pub struct CompactionPolicy {
 impl Default for CompactionPolicy {
     fn default() -> Self {
         CompactionPolicy { wal_factor: 4, min_wal_bytes: 64 << 10 }
+    }
+}
+
+/// Per-tier tallies of how [`Catalog::apply_delta`] repaired one entry's
+/// index across its lifetime (see [`crate::planner`] for the tiers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairCounts {
+    /// Deltas absorbed: index and memo kept untouched.
+    pub absorbed: u64,
+    /// Deltas repaired by the condensation arc-splice tier.
+    pub dag_spliced: u64,
+    /// Deltas repaired by an SCC recompute on the affected DAG region.
+    pub region_recomputed: u64,
+    /// Deltas that fell back to a full index rebuild.
+    pub full_rebuilds: u64,
+}
+
+/// Interior-mutable accumulator behind [`RepairCounts`].
+#[derive(Default)]
+struct TierTallies {
+    absorbed: AtomicU64,
+    dag_spliced: AtomicU64,
+    region_recomputed: AtomicU64,
+    full_rebuilds: AtomicU64,
+}
+
+impl TierTallies {
+    fn snapshot(&self) -> RepairCounts {
+        RepairCounts {
+            absorbed: self.absorbed.load(Ordering::Relaxed),
+            dag_spliced: self.dag_spliced.load(Ordering::Relaxed),
+            region_recomputed: self.region_recomputed.load(Ordering::Relaxed),
+            full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -98,6 +133,8 @@ struct Entry {
     store: Mutex<Option<Arc<Store>>>,
     /// Off-lock builds discarded because the generation moved mid-build.
     discarded_builds: AtomicU64,
+    /// Per-tier tallies of the entry's delta repairs.
+    repairs: TierTallies,
     /// True while a compaction job for this entry is queued or running.
     compaction_queued: AtomicBool,
 }
@@ -117,6 +154,7 @@ impl Entry {
             update: Mutex::new(()),
             store: Mutex::new(store),
             discarded_builds: AtomicU64::new(0),
+            repairs: TierTallies::default(),
             compaction_queued: AtomicBool::new(false),
         })
     }
@@ -229,6 +267,14 @@ impl Catalog {
         self.entry(name).map(|e| e.discarded_builds.load(Ordering::Relaxed))
     }
 
+    /// Per-tier tallies of how deltas applied to `name` repaired its
+    /// index (absorbed / dag-spliced / region-recomputed / full-rebuild)
+    /// since registration. No-ops and pre-index deferred deltas are not
+    /// counted — they repair nothing.
+    pub fn repair_counts(&self, name: &str) -> Option<RepairCounts> {
+        self.entry(name).map(|e| e.repairs.snapshot())
+    }
+
     /// The index for `name`, building it on first use.
     pub fn index(&self, name: &str) -> Option<Arc<Index>> {
         self.index_and_memo(name).map(|(index, _)| index)
@@ -252,19 +298,26 @@ impl Catalog {
 
     /// Applies a batched edge update to `name`'s graph, swapping in the
     /// merged graph ([`DiGraph::with_delta`]) and repairing the index
-    /// incrementally:
+    /// through the tiered planner ([`crate::planner`]):
     ///
     /// * deltas whose every effective change provably keeps the
     ///   reachability relation (insertions inside one SCC or between
     ///   already-reachable component pairs) keep the existing index *and*
     ///   its warm memo ([`DeltaOutcome::Absorbed`]);
-    /// * deltas that can merge components or add DAG reachability — and
-    ///   any effective deletion — rebuild the index eagerly
+    /// * insertions that only add condensation arcs (no component merge)
+    ///   splice them in, repairing levels and summary for affected
+    ///   ancestors only ([`DeltaOutcome::DagSpliced`]);
+    /// * insertions that merge components re-run SCC on just the affected
+    ///   DAG region and contract the old condensation through the merge
+    ///   map ([`DeltaOutcome::RegionRecomputed`]);
+    /// * effective deletions and repairs past the planner's
+    ///   [`crate::planner::RepairBudget`] rebuild the index from scratch
     ///   ([`DeltaOutcome::Rebuilt`], stamped
     ///   [`BuildCause::DeltaRebuild`][crate::index::BuildCause]);
     /// * if no index was built yet the graph is swapped and indexing stays
     ///   lazy ([`DeltaOutcome::Deferred`]).
     ///
+    /// Which tier ran is tallied per entry ([`Catalog::repair_counts`]).
     /// Returns the path taken plus effective edge counts, or a
     /// [`DeltaError`] (nothing modified) for an unknown graph, an
     /// out-of-range endpoint, or a failed write-ahead append.
@@ -307,30 +360,16 @@ impl Catalog {
             }
         }
 
-        // Reduce to the *effective* delta: insertions of absent edges, and
-        // deletions of present edges not re-inserted by this same delta
-        // (insertions win). The graph cannot change under us — every swap
-        // happens under the update lock we hold.
+        // Normalize (dedupe within each list, drop deletions of edges the
+        // same delta inserts), then reduce to the *effective* delta:
+        // insertions of absent edges and deletions of present ones. The
+        // graph cannot change under us — every swap happens under the
+        // update lock we hold.
+        let delta = delta.normalized();
         let has_edge = |&(u, v): &(V, V)| graph.out_neighbors(u).binary_search(&v).is_ok();
-        let mut ins: Vec<(V, V)> =
+        let ins: Vec<(V, V)> =
             delta.insertions().iter().filter(|e| !has_edge(e)).copied().collect();
-        pscc_graph::dedup_edges(&mut ins);
-        let mut del: Vec<(V, V)> = if delta.deletions().is_empty() {
-            Vec::new()
-        } else {
-            // Sorted copy of *all* queued insertions (present ones
-            // included) so the reinsertion check is a binary search, not
-            // a linear scan.
-            let mut queued_ins = delta.insertions().to_vec();
-            pscc_graph::dedup_edges(&mut queued_ins);
-            delta
-                .deletions()
-                .iter()
-                .filter(|e| has_edge(e) && queued_ins.binary_search(e).is_err())
-                .copied()
-                .collect()
-        };
-        pscc_graph::dedup_edges(&mut del);
+        let del: Vec<(V, V)> = delta.deletions().iter().filter(|e| has_edge(e)).copied().collect();
         if ins.is_empty() && del.is_empty() {
             return Ok(DeltaReport { outcome: DeltaOutcome::NoOp, inserted: 0, deleted: 0 });
         }
@@ -344,23 +383,37 @@ impl Catalog {
             }
         }
 
-        // Merge and (when needed) rebuild off-lock: queries keep answering
-        // from the current graph + index throughout.
+        // Merge and (when needed) repair or rebuild off-lock: queries keep
+        // answering from the current graph + index throughout. The planner
+        // runs against the captured index — valid for the pre-merge graph,
+        // which is exactly what the tier arguments are stated over.
         let merged = Arc::new(graph.with_delta(&ins, &del));
-        enum Plan {
+        enum Exec {
             Deferred,
             Keep,
-            Install(Arc<Index>, Arc<MemoCache>),
+            Install(Arc<Index>, Arc<MemoCache>, DeltaOutcome),
         }
-        let plan = match &index_pair {
-            None => Plan::Deferred,
-            Some((index, _)) if del.is_empty() && absorbs_all(index, &ins) => Plan::Keep,
-            Some(_) => {
-                let mut index = Index::build_with_config(&merged, &entry.config);
-                index.set_built_by(BuildCause::DeltaRebuild);
-                let memo = MemoCache::new(entry.batch.memo_bits, index.num_components());
-                Plan::Install(Arc::new(index), Arc::new(memo))
-            }
+        let install = |index: Index, outcome: DeltaOutcome| {
+            let memo = MemoCache::new(entry.batch.memo_bits, index.num_components());
+            Exec::Install(Arc::new(index), Arc::new(memo), outcome)
+        };
+        let exec = match &index_pair {
+            None => Exec::Deferred,
+            Some((index, _)) => match plan_repair(index, &ins, &del, &entry.config.repair) {
+                RepairPlan::Absorb => Exec::Keep,
+                RepairPlan::DagSplice { arcs } => {
+                    install(index.splice_dag_arcs(&arcs, &entry.config), DeltaOutcome::DagSpliced)
+                }
+                RepairPlan::RegionRecompute { region, arcs } => install(
+                    index.recompute_region(&region, &arcs, &entry.config),
+                    DeltaOutcome::RegionRecomputed,
+                ),
+                RepairPlan::FullRebuild { .. } => {
+                    let mut index = Index::build_with_config(&merged, &entry.config);
+                    index.set_built_by(BuildCause::DeltaRebuild);
+                    install(index, DeltaOutcome::Rebuilt)
+                }
+            },
         };
 
         // Re-lock only to swap. The graph is still the one we read (swaps
@@ -370,12 +423,12 @@ impl Catalog {
         let mut st = entry.state.lock().expect("entry lock");
         debug_assert!(Arc::ptr_eq(&st.graph, &graph), "graph swapped without the update lock");
         debug_assert_eq!(st.generation, generation, "generation moved without the update lock");
-        let outcome = match plan {
-            Plan::Install(index, memo) => {
+        let outcome = match exec {
+            Exec::Install(index, memo, outcome) => {
                 st.index = Some((index, memo));
-                DeltaOutcome::Rebuilt
+                outcome
             }
-            Plan::Keep => match &st.index {
+            Exec::Keep => match &st.index {
                 // Whichever index is installed describes the same (old)
                 // graph, so the absorbability argument holds for it too.
                 Some((index, _)) => {
@@ -384,7 +437,7 @@ impl Catalog {
                 }
                 None => DeltaOutcome::Deferred, // invalidated mid-flight
             },
-            Plan::Deferred => {
+            Exec::Deferred => {
                 // An index installed mid-flight describes the pre-delta
                 // graph; keeping it past the swap would serve stale
                 // answers. Drop it — the next query rebuilds lazily.
@@ -396,6 +449,16 @@ impl Catalog {
         };
         st.graph = merged;
         st.generation += 1;
+        drop(st);
+        match outcome {
+            DeltaOutcome::Absorbed => entry.repairs.absorbed.fetch_add(1, Ordering::Relaxed),
+            DeltaOutcome::DagSpliced => entry.repairs.dag_spliced.fetch_add(1, Ordering::Relaxed),
+            DeltaOutcome::RegionRecomputed => {
+                entry.repairs.region_recomputed.fetch_add(1, Ordering::Relaxed)
+            }
+            DeltaOutcome::Rebuilt => entry.repairs.full_rebuilds.fetch_add(1, Ordering::Relaxed),
+            DeltaOutcome::NoOp | DeltaOutcome::Deferred => 0,
+        };
         Ok(DeltaReport { outcome, inserted: ins.len(), deleted: del.len() })
     }
 
@@ -842,23 +905,112 @@ mod tests {
     }
 
     #[test]
-    fn merging_delta_rebuilds_the_index() {
+    fn merging_delta_recomputes_the_region() {
         let cat = Catalog::new();
         cat.insert("g", path_digraph(5));
         let before = cat.index("g").unwrap();
         assert_eq!(before.stats().built_by, BuildCause::Fresh);
         assert_eq!(before.num_components(), 5);
-        // 4 -> 0 closes the path into one big cycle: components merge.
+        // 4 -> 0 closes the path into one big cycle: components merge —
+        // repaired by the region tier, not a rebuild.
         let mut d = Delta::new();
         d.insert(4, 0);
         let report = cat.apply_delta("g", &d).unwrap();
-        assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
+        assert_eq!(report.outcome, DeltaOutcome::RegionRecomputed);
         let after = cat.index("g").unwrap();
-        assert!(!Arc::ptr_eq(&before, &after), "merging delta must rebuild");
-        assert_eq!(after.stats().built_by, BuildCause::DeltaRebuild);
+        assert!(!Arc::ptr_eq(&before, &after), "merging delta must patch a new index");
+        assert_eq!(after.stats().built_by, BuildCause::RegionRecompute);
+        assert_eq!(after.stats().region_recomputes, 1);
         assert_eq!(after.num_components(), 1);
         assert_eq!(cat.reaches("g", 3, 1), Some(true));
         assert_eq!(cat.generation("g"), Some(1));
+        assert_eq!(
+            cat.repair_counts("g"),
+            Some(RepairCounts { region_recomputed: 1, ..RepairCounts::default() })
+        );
+    }
+
+    #[test]
+    fn merging_delta_past_the_region_budget_rebuilds() {
+        let cfg = IndexConfig {
+            repair: crate::planner::RepairBudget {
+                region_frac: 0.1,
+                min_region: 2,
+                ..crate::planner::RepairBudget::default()
+            },
+            ..IndexConfig::default()
+        };
+        let cat = Catalog::new();
+        cat.insert_with_config("g", path_digraph(50), cfg, BatchOptions::default());
+        let _ = cat.index("g").unwrap();
+        // Closing the whole 50-component path is past the 10% budget.
+        let mut d = Delta::new();
+        d.insert(49, 0);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
+        let after = cat.index("g").unwrap();
+        assert_eq!(after.stats().built_by, BuildCause::DeltaRebuild);
+        assert_eq!(after.num_components(), 1);
+        assert_eq!(
+            cat.repair_counts("g"),
+            Some(RepairCounts { full_rebuilds: 1, ..RepairCounts::default() })
+        );
+    }
+
+    #[test]
+    fn cross_component_insertion_splices_the_dag() {
+        // Two disjoint paths; an edge joining them adds a condensation
+        // arc but merges nothing.
+        let cat = Catalog::new();
+        cat.insert("g", DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]));
+        let before = cat.index("g").unwrap();
+        assert_eq!(cat.reaches("g", 0, 5), Some(false));
+        let mut d = Delta::new();
+        d.insert(2, 3);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::DagSpliced);
+        let after = cat.index("g").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "splice patches a new index");
+        assert_eq!(after.stats().built_by, BuildCause::DagSplice);
+        assert_eq!(after.stats().dag_splices, 1);
+        assert_eq!(after.num_components(), 6, "no components may merge in a splice");
+        assert_eq!(cat.reaches("g", 0, 5), Some(true));
+        assert_eq!(
+            cat.repair_counts("g"),
+            Some(RepairCounts { dag_spliced: 1, ..RepairCounts::default() })
+        );
+    }
+
+    #[test]
+    fn repair_counts_accumulate_across_tiers() {
+        let cat = Catalog::new();
+        // {0,1} cycle -> 2 -> 3, plus isolated 4.
+        cat.insert("g", DiGraph::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3)]));
+        let _ = cat.index("g").unwrap();
+        let mut absorb = Delta::new();
+        absorb.insert(0, 3); // already reachable
+        assert_eq!(cat.apply_delta("g", &absorb).unwrap().outcome, DeltaOutcome::Absorbed);
+        let mut splice = Delta::new();
+        splice.insert(3, 4); // new condensation arc, no merge
+        assert_eq!(cat.apply_delta("g", &splice).unwrap().outcome, DeltaOutcome::DagSpliced);
+        let mut merge = Delta::new();
+        merge.insert(3, 2); // closes 2 <-> 3
+        assert_eq!(cat.apply_delta("g", &merge).unwrap().outcome, DeltaOutcome::RegionRecomputed);
+        let mut del = Delta::new();
+        del.delete(3, 4); // effective deletion: full rebuild
+        assert_eq!(cat.apply_delta("g", &del).unwrap().outcome, DeltaOutcome::Rebuilt);
+        assert_eq!(
+            cat.repair_counts("g"),
+            Some(RepairCounts {
+                absorbed: 1,
+                dag_spliced: 1,
+                region_recomputed: 1,
+                full_rebuilds: 1
+            })
+        );
+        assert_eq!(cat.reaches("g", 0, 4), Some(false));
+        assert_eq!(cat.reaches("g", 3, 2), Some(true));
+        assert_eq!(cat.repair_counts("missing"), None);
     }
 
     #[test]

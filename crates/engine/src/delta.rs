@@ -1,6 +1,5 @@
-//! Batched edge updates for registered graphs: the [`Delta`] type, the
-//! report of what applying one did, and the absorbability rule behind the
-//! catalog's incremental index repair.
+//! Batched edge updates for registered graphs: the [`Delta`] type, its
+//! normalization rules, and the report of what applying one did.
 //!
 //! ## Semantics
 //!
@@ -10,35 +9,25 @@
 //! **present**). Inserting an edge that already exists or deleting one
 //! that doesn't is a no-op, so deltas are idempotent.
 //!
-//! ## When the index survives
+//! [`Delta::normalized`] reduces a batch to that canonical form up front —
+//! duplicates within each list collapse, and an insert+delete pair drops
+//! its deletion per the ends-up-present rule — so classification, the
+//! write-ahead log, and the CSR merge all see one edge at most once.
 //!
-//! The reachability index answers from SCC labels plus a condensation-DAG
-//! summary, so it only has to be rebuilt when a delta can *change* the
-//! reachability relation:
+//! ## How the index is repaired
 //!
-//! * an **effective deletion** (the edge was present) can remove paths or
-//!   split an SCC → rebuild;
-//! * an inserted edge `u → v` with `comp(u) == comp(v)` adds a parallel
-//!   route inside one SCC → answers unchanged;
-//! * an inserted edge whose component pair is **already reachable**
-//!   (`comp(u) ⇝ comp(v)` per the summary) only duplicates an existing
-//!   path: `u` reaches `v` through the old graph, so by induction every
-//!   path using new edges can be rerouted over old ones — answers
-//!   unchanged, and no cycle can form (that would need `comp(v) ⇝
-//!   comp(u)`, contradicting DAG acyclicity);
-//! * any other insertion can add DAG reachability or merge components →
-//!   rebuild.
-//!
-//! When every change falls in the two "unchanged" classes the catalog
-//! keeps the existing `Arc<Index>` *and* its warm memo, and the index
-//! records the absorption in [`IndexStats::absorbed_deltas`]; otherwise it
-//! rebuilds with [`BuildCause::DeltaRebuild`].
-//!
-//! [`IndexStats::absorbed_deltas`]: crate::index::IndexStats::absorbed_deltas
-//! [`BuildCause::DeltaRebuild`]: crate::index::BuildCause::DeltaRebuild
+//! Applying a delta through [`crate::Catalog::apply_delta`] no longer
+//! faces a binary absorb-or-rebuild choice: the effective changes are
+//! handed to the **tiered repair planner** ([`crate::planner`]), which
+//! picks the cheapest provably correct repair — keep the index untouched
+//! ([`DeltaOutcome::Absorbed`]), splice new condensation arcs and patch
+//! only the affected ancestors ([`DeltaOutcome::DagSpliced`]), re-run SCC
+//! on just the affected DAG region ([`DeltaOutcome::RegionRecomputed`]),
+//! or fall back to the off-lock full rebuild when a localized repair
+//! would not win ([`DeltaOutcome::Rebuilt`]). See the planner module for
+//! the tier definitions and the correctness argument behind each.
 
-use crate::index::Index;
-use pscc_graph::V;
+use pscc_graph::{dedup_edges, V};
 
 /// A batch of edge insertions and deletions for one graph.
 ///
@@ -101,9 +90,44 @@ impl Delta {
     pub fn is_empty(&self) -> bool {
         self.insertions.is_empty() && self.deletions.is_empty()
     }
+
+    /// The canonical form of this delta, independent of any graph:
+    ///
+    /// * both lists are sorted and deduplicated (a delta is a *set* of
+    ///   operations — repeating one changes nothing);
+    /// * an edge named by both lists keeps only its insertion, per the
+    ///   documented ends-up-present rule.
+    ///
+    /// [`crate::Catalog::apply_delta`] normalizes every delta before
+    /// classification and merging, so downstream code (the repair
+    /// planner, the write-ahead log, the CSR merge) sees each edge at
+    /// most once with an unambiguous operation.
+    ///
+    /// ```
+    /// use pscc_engine::Delta;
+    ///
+    /// let mut d = Delta::new();
+    /// d.insert(0, 1).insert(0, 1).delete(0, 1).delete(2, 3);
+    /// let n = d.normalized();
+    /// assert_eq!(n.insertions(), &[(0, 1)]); // deduped
+    /// assert_eq!(n.deletions(), &[(2, 3)]); // (0, 1) ends up present
+    /// ```
+    pub fn normalized(&self) -> Delta {
+        let mut insertions = self.insertions.clone();
+        dedup_edges(&mut insertions);
+        let mut deletions: Vec<(V, V)> = self
+            .deletions
+            .iter()
+            .filter(|e| insertions.binary_search(e).is_err())
+            .copied()
+            .collect();
+        dedup_edges(&mut deletions);
+        Delta { insertions, deletions }
+    }
 }
 
-/// Which path [`crate::Catalog::apply_delta`] took.
+/// Which repair tier [`crate::Catalog::apply_delta`] took (see
+/// [`crate::planner`] for the tier definitions).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeltaOutcome {
     /// Every operation was redundant (insertions already present,
@@ -116,8 +140,18 @@ pub enum DeltaOutcome {
     /// the reachability relation: the existing index and its warm memo
     /// were kept.
     Absorbed,
-    /// The graph was updated and the delta could change reachability: the
-    /// index was rebuilt (with a fresh memo).
+    /// The graph was updated and the new edges only added condensation
+    /// arcs (no component merges): the index was patched in place by the
+    /// arc-splice tier (SCC labels untouched, levels/summary repaired for
+    /// affected ancestors only).
+    DagSpliced,
+    /// The graph was updated and some new edges merged components: SCC
+    /// re-ran on just the affected DAG region and the condensation was
+    /// contracted through the merge map.
+    RegionRecomputed,
+    /// The graph was updated and no localized repair would win (an
+    /// effective deletion, or a repair past the planner's budget): the
+    /// index was rebuilt from scratch (with a fresh memo).
     Rebuilt,
 }
 
@@ -166,18 +200,6 @@ impl std::fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
-/// True if inserting every edge in `ins` provably leaves the reachability
-/// relation of the indexed graph unchanged (see the module docs for the
-/// argument). Each edge is checked independently: individual
-/// absorbability implies joint absorbability because every absorbable
-/// edge's endpoints were already connected in the *old* graph.
-pub(crate) fn absorbs_all(index: &Index, ins: &[(V, V)]) -> bool {
-    ins.iter().all(|&(u, v)| {
-        let (cu, cv) = (index.comp(u) as usize, index.comp(v) as usize);
-        cu == cv || index.comp_reaches(cu, cv)
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,16 +224,57 @@ mod tests {
     }
 
     #[test]
-    fn absorbability_follows_the_summary() {
-        use pscc_graph::DiGraph;
-        // {0,1} is an SCC; 1 -> 2 -> 3 is a tail.
-        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
-        let idx = Index::build(&g);
-        // In-SCC and already-reachable insertions absorb.
-        assert!(absorbs_all(&idx, &[(1, 0), (0, 3), (1, 3)]));
-        // A back edge would merge components: not absorbable.
-        assert!(!absorbs_all(&idx, &[(3, 0)]));
-        // One bad edge poisons the batch.
-        assert!(!absorbs_all(&idx, &[(0, 3), (3, 0)]));
+    fn normalize_dedupes_repeated_insertions() {
+        let mut d = Delta::new();
+        d.insert(5, 6).insert(0, 1).insert(5, 6).insert(5, 6);
+        let n = d.normalized();
+        assert_eq!(n.insertions(), &[(0, 1), (5, 6)]);
+        assert!(n.deletions().is_empty());
+    }
+
+    #[test]
+    fn normalize_dedupes_repeated_deletions() {
+        let mut d = Delta::new();
+        d.delete(2, 0).delete(2, 0).delete(1, 1);
+        let n = d.normalized();
+        assert!(n.insertions().is_empty());
+        assert_eq!(n.deletions(), &[(1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn normalize_drops_deletion_of_inserted_edge() {
+        // Ends-up-present: the insertion wins, the deletion vanishes.
+        let mut d = Delta::new();
+        d.insert(0, 1).delete(0, 1).delete(3, 4);
+        let n = d.normalized();
+        assert_eq!(n.insertions(), &[(0, 1)]);
+        assert_eq!(n.deletions(), &[(3, 4)]);
+    }
+
+    #[test]
+    fn normalize_handles_duplicate_conflicting_pairs() {
+        // Many copies of the same conflicted edge still resolve to one
+        // insertion and no deletion.
+        let mut d = Delta::new();
+        d.insert(7, 8).insert(7, 8).delete(7, 8).delete(7, 8);
+        let n = d.normalized();
+        assert_eq!(n.insertions(), &[(7, 8)]);
+        assert!(n.deletions().is_empty());
+    }
+
+    #[test]
+    fn normalize_of_empty_is_empty() {
+        let n = Delta::new().normalized();
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let mut d = Delta::new();
+        d.insert(3, 1).insert(3, 1).delete(3, 1).delete(0, 2).delete(0, 2);
+        let once = d.normalized();
+        let twice = once.normalized();
+        assert_eq!(once.insertions(), twice.insertions());
+        assert_eq!(once.deletions(), twice.deletions());
     }
 }

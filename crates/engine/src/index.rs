@@ -1,5 +1,7 @@
 //! The reachability index: SCC labels + condensation DAG + per-component
-//! descendant summaries.
+//! descendant summaries, assembled from composable layers (SCC labeling,
+//! topological levels, descendant summary) that each support partial
+//! invalidation.
 //!
 //! ## Query tiers
 //!
@@ -24,24 +26,26 @@
 //!      level-pruned DFS over the condensation DAG. O(log) typical,
 //!      DAG-bounded worst case.
 //!
+//! ## Repair, not just rebuild
+//!
 //! The index is immutable after construction and all query paths take
-//! `&self`, so batches can share it across threads freely.
+//! `&self`, so batches can share it across threads freely. Deltas are
+//! therefore applied by *producing a patched index* next to the live one:
+//! besides the full [`Index::build`], the repair planner
+//! ([`crate::planner`]) drives two incremental constructors —
+//! `Index::splice_dag_arcs` (new condensation arcs, no component
+//! changes) and `Index::recompute_region` (component merges confined to
+//! a DAG region) — each of which reuses every layer a delta provably
+//! cannot have touched.
 
-use pscc_apps::{condense, Condensation};
-use pscc_core::{parallel_scc, SccConfig};
+use crate::layers::{ancestors_of, LevelLayer, SccLayer, SummaryConfig, SummaryLayer};
+use pscc_apps::{condense, topological_order, Condensation};
+use pscc_core::{normalize_labels, parallel_scc, parallel_scc_induced, SccConfig};
 use pscc_graph::{DiGraph, V};
-use pscc_runtime::SplitMix64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Which descendant-summary representation an [`Index`] chose.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SummaryTier {
-    /// Full per-component descendant bitsets (small DAGs).
-    Bitset,
-    /// Interval labels + exception lists + pruned DFS (large DAGs).
-    Intervals,
-}
+pub use crate::layers::SummaryTier;
 
 /// Build-time configuration for an [`Index`].
 #[derive(Clone, Debug)]
@@ -59,6 +63,9 @@ pub struct IndexConfig {
     pub exception_cap: usize,
     /// Seed for the randomized labeling orders.
     pub seed: u64,
+    /// Cost bounds of the delta repair planner (see
+    /// [`crate::planner::RepairBudget`]).
+    pub repair: crate::planner::RepairBudget,
 }
 
 impl Default for IndexConfig {
@@ -69,20 +76,38 @@ impl Default for IndexConfig {
             labelings: 2,
             exception_cap: 16,
             seed: 0x5cc_1dec5,
+            repair: crate::planner::RepairBudget::default(),
         }
     }
 }
 
-/// Why an [`Index`] was (re)built — the "which path was taken" record of
+impl IndexConfig {
+    fn summary(&self) -> SummaryConfig {
+        SummaryConfig {
+            bitset_budget_bytes: self.bitset_budget_bytes,
+            labelings: self.labelings,
+            exception_cap: self.exception_cap,
+            seed: self.seed,
+        }
+    }
+}
+
+/// How an [`Index`] came to be — the "which repair tier ran" record of
 /// the delta-application machinery in [`crate::catalog::Catalog`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum BuildCause {
     /// Built for a freshly registered graph (or on first query).
     #[default]
     Fresh,
-    /// Rebuilt because an applied [`crate::delta::Delta`] could change
-    /// reachability (an effective deletion, or an insertion joining
-    /// component pairs not already reachable).
+    /// Patched from a live index by splicing new condensation arcs
+    /// (levels and summary repaired for affected ancestors only).
+    DagSplice,
+    /// Patched from a live index by re-running SCC on the affected DAG
+    /// region and contracting the old condensation through the merge map.
+    RegionRecompute,
+    /// Rebuilt from scratch because an applied [`crate::delta::Delta`]
+    /// was priced out of every localized tier (an effective deletion, or
+    /// a repair region past the planner's budget).
     DeltaRebuild,
 }
 
@@ -90,13 +115,13 @@ pub enum BuildCause {
 /// breakdown" of the example server's report).
 #[derive(Clone, Debug, Default)]
 pub struct IndexStats {
-    /// Seconds in the parallel SCC run.
+    /// Seconds in the parallel SCC run (of the lineage's last full build).
     pub scc_seconds: f64,
-    /// Seconds contracting into the condensation DAG.
+    /// Seconds contracting into the condensation DAG (last full build).
     pub condense_seconds: f64,
-    /// Seconds computing topological levels.
+    /// Seconds computing topological levels (last assembly).
     pub levels_seconds: f64,
-    /// Seconds building the descendant summary (bitsets or intervals).
+    /// Seconds building the descendant summary (last assembly).
     pub summary_seconds: f64,
     /// Number of strongly connected components.
     pub num_components: usize,
@@ -106,13 +131,22 @@ pub struct IndexStats {
     pub summary_bytes: usize,
     /// Components carrying an exact exception list (interval tier only).
     pub exception_components: usize,
-    /// Why this index was built ([`BuildCause::DeltaRebuild`] when a
-    /// non-absorbable delta forced it).
+    /// How this index came to be (fresh build, incremental repair tier,
+    /// or delta-forced rebuild).
     pub built_by: BuildCause,
-    /// Deltas this index absorbed *without* rebuilding: every edge in them
-    /// stayed inside one SCC or joined an already-reachable component
-    /// pair, so all query answers were provably unchanged.
+    /// Deltas this index lineage absorbed *without* any repair: every
+    /// edge stayed inside one SCC or joined an already-reachable
+    /// component pair, so all query answers were provably unchanged.
     pub absorbed_deltas: u64,
+    /// Deltas repaired by splicing condensation arcs
+    /// ([`BuildCause::DagSplice`]) in this index's lineage.
+    pub dag_splices: u64,
+    /// Deltas repaired by a region SCC recompute
+    /// ([`BuildCause::RegionRecompute`]) in this index's lineage.
+    pub region_recomputes: u64,
+    /// Total seconds spent inside incremental repairs across the lineage
+    /// (splices + region recomputes; full rebuilds reset the lineage).
+    pub repair_seconds: f64,
 }
 
 impl IndexStats {
@@ -124,41 +158,14 @@ impl IndexStats {
     }
 }
 
-/// One GRAIL-style labeling: a post-order rank and the subtree-minimum
-/// rank per component, giving the containment invariant
-/// `u ⇝ v ⇒ low[u] ≤ low[v] ∧ rank[v] ≤ rank[u]`.
-struct IntervalLabeling {
-    low: Vec<u32>,
-    rank: Vec<u32>,
-}
-
-impl IntervalLabeling {
-    /// True if `v`'s interval nests inside `u`'s (necessary for `u ⇝ v`).
-    #[inline]
-    fn may_reach(&self, u: usize, v: usize) -> bool {
-        self.low[u] <= self.low[v] && self.rank[v] <= self.rank[u]
-    }
-}
-
-enum Summary {
-    /// Flat row-major bitset: row `c` holds one bit per component.
-    Bitset { words_per_row: usize, rows: Vec<u64> },
-    Intervals {
-        labelings: Vec<IntervalLabeling>,
-        /// Strict descendants, sorted, for components under the cap.
-        exceptions: Vec<Option<Box<[V]>>>,
-    },
-}
-
 /// An immutable reachability index over one digraph.
 pub struct Index {
-    comp_of: Vec<u32>,
-    levels: Vec<u32>,
+    scc: SccLayer,
+    levels: LevelLayer,
     dag: DiGraph,
-    sizes: Vec<usize>,
-    summary: Summary,
+    summary: SummaryLayer,
     stats: IndexStats,
-    /// Deltas absorbed without a rebuild; interior-mutable because kept
+    /// Deltas absorbed without a repair; interior-mutable because kept
     /// indexes are shared as `Arc<Index>` (see [`IndexStats::absorbed_deltas`]).
     absorbed: AtomicU64,
 }
@@ -188,46 +195,153 @@ impl Index {
     /// Builds an index from an existing condensation (skips the SCC run;
     /// useful when labels were computed elsewhere).
     pub fn from_condensation(cond: Condensation, cfg: &IndexConfig) -> Index {
-        let t = Instant::now();
-        let order = cond.topo_order();
-        let levels = cond.topo_levels();
-        let levels_seconds = t.elapsed().as_secs_f64();
         let Condensation { comp_of, dag, sizes } = cond;
-        let k = sizes.len();
+        Self::assemble(SccLayer { comp_of, sizes }, dag, cfg, IndexStats::default())
+    }
+
+    /// Assembles an index from an SCC layer and its condensation DAG:
+    /// computes the topological order once, then levels and the summary.
+    /// `base` carries lineage fields (SCC/condense timings, repair
+    /// counters, build cause) from the caller.
+    fn assemble(scc: SccLayer, dag: DiGraph, cfg: &IndexConfig, base: IndexStats) -> Index {
+        let t = Instant::now();
+        let order = topological_order(&dag).expect("condensation must be a DAG");
+        let levels = LevelLayer::build(&dag, &order);
+        let levels_seconds = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let words_per_row = k.div_ceil(64);
-        let bitset_bytes = k.saturating_mul(words_per_row).saturating_mul(8);
         let (summary, summary_bytes, exception_components) =
-            if bitset_bytes <= cfg.bitset_budget_bytes {
-                let rows = build_bitsets(&dag, &order, words_per_row);
-                (Summary::Bitset { words_per_row, rows }, bitset_bytes, 0)
-            } else {
-                let labelings = build_labelings(&dag, &order, cfg.labelings.max(1), cfg.seed);
-                let exceptions = build_exceptions(&dag, &order, cfg.exception_cap);
-                let exc_count = exceptions.iter().filter(|e| e.is_some()).count();
-                let bytes = labelings.len() * k * 8
-                    + exceptions
-                        .iter()
-                        .map(|e| e.as_ref().map_or(0, |s| s.len() * 4 + 16))
-                        .sum::<usize>();
-                (Summary::Intervals { labelings, exceptions }, bytes, exc_count)
-            };
+            SummaryLayer::build(&dag, &order, &cfg.summary());
         let summary_seconds = t.elapsed().as_secs_f64();
 
         let stats = IndexStats {
-            scc_seconds: 0.0,
-            condense_seconds: 0.0,
             levels_seconds,
             summary_seconds,
-            num_components: k,
+            num_components: scc.sizes.len(),
             dag_arcs: dag.m(),
             summary_bytes,
             exception_components,
-            built_by: BuildCause::Fresh,
-            absorbed_deltas: 0,
+            ..base
         };
-        Index { comp_of, levels, dag, sizes, summary, stats, absorbed: AtomicU64::new(0) }
+        Index { scc, levels, dag, summary, stats, absorbed: AtomicU64::new(0) }
+    }
+
+    // ---- Incremental repair constructors --------------------------------
+
+    /// Tier-1 repair: splice new condensation arcs (old component id
+    /// endpoints) into the DAG. Sound **only** when the planner proved the
+    /// arcs cannot create a cycle among components — then the SCC layer is
+    /// untouched, levels are relaxed from the new arcs, and the summary is
+    /// repaired for the affected ancestors only (see the `layers`
+    /// module).
+    pub(crate) fn splice_dag_arcs(&self, arcs: &[(u32, u32)], cfg: &IndexConfig) -> Index {
+        let t = Instant::now();
+        let mut arcs: Vec<(V, V)> = arcs.to_vec();
+        pscc_graph::dedup_edges(&mut arcs);
+        let dag = self.dag.with_delta(&arcs, &[]);
+        let mut levels = self.levels.clone();
+        levels.splice(&dag, &arcs);
+
+        // Descendant sets grew exactly for ancestors (in the new DAG) of
+        // the spliced arcs' sources; repair children-first.
+        let mut sources: Vec<V> = arcs.iter().map(|&(s, _)| s).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let mut affected = ancestors_of(&dag, &sources);
+        affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
+        let mut summary = self.summary.clone();
+        summary.splice(&dag, &affected, cfg.exception_cap);
+
+        let mut stats = self.stats.clone();
+        stats.dag_arcs = dag.m();
+        stats.summary_bytes = summary.bytes(dag.n());
+        stats.exception_components = summary.exception_count();
+        stats.built_by = BuildCause::DagSplice;
+        stats.dag_splices += 1;
+        stats.repair_seconds += t.elapsed().as_secs_f64();
+        Index {
+            scc: self.scc.clone(),
+            levels,
+            dag,
+            summary,
+            stats,
+            absorbed: AtomicU64::new(self.absorbed.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Tier-2 repair: collapse the SCCs a cycle-forming delta created by
+    /// re-running the SCC algorithm on the **induced affected region** of
+    /// the condensation DAG (old component ids; `region` must be closed
+    /// over every possible merge — the planner's `t ⇝ C ⇝ s` cone), then
+    /// contract the *old DAG* (never the graph) through the merge map and
+    /// reassemble levels + summary.
+    pub(crate) fn recompute_region(
+        &self,
+        region: &[u32],
+        arcs: &[(u32, u32)],
+        cfg: &IndexConfig,
+    ) -> Index {
+        let t = Instant::now();
+        let k_old = self.num_components();
+        let mut in_region = vec![false; k_old];
+        let mut region_pos = vec![usize::MAX; k_old];
+        for (i, &c) in region.iter().enumerate() {
+            in_region[c as usize] = true;
+            region_pos[c as usize] = i;
+        }
+        // Sub-SCC over the region plus every new arc contained in it (the
+        // cycle-forming ones are, by the region's closure; pure splice
+        // arcs that happen to fall inside are harmless extra arcs).
+        let inner: Vec<(V, V)> = arcs
+            .iter()
+            .copied()
+            .filter(|&(s, t)| in_region[s as usize] && in_region[t as usize])
+            .collect();
+        let labels = parallel_scc_induced(&self.dag, region, &inner, &cfg.scc);
+        let groups = normalize_labels(&labels);
+
+        // Old component id -> new component id, numbered by ascending old
+        // id so the remap is deterministic.
+        let num_groups = groups.iter().map(|&g| g as usize + 1).max().unwrap_or(0);
+        let mut group_new = vec![u32::MAX; num_groups];
+        let mut map = vec![u32::MAX; k_old];
+        let mut next = 0u32;
+        for (c, slot) in map.iter_mut().enumerate() {
+            if in_region[c] {
+                let g = groups[region_pos[c]] as usize;
+                if group_new[g] == u32::MAX {
+                    group_new[g] = next;
+                    next += 1;
+                }
+                *slot = group_new[g];
+            } else {
+                *slot = next;
+                next += 1;
+            }
+        }
+        let k_new = next as usize;
+
+        let scc = self.scc.remapped(&map, k_new);
+        // New condensation arcs: old DAG arcs + the delta's arcs,
+        // contracted through the merge map (self-loops vanish, duplicates
+        // are dropped by the CSR builder).
+        let new_arcs: Vec<(V, V)> = self
+            .dag
+            .out_csr()
+            .edges()
+            .chain(arcs.iter().copied())
+            .map(|(a, b)| (map[a as usize], map[b as usize]))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let dag = DiGraph::from_edges(k_new, &new_arcs);
+
+        let mut base = self.stats.clone();
+        base.built_by = BuildCause::RegionRecompute;
+        base.region_recomputes += 1;
+        let mut index = Self::assemble(scc, dag, cfg, base);
+        index.stats.repair_seconds += t.elapsed().as_secs_f64();
+        index.absorbed = AtomicU64::new(self.absorbed.load(Ordering::Relaxed));
+        index
     }
 
     /// Stamps the build cause (the catalog marks delta-forced rebuilds).
@@ -242,30 +356,30 @@ impl Index {
 
     /// Number of vertices of the indexed graph.
     pub fn n(&self) -> usize {
-        self.comp_of.len()
+        self.scc.comp_of.len()
     }
 
     /// Number of strongly connected components.
     pub fn num_components(&self) -> usize {
-        self.sizes.len()
+        self.scc.sizes.len()
     }
 
     /// Component id of vertex `u` (ids are `0..num_components`).
     #[inline]
     pub fn comp(&self, u: V) -> u32 {
-        self.comp_of[u as usize]
+        self.scc.comp_of[u as usize]
     }
 
     /// Size (vertex count) of component `c`.
     pub fn component_size(&self, c: u32) -> usize {
-        self.sizes[c as usize]
+        self.scc.sizes[c as usize]
     }
 
     /// Topological level of component `c` (every DAG arc strictly
     /// increases the level).
     #[inline]
     pub fn level(&self, c: u32) -> u32 {
-        self.levels[c as usize]
+        self.levels.levels[c as usize]
     }
 
     /// The condensation DAG.
@@ -275,10 +389,7 @@ impl Index {
 
     /// Which summary representation this index built.
     pub fn tier(&self) -> SummaryTier {
-        match self.summary {
-            Summary::Bitset { .. } => SummaryTier::Bitset,
-            Summary::Intervals { .. } => SummaryTier::Intervals,
-        }
+        self.summary.tier()
     }
 
     /// Build-cost and shape statistics (a snapshot: `absorbed_deltas`
@@ -301,215 +412,11 @@ impl Index {
         if cu == cv {
             return true;
         }
-        if self.levels[cu] >= self.levels[cv] {
+        if self.levels.levels[cu] >= self.levels.levels[cv] {
             return false;
         }
-        match &self.summary {
-            Summary::Bitset { words_per_row, rows } => {
-                rows[cu * words_per_row + cv / 64] >> (cv % 64) & 1 == 1
-            }
-            Summary::Intervals { labelings, exceptions } => {
-                if let Some(desc) = &exceptions[cu] {
-                    return desc.binary_search(&(cv as V)).is_ok();
-                }
-                if !labelings.iter().all(|l| l.may_reach(cu, cv)) {
-                    return false;
-                }
-                self.pruned_dfs(cu, cv, labelings, exceptions)
-            }
-        }
+        self.summary.comp_reaches(cu, cv, &self.dag, &self.levels.levels)
     }
-
-    /// Interval- and level-pruned DFS over the condensation DAG; the slow
-    /// path of the interval tier for queries every prune lets through.
-    fn pruned_dfs(
-        &self,
-        cu: usize,
-        cv: usize,
-        labelings: &[IntervalLabeling],
-        exceptions: &[Option<Box<[V]>>],
-    ) -> bool {
-        let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![cu];
-        visited.insert(cu);
-        while let Some(c) = stack.pop() {
-            for &d in self.dag.out_neighbors(c as V) {
-                let d = d as usize;
-                if d == cv {
-                    return true;
-                }
-                if self.levels[d] >= self.levels[cv] || !visited.insert(d) {
-                    continue;
-                }
-                if let Some(desc) = &exceptions[d] {
-                    // Exact list: membership decides this whole subtree.
-                    if desc.binary_search(&(cv as V)).is_ok() {
-                        return true;
-                    }
-                    continue;
-                }
-                if labelings.iter().all(|l| l.may_reach(d, cv)) {
-                    stack.push(d);
-                }
-            }
-        }
-        false
-    }
-}
-
-/// Full descendant bitsets, one row per component, built in reverse
-/// topological order so every child row is final before it is merged.
-fn build_bitsets(dag: &DiGraph, order: &[V], words_per_row: usize) -> Vec<u64> {
-    let k = dag.n();
-    let mut rows = vec![0u64; k * words_per_row];
-    for &c in order.iter().rev() {
-        let c = c as usize;
-        for &d in dag.out_neighbors(c as V) {
-            let d = d as usize;
-            or_row(&mut rows, words_per_row, c, d);
-            rows[c * words_per_row + d / 64] |= 1u64 << (d % 64);
-        }
-    }
-    rows
-}
-
-/// `rows[dst] |= rows[src]` for the flat row-major bitset.
-fn or_row(rows: &mut [u64], words: usize, dst: usize, src: usize) {
-    debug_assert_ne!(dst, src);
-    let (d0, s0) = (dst * words, src * words);
-    if d0 < s0 {
-        let (a, b) = rows.split_at_mut(s0);
-        let (d, s) = (&mut a[d0..d0 + words], &b[..words]);
-        for (dw, sw) in d.iter_mut().zip(s) {
-            *dw |= *sw;
-        }
-    } else {
-        let (a, b) = rows.split_at_mut(d0);
-        let (s, d) = (&a[s0..s0 + words], &mut b[..words]);
-        for (dw, sw) in d.iter_mut().zip(s) {
-            *dw |= *sw;
-        }
-    }
-}
-
-/// `count` randomized GRAIL labelings. Each is a DFS over the DAG from its
-/// source components with a per-labeling pseudo-random neighbour order;
-/// `rank` is the post-order number, `low` the minimum rank seen in the
-/// DFS-reachable set, computed in reverse topological order.
-fn build_labelings(dag: &DiGraph, order: &[V], count: usize, seed: u64) -> Vec<IntervalLabeling> {
-    (0..count)
-        .map(|li| {
-            let mut rng = SplitMix64::new(seed ^ (li as u64).wrapping_mul(0x9e37_79b9));
-            let rank = random_postorder(dag, &mut rng);
-            // low[c] = min(rank[c], min over out-neighbours of low[d]),
-            // processed in reverse topological order so neighbours are done.
-            let mut low = rank.clone();
-            for &c in order.iter().rev() {
-                let c = c as usize;
-                for &d in dag.out_neighbors(c as V) {
-                    low[c] = low[c].min(low[d as usize]);
-                }
-            }
-            IntervalLabeling { low, rank }
-        })
-        .collect()
-}
-
-/// Post-order ranks of one randomized iterative DFS covering every
-/// component (roots and neighbour lists visited in shuffled order).
-fn random_postorder(dag: &DiGraph, rng: &mut SplitMix64) -> Vec<u32> {
-    let k = dag.n();
-    let mut rank = vec![u32::MAX; k];
-    let mut visited = vec![false; k];
-    let mut next_rank = 0u32;
-    // Shuffled root order (roots = all components; non-sources are skipped
-    // as already-visited when their turn comes).
-    let mut roots: Vec<V> = (0..k as V).collect();
-    shuffle(&mut roots, rng);
-    // Explicit DFS frames: (component, shuffled out-neighbours, cursor).
-    let mut stack: Vec<(V, Vec<V>, usize)> = Vec::new();
-    let frame = |c: V, rng: &mut SplitMix64| {
-        let mut ns: Vec<V> = dag.out_neighbors(c).to_vec();
-        shuffle(&mut ns, rng);
-        (c, ns, 0usize)
-    };
-    for &r in &roots {
-        if visited[r as usize] {
-            continue;
-        }
-        visited[r as usize] = true;
-        stack.push(frame(r, rng));
-        while let Some(top) = stack.len().checked_sub(1) {
-            let advance = {
-                let (_, ns, i) = &mut stack[top];
-                if *i < ns.len() {
-                    let d = ns[*i];
-                    *i += 1;
-                    Some(d)
-                } else {
-                    None
-                }
-            };
-            match advance {
-                Some(d) if !visited[d as usize] => {
-                    visited[d as usize] = true;
-                    stack.push(frame(d, rng));
-                }
-                Some(_) => {}
-                None => {
-                    let (c, _, _) = stack.pop().expect("non-empty stack");
-                    rank[c as usize] = next_rank;
-                    next_rank += 1;
-                }
-            }
-        }
-    }
-    debug_assert!(rank.iter().all(|&r| r != u32::MAX));
-    rank
-}
-
-/// Fisher–Yates shuffle driven by the workspace PRNG.
-fn shuffle(v: &mut [V], rng: &mut SplitMix64) {
-    for i in (1..v.len()).rev() {
-        let j = rng.next_below(i as u64 + 1) as usize;
-        v.swap(i, j);
-    }
-}
-
-/// Exact strict-descendant lists for components with at most `cap`
-/// descendants, built bottom-up in reverse topological order (a component
-/// overflows if any child overflows or the merged set exceeds `cap`).
-fn build_exceptions(dag: &DiGraph, order: &[V], cap: usize) -> Vec<Option<Box<[V]>>> {
-    let k = dag.n();
-    let mut out: Vec<Option<Box<[V]>>> = vec![None; k];
-    if cap == 0 {
-        return out;
-    }
-    for &c in order.iter().rev() {
-        let c = c as usize;
-        let mut set: Vec<V> = Vec::new();
-        let mut ok = true;
-        for &d in dag.out_neighbors(c as V) {
-            match &out[d as usize] {
-                Some(desc) if set.len() + desc.len() < 2 * cap + 2 => {
-                    set.push(d);
-                    set.extend_from_slice(desc);
-                }
-                _ => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok {
-            set.sort_unstable();
-            set.dedup();
-            if set.len() <= cap {
-                out[c] = Some(set.into_boxed_slice());
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -619,6 +526,8 @@ mod tests {
         assert_eq!(s.num_components, idx.num_components());
         assert!(s.summary_bytes > 0);
         assert!(s.scc_seconds >= 0.0 && s.summary_seconds >= 0.0);
+        assert_eq!(s.dag_splices, 0);
+        assert_eq!(s.region_recomputes, 0);
     }
 
     #[test]
@@ -637,5 +546,53 @@ mod tests {
         let idx = Index::build(&g);
         assert!(idx.reaches(0, 2) && !idx.reaches(2, 0));
         assert_eq!(idx.num_components(), 3);
+    }
+
+    /// `splice_dag_arcs` on a path's condensation must answer exactly
+    /// like a from-scratch build on the spliced graph.
+    #[test]
+    fn splice_matches_scratch_build_both_tiers() {
+        for cfg in [IndexConfig::default(), tiny_budget()] {
+            // Two parallel paths sharing nothing: 0->1->2, 3->4->5.
+            let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+            let idx = Index::build_with_config(&g, &cfg);
+            // Insert 2 -> 3 (components are vertex-labeled singletons here,
+            // so comp arcs mirror vertex arcs).
+            let arcs = vec![(idx.comp(2), idx.comp(3))];
+            let patched = idx.splice_dag_arcs(&arcs, &cfg);
+            assert_eq!(patched.stats.built_by, BuildCause::DagSplice);
+            assert_eq!(patched.stats.dag_splices, 1);
+            let merged = g.with_delta(&[(2, 3)], &[]);
+            for u in 0..6 {
+                for v in 0..6 {
+                    assert_eq!(patched.reaches(u, v), bfs_reaches(&merged, u, v), "({u}, {v})");
+                }
+            }
+        }
+    }
+
+    /// `recompute_region` must merge exactly the components on the cycle
+    /// and answer like a from-scratch build.
+    #[test]
+    fn region_recompute_matches_scratch_build_both_tiers() {
+        for cfg in [IndexConfig::default(), tiny_budget()] {
+            // A path 0->1->2->3->4 plus an off-path sibling 1->5.
+            let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]);
+            let idx = Index::build_with_config(&g, &cfg);
+            // Insert 3 -> 1: merges comps of {1, 2, 3}.
+            let (c3, c1) = (idx.comp(3), idx.comp(1));
+            let mut region: Vec<u32> = vec![idx.comp(1), idx.comp(2), idx.comp(3)];
+            region.sort_unstable();
+            let patched = idx.recompute_region(&region, &[(c3, c1)], &cfg);
+            assert_eq!(patched.stats.built_by, BuildCause::RegionRecompute);
+            assert_eq!(patched.num_components(), 4);
+            assert_eq!(patched.comp(1), patched.comp(3));
+            let merged = g.with_delta(&[(3, 1)], &[]);
+            for u in 0..6 {
+                for v in 0..6 {
+                    assert_eq!(patched.reaches(u, v), bfs_reaches(&merged, u, v), "({u}, {v})");
+                }
+            }
+        }
     }
 }

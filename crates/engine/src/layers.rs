@@ -1,0 +1,598 @@
+//! The composable layers of a reachability [`Index`](crate::index::Index):
+//! SCC labeling, topological levels, and the descendant summary — each
+//! buildable from scratch *and* partially invalidatable, so the repair
+//! planner ([`crate::planner`]) can patch exactly the layers a delta
+//! touches instead of rebuilding the whole index.
+//!
+//! | layer | full build | partial invalidation |
+//! |---|---|---|
+//! | [`SccLayer`] | BGSS SCC over the graph | [`SccLayer::remapped`] — merge components through an old→new id map |
+//! | condensation DAG | `condense` over all edges | `DiGraph::with_delta` arc splice, or contraction of the *old DAG* (never the graph) |
+//! | [`LevelLayer`] | sweep in topological order | [`LevelLayer::splice`] — worklist relaxation from the new arcs |
+//! | [`SummaryLayer`] | bitsets or interval labels | [`SummaryLayer::splice`] — recompute/widen only the affected ancestors |
+//!
+//! The DAG itself has no wrapper type: `DiGraph` already supports the two
+//! partial updates the repair tiers need (arc splicing via `with_delta`,
+//! and contraction by edge remapping, which is plain iterator code).
+
+use pscc_graph::{DiGraph, V};
+use pscc_runtime::SplitMix64;
+
+/// Which descendant-summary representation an
+/// [`Index`](crate::index::Index) holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SummaryTier {
+    /// Full per-component descendant bitsets (small DAGs).
+    Bitset,
+    /// Interval labels + exception lists + pruned DFS (large DAGs).
+    Intervals,
+}
+
+// ---- SCC labeling ---------------------------------------------------------
+
+/// The SCC labeling layer: which component each vertex belongs to and how
+/// many vertices each component holds.
+#[derive(Clone)]
+pub(crate) struct SccLayer {
+    /// Component id of each original vertex (`0..sizes.len()`).
+    pub comp_of: Vec<u32>,
+    /// Vertex count per component.
+    pub sizes: Vec<usize>,
+}
+
+impl SccLayer {
+    /// Partial invalidation after a region merge: pushes every vertex and
+    /// size through `map` (old component id → new component id over
+    /// `k_new` components). Only the labeling is touched — no SCC run,
+    /// no graph traversal.
+    pub fn remapped(&self, map: &[u32], k_new: usize) -> SccLayer {
+        let comp_of: Vec<u32> = self.comp_of.iter().map(|&c| map[c as usize]).collect();
+        let mut sizes = vec![0usize; k_new];
+        for (c, &s) in self.sizes.iter().enumerate() {
+            sizes[map[c] as usize] += s;
+        }
+        SccLayer { comp_of, sizes }
+    }
+}
+
+// ---- Topological levels ---------------------------------------------------
+
+/// Longest-path topological levels of the condensation DAG: every arc
+/// strictly increases the level, so `level(cu) >= level(cv)` refutes
+/// `cu ⇝ cv` in O(1).
+#[derive(Clone)]
+pub(crate) struct LevelLayer {
+    pub levels: Vec<u32>,
+}
+
+impl LevelLayer {
+    /// Full build: one sweep over the DAG in topological order (the same
+    /// sweep `Condensation::topo_levels` uses).
+    pub fn build(dag: &DiGraph, order: &[V]) -> LevelLayer {
+        LevelLayer { levels: pscc_apps::topo_levels_of(dag, order) }
+    }
+
+    /// Partial invalidation after an arc splice: worklist relaxation from
+    /// the new arcs re-establishes the strict-increase invariant, touching
+    /// only components whose longest incoming path actually grew (on a
+    /// typical splice: none, because the new arc already points downhill).
+    ///
+    /// Levels only ever grow, so the old values stay valid lower bounds
+    /// and the relaxation converges to the new longest-path levels.
+    pub fn splice(&mut self, dag: &DiGraph, new_arcs: &[(V, V)]) {
+        let mut work: Vec<V> = Vec::new();
+        for &(a, b) in new_arcs {
+            if self.levels[b as usize] <= self.levels[a as usize] {
+                self.levels[b as usize] = self.levels[a as usize] + 1;
+                work.push(b);
+            }
+        }
+        while let Some(c) = work.pop() {
+            for &d in dag.out_neighbors(c) {
+                if self.levels[d as usize] <= self.levels[c as usize] {
+                    self.levels[d as usize] = self.levels[c as usize] + 1;
+                    work.push(d);
+                }
+            }
+        }
+    }
+}
+
+// ---- Descendant summary ---------------------------------------------------
+
+/// One GRAIL-style labeling: a post-order rank and the subtree-minimum
+/// rank per component, giving the containment invariant
+/// `u ⇝ v ⇒ low[u] ≤ low[v] ∧ rank[v] ≤ rank[u]`.
+#[derive(Clone)]
+pub(crate) struct IntervalLabeling {
+    low: Vec<u32>,
+    rank: Vec<u32>,
+}
+
+impl IntervalLabeling {
+    /// True if `v`'s interval nests inside `u`'s (necessary for `u ⇝ v`).
+    #[inline]
+    fn may_reach(&self, u: usize, v: usize) -> bool {
+        self.low[u] <= self.low[v] && self.rank[v] <= self.rank[u]
+    }
+}
+
+/// The descendant-summary layer: answers `cu ⇝ cv` for component pairs
+/// that survive the same-component and level prunes.
+#[derive(Clone)]
+pub(crate) enum SummaryLayer {
+    /// Flat row-major bitset: row `c` holds one bit per component.
+    Bitset { words_per_row: usize, rows: Vec<u64> },
+    Intervals {
+        labelings: Vec<IntervalLabeling>,
+        /// Strict descendants, sorted, for components under the cap.
+        exceptions: Vec<Option<Box<[V]>>>,
+    },
+}
+
+/// Build-time knobs of the summary layer (a slice of
+/// [`crate::index::IndexConfig`], so the layer does not depend on the
+/// index module).
+pub(crate) struct SummaryConfig {
+    pub bitset_budget_bytes: usize,
+    pub labelings: usize,
+    pub exception_cap: usize,
+    pub seed: u64,
+}
+
+impl SummaryLayer {
+    /// Full build over a condensation DAG. Returns the layer plus its
+    /// byte footprint and exception-list count (for stats).
+    pub fn build(dag: &DiGraph, order: &[V], cfg: &SummaryConfig) -> (SummaryLayer, usize, usize) {
+        let k = dag.n();
+        let words_per_row = k.div_ceil(64);
+        let bitset_bytes = k.saturating_mul(words_per_row).saturating_mul(8);
+        if bitset_bytes <= cfg.bitset_budget_bytes {
+            let rows = build_bitsets(dag, order, words_per_row);
+            (SummaryLayer::Bitset { words_per_row, rows }, bitset_bytes, 0)
+        } else {
+            let labelings = build_labelings(dag, order, cfg.labelings.max(1), cfg.seed);
+            let exceptions = build_exceptions(dag, order, cfg.exception_cap);
+            let layer = SummaryLayer::Intervals { labelings, exceptions };
+            let bytes = layer.bytes(k);
+            let exc = layer.exception_count();
+            (layer, bytes, exc)
+        }
+    }
+
+    /// Which representation this layer holds.
+    pub fn tier(&self) -> SummaryTier {
+        match self {
+            SummaryLayer::Bitset { .. } => SummaryTier::Bitset,
+            SummaryLayer::Intervals { .. } => SummaryTier::Intervals,
+        }
+    }
+
+    /// Byte footprint of the layer (`k` = number of components).
+    pub fn bytes(&self, k: usize) -> usize {
+        match self {
+            SummaryLayer::Bitset { words_per_row, .. } => k * words_per_row * 8,
+            SummaryLayer::Intervals { labelings, exceptions } => {
+                labelings.len() * k * 8
+                    + exceptions
+                        .iter()
+                        .map(|e| e.as_ref().map_or(0, |s| s.len() * 4 + 16))
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of components carrying an exact exception list.
+    pub fn exception_count(&self) -> usize {
+        match self {
+            SummaryLayer::Bitset { .. } => 0,
+            SummaryLayer::Intervals { exceptions, .. } => {
+                exceptions.iter().filter(|e| e.is_some()).count()
+            }
+        }
+    }
+
+    /// Summary verdict for `cu ⇝ cv` (`cu != cv`, level prune already
+    /// passed). `dag` and `levels` back the interval tier's pruned DFS.
+    pub fn comp_reaches(&self, cu: usize, cv: usize, dag: &DiGraph, levels: &[u32]) -> bool {
+        match self {
+            SummaryLayer::Bitset { words_per_row, rows } => {
+                rows[cu * words_per_row + cv / 64] >> (cv % 64) & 1 == 1
+            }
+            SummaryLayer::Intervals { labelings, exceptions } => {
+                if let Some(desc) = &exceptions[cu] {
+                    return desc.binary_search(&(cv as V)).is_ok();
+                }
+                if !labelings.iter().all(|l| l.may_reach(cu, cv)) {
+                    return false;
+                }
+                pruned_dfs(cu, cv, dag, levels, labelings, exceptions)
+            }
+        }
+    }
+
+    /// Partial invalidation after an arc splice. `affected` must hold
+    /// exactly the components whose descendant set grew — the ancestors
+    /// (in the **new** DAG, sources included) of the spliced arcs'
+    /// sources — ordered children-first (descending new level), so every
+    /// component is repaired after all of its affected out-neighbors.
+    ///
+    /// * Bitset tier: the affected rows are recomputed from their
+    ///   (final) child rows; unaffected rows are untouched.
+    /// * Interval tier: the affected intervals are *widened* over their
+    ///   children (`low` down, `rank` up), which keeps nesting a
+    ///   necessary condition for reachability while never touching
+    ///   unaffected labels; affected exception lists are recomputed from
+    ///   the child lists and dropped to `None` when they overflow the cap
+    ///   (the pruned DFS then simply descends — exactness is preserved
+    ///   because a present list is always recomputed, never stale).
+    pub fn splice(&mut self, dag: &DiGraph, affected: &[V], exception_cap: usize) {
+        match self {
+            SummaryLayer::Bitset { words_per_row, rows } => {
+                let words = *words_per_row;
+                for &c in affected {
+                    let c = c as usize;
+                    rows[c * words..(c + 1) * words].fill(0);
+                    for &d in dag.out_neighbors(c as V) {
+                        let d = d as usize;
+                        or_row(rows, words, c, d);
+                        rows[c * words + d / 64] |= 1u64 << (d % 64);
+                    }
+                }
+            }
+            SummaryLayer::Intervals { labelings, exceptions } => {
+                for &c in affected {
+                    let c = c as usize;
+                    for l in labelings.iter_mut() {
+                        for &d in dag.out_neighbors(c as V) {
+                            let d = d as usize;
+                            l.low[c] = l.low[c].min(l.low[d]);
+                            l.rank[c] = l.rank[c].max(l.rank[d]);
+                        }
+                    }
+                    if exceptions[c].is_some() {
+                        exceptions[c] =
+                            merge_child_exceptions(dag, exceptions, c as V, exception_cap);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interval- and level-pruned DFS over the condensation DAG; the slow
+/// path of the interval tier for queries every prune lets through.
+fn pruned_dfs(
+    cu: usize,
+    cv: usize,
+    dag: &DiGraph,
+    levels: &[u32],
+    labelings: &[IntervalLabeling],
+    exceptions: &[Option<Box<[V]>>],
+) -> bool {
+    let mut visited = std::collections::HashSet::new();
+    let mut stack = vec![cu];
+    visited.insert(cu);
+    while let Some(c) = stack.pop() {
+        for &d in dag.out_neighbors(c as V) {
+            let d = d as usize;
+            if d == cv {
+                return true;
+            }
+            if levels[d] >= levels[cv] || !visited.insert(d) {
+                continue;
+            }
+            if let Some(desc) = &exceptions[d] {
+                // Exact list: membership decides this whole subtree.
+                if desc.binary_search(&(cv as V)).is_ok() {
+                    return true;
+                }
+                continue;
+            }
+            if labelings.iter().all(|l| l.may_reach(d, cv)) {
+                stack.push(d);
+            }
+        }
+    }
+    false
+}
+
+/// Full descendant bitsets, one row per component, built in reverse
+/// topological order so every child row is final before it is merged.
+fn build_bitsets(dag: &DiGraph, order: &[V], words_per_row: usize) -> Vec<u64> {
+    let k = dag.n();
+    let mut rows = vec![0u64; k * words_per_row];
+    for &c in order.iter().rev() {
+        let c = c as usize;
+        for &d in dag.out_neighbors(c as V) {
+            let d = d as usize;
+            or_row(&mut rows, words_per_row, c, d);
+            rows[c * words_per_row + d / 64] |= 1u64 << (d % 64);
+        }
+    }
+    rows
+}
+
+/// `rows[dst] |= rows[src]` for the flat row-major bitset.
+fn or_row(rows: &mut [u64], words: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    let (d0, s0) = (dst * words, src * words);
+    if d0 < s0 {
+        let (a, b) = rows.split_at_mut(s0);
+        let (d, s) = (&mut a[d0..d0 + words], &b[..words]);
+        for (dw, sw) in d.iter_mut().zip(s) {
+            *dw |= *sw;
+        }
+    } else {
+        let (a, b) = rows.split_at_mut(d0);
+        let (s, d) = (&a[s0..s0 + words], &mut b[..words]);
+        for (dw, sw) in d.iter_mut().zip(s) {
+            *dw |= *sw;
+        }
+    }
+}
+
+/// `count` randomized GRAIL labelings. Each is a DFS over the DAG from its
+/// source components with a per-labeling pseudo-random neighbour order;
+/// `rank` is the post-order number, `low` the minimum rank seen in the
+/// DFS-reachable set, computed in reverse topological order.
+fn build_labelings(dag: &DiGraph, order: &[V], count: usize, seed: u64) -> Vec<IntervalLabeling> {
+    (0..count)
+        .map(|li| {
+            let mut rng = SplitMix64::new(seed ^ (li as u64).wrapping_mul(0x9e37_79b9));
+            let rank = random_postorder(dag, &mut rng);
+            // low[c] = min(rank[c], min over out-neighbours of low[d]),
+            // processed in reverse topological order so neighbours are done.
+            let mut low = rank.clone();
+            for &c in order.iter().rev() {
+                let c = c as usize;
+                for &d in dag.out_neighbors(c as V) {
+                    low[c] = low[c].min(low[d as usize]);
+                }
+            }
+            IntervalLabeling { low, rank }
+        })
+        .collect()
+}
+
+/// Post-order ranks of one randomized iterative DFS covering every
+/// component (roots and neighbour lists visited in shuffled order).
+fn random_postorder(dag: &DiGraph, rng: &mut SplitMix64) -> Vec<u32> {
+    let k = dag.n();
+    let mut rank = vec![u32::MAX; k];
+    let mut visited = vec![false; k];
+    let mut next_rank = 0u32;
+    // Shuffled root order (roots = all components; non-sources are skipped
+    // as already-visited when their turn comes).
+    let mut roots: Vec<V> = (0..k as V).collect();
+    shuffle(&mut roots, rng);
+    // Explicit DFS frames: (component, shuffled out-neighbours, cursor).
+    let mut stack: Vec<(V, Vec<V>, usize)> = Vec::new();
+    let frame = |c: V, rng: &mut SplitMix64| {
+        let mut ns: Vec<V> = dag.out_neighbors(c).to_vec();
+        shuffle(&mut ns, rng);
+        (c, ns, 0usize)
+    };
+    for &r in &roots {
+        if visited[r as usize] {
+            continue;
+        }
+        visited[r as usize] = true;
+        stack.push(frame(r, rng));
+        while let Some(top) = stack.len().checked_sub(1) {
+            let advance = {
+                let (_, ns, i) = &mut stack[top];
+                if *i < ns.len() {
+                    let d = ns[*i];
+                    *i += 1;
+                    Some(d)
+                } else {
+                    None
+                }
+            };
+            match advance {
+                Some(d) if !visited[d as usize] => {
+                    visited[d as usize] = true;
+                    stack.push(frame(d, rng));
+                }
+                Some(_) => {}
+                None => {
+                    let (c, _, _) = stack.pop().expect("non-empty stack");
+                    rank[c as usize] = next_rank;
+                    next_rank += 1;
+                }
+            }
+        }
+    }
+    debug_assert!(rank.iter().all(|&r| r != u32::MAX));
+    rank
+}
+
+/// Fisher–Yates shuffle driven by the workspace PRNG.
+fn shuffle(v: &mut [V], rng: &mut SplitMix64) {
+    for i in (1..v.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Exact strict-descendant lists for components with at most `cap`
+/// descendants, built bottom-up in reverse topological order (a component
+/// overflows if any child overflows or the merged set exceeds `cap`).
+fn build_exceptions(dag: &DiGraph, order: &[V], cap: usize) -> Vec<Option<Box<[V]>>> {
+    let k = dag.n();
+    let mut out: Vec<Option<Box<[V]>>> = vec![None; k];
+    if cap == 0 {
+        return out;
+    }
+    for &c in order.iter().rev() {
+        out[c as usize] = merge_child_exceptions(dag, &out, c, cap);
+    }
+    out
+}
+
+/// The exact strict-descendant list of `c` merged from its children's
+/// (final) lists: `∪ {d} ∪ descendants(d)` over out-neighbors `d`; `None`
+/// if any child overflowed or the union exceeds `cap`.
+fn merge_child_exceptions(
+    dag: &DiGraph,
+    lists: &[Option<Box<[V]>>],
+    c: V,
+    cap: usize,
+) -> Option<Box<[V]>> {
+    if cap == 0 {
+        return None;
+    }
+    let mut set: Vec<V> = Vec::new();
+    for &d in dag.out_neighbors(c) {
+        match &lists[d as usize] {
+            Some(desc) if set.len() + desc.len() < 2 * cap + 2 => {
+                set.push(d);
+                set.extend_from_slice(desc);
+            }
+            _ => return None,
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    if set.len() <= cap {
+        Some(set.into_boxed_slice())
+    } else {
+        None
+    }
+}
+
+/// Ancestors of `sources` (sources included) by backward traversal —
+/// exactly the components whose descendant summary an arc splice at those
+/// sources invalidates. Call with the **new** (post-splice) DAG so chains
+/// of spliced arcs are followed too.
+pub(crate) fn ancestors_of(dag: &DiGraph, sources: &[V]) -> Vec<V> {
+    let mut seen = vec![false; dag.n()];
+    let mut out: Vec<V> = Vec::new();
+    let mut stack: Vec<V> = Vec::new();
+    for &s in sources {
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            stack.push(s);
+            out.push(s);
+        }
+    }
+    while let Some(c) = stack.pop() {
+        for &p in dag.in_neighbors(c) {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                stack.push(p);
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_apps::topological_order;
+    use pscc_graph::generators::random::gnm_digraph;
+
+    fn dag_of(edges: &[(V, V)], n: usize) -> DiGraph {
+        DiGraph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn level_splice_matches_full_rebuild() {
+        // A diamond with a long arm: 0 -> 1 -> 2 -> 3, 0 -> 3.
+        let dag = dag_of(&[(0, 1), (1, 2), (2, 3), (0, 3)], 5);
+        let order = topological_order(&dag).unwrap();
+        let mut levels = LevelLayer::build(&dag, &order);
+        // Splice 4 -> 0: levels of 0..3 all shift by one.
+        let spliced = dag.with_delta(&[(4, 0)], &[]);
+        levels.splice(&spliced, &[(4, 0)]);
+        let want = LevelLayer::build(&spliced, &topological_order(&spliced).unwrap());
+        assert_eq!(levels.levels, want.levels);
+    }
+
+    #[test]
+    fn level_splice_downhill_arc_is_free() {
+        let dag = dag_of(&[(0, 1), (1, 2)], 4);
+        let order = topological_order(&dag).unwrap();
+        let mut levels = LevelLayer::build(&dag, &order);
+        let before = levels.levels.clone();
+        // 0 -> 2 already points strictly downhill: no level moves.
+        let spliced = dag.with_delta(&[(0, 2)], &[]);
+        levels.splice(&spliced, &[(0, 2)]);
+        assert_eq!(levels.levels, before);
+    }
+
+    #[test]
+    fn scc_remap_merges_sizes() {
+        let layer = SccLayer { comp_of: vec![0, 0, 1, 2, 3], sizes: vec![2, 1, 1, 1] };
+        // Merge components 1 and 2 into one, renumber compactly.
+        let merged = layer.remapped(&[0, 1, 1, 2], 3);
+        assert_eq!(merged.comp_of, vec![0, 0, 1, 1, 2]);
+        assert_eq!(merged.sizes, vec![2, 2, 1]);
+    }
+
+    /// Splicing arcs into a random DAG and repairing only the affected
+    /// ancestors must answer exactly like a from-scratch summary build,
+    /// in both tiers.
+    #[test]
+    fn summary_splice_matches_full_rebuild_both_tiers() {
+        for seed in 0..6u64 {
+            // A random DAG: orient random edges low -> high.
+            let g = gnm_digraph(40, 120, seed);
+            let arcs: Vec<(V, V)> =
+                g.out_csr().edges().map(|(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
+            let arcs: Vec<(V, V)> = arcs.into_iter().filter(|&(a, b)| a != b).collect();
+            let dag = dag_of(&arcs, 40);
+            let order = topological_order(&dag).unwrap();
+            // New forward arcs (low -> high keeps it acyclic).
+            let new_arcs: Vec<(V, V)> = vec![(seed as V, 30 + seed as V), (2, 39)];
+            let new_arcs: Vec<(V, V)> = new_arcs
+                .into_iter()
+                .filter(|&(a, b)| dag.out_neighbors(a).binary_search(&b).is_err())
+                .collect();
+            let spliced = dag.with_delta(&new_arcs, &[]);
+            let sorder = topological_order(&spliced).unwrap();
+            let mut levels = LevelLayer::build(&dag, &order);
+            levels.splice(&spliced, &new_arcs);
+
+            for budget in [usize::MAX, 0] {
+                let cfg = SummaryConfig {
+                    bitset_budget_bytes: budget,
+                    labelings: 2,
+                    exception_cap: 4,
+                    seed: 7,
+                };
+                let (mut summary, _, _) = SummaryLayer::build(&dag, &order, &cfg);
+                let sources: Vec<V> = new_arcs.iter().map(|&(s, _)| s).collect();
+                let mut affected = ancestors_of(&spliced, &sources);
+                affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
+                summary.splice(&spliced, &affected, cfg.exception_cap);
+
+                let (want, _, _) = SummaryLayer::build(&spliced, &sorder, &cfg);
+                for cu in 0..40usize {
+                    for cv in 0..40usize {
+                        if cu == cv || levels.levels[cu] >= levels.levels[cv] {
+                            continue;
+                        }
+                        assert_eq!(
+                            summary.comp_reaches(cu, cv, &spliced, &levels.levels),
+                            want.comp_reaches(cu, cv, &spliced, &levels.levels),
+                            "seed {seed} budget {budget} pair ({cu}, {cv})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_of_includes_sources_and_stops_at_sinks() {
+        let dag = dag_of(&[(0, 1), (1, 2), (3, 1)], 5);
+        let mut anc = ancestors_of(&dag, &[1]);
+        anc.sort_unstable();
+        assert_eq!(anc, vec![0, 1, 3]);
+        assert_eq!(ancestors_of(&dag, &[4]), vec![4]);
+    }
+}

@@ -28,12 +28,15 @@
 //!   the whole catalog after a restart (torn log tails truncated), with
 //!   background compaction under a [`CompactionPolicy`].
 //! * [`Delta`] — batched edge updates applied through
-//!   [`Catalog::apply_delta`]: the graph is merged in parallel
-//!   (`DiGraph::with_delta`) and the index is repaired *incrementally* —
-//!   deltas that provably keep the reachability relation (insertions
-//!   inside one SCC or between already-reachable component pairs) keep
-//!   the live index and its warm memo; only reachability-changing deltas
-//!   rebuild (see [`delta`] for the argument).
+//!   [`Catalog::apply_delta`]: the delta is normalized
+//!   ([`Delta::normalized`]), the graph merged in parallel
+//!   (`DiGraph::with_delta`), and the index repaired *incrementally* by
+//!   the tiered planner ([`planner`]): absorb (answers provably
+//!   unchanged, index kept) → condensation arc splice (SCC labels kept,
+//!   levels/summary patched for affected ancestors) → region SCC
+//!   recompute (the SCC algorithm re-runs on just the affected DAG
+//!   region) → cost-bounded full rebuild. Each tier's use is tallied per
+//!   entry ([`Catalog::repair_counts`]).
 //!
 //! ```
 //! use pscc_engine::{Catalog, Index, QueryBatch};
@@ -58,8 +61,11 @@ pub mod batch;
 pub mod catalog;
 pub mod delta;
 pub mod index;
+mod layers;
+pub mod planner;
 
 pub use batch::{BatchOptions, BatchStats, QueryBatch};
-pub use catalog::{Catalog, CompactionPolicy};
+pub use catalog::{Catalog, CompactionPolicy, RepairCounts};
 pub use delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
 pub use index::{BuildCause, Index, IndexConfig, IndexStats, SummaryTier};
+pub use planner::{RebuildReason, RepairBudget, RepairPlan};

@@ -1,0 +1,376 @@
+//! The tiered delta-repair planner: given a live [`Index`] and an
+//! effective edge delta, decide the *cheapest provably correct* way to
+//! bring the index up to date, from "do nothing" to "rebuild everything".
+//!
+//! ## The tiers
+//!
+//! [`plan_repair`] classifies every effective change against the current
+//! index and returns one [`RepairPlan`]:
+//!
+//! 1. **Absorb** ([`RepairPlan::Absorb`]) — every insertion `u → v` stays
+//!    inside one SCC (`comp(u) == comp(v)`) or joins an already-reachable
+//!    component pair (`comp(u) ⇝ comp(v)`). *Correctness:* `u` already
+//!    reaches `v` through the old graph, so by induction every path using
+//!    new edges reroutes over old ones — the reachability relation is
+//!    unchanged and no cycle can form (that would need `comp(v) ⇝
+//!    comp(u)`, contradicting DAG acyclicity). The index and its warm
+//!    memo survive untouched. Absorbable edges are checked independently:
+//!    individual absorbability implies joint absorbability because every
+//!    absorbable edge's endpoints were already connected in the *old*
+//!    graph.
+//! 2. **DAG-edge splice** ([`RepairPlan::DagSplice`]) — the
+//!    non-absorbable insertions, contracted to component arcs, provably
+//!    create no cycle among components (see the supergraph argument
+//!    below). *Correctness:* the SCC partition of a graph changes iff a
+//!    new cycle appears across components, so the SCC layer is exactly
+//!    preserved; the condensation gains precisely the new arcs; levels
+//!    and the descendant summary are repaired only where the splice
+//!    invalidated them (descendant sets grow exactly for ancestors of the
+//!    new arcs' sources — see the engine's `layers` module).
+//! 3. **Region recompute** ([`RepairPlan::RegionRecompute`]) — some new
+//!    arcs close a cycle. Every component that merges lies on a DAG path
+//!    `t ⇝ C ⇝ s` for cycle-forming arcs `(s, t)` (a cycle alternates
+//!    new arcs with old DAG paths, and `C` sits on one of those paths),
+//!    so the *region* `descendants(targets) ∩ ancestors(sources)` is
+//!    closed over all merges. The SCC algorithm re-runs on just the
+//!    induced region (+ the new arcs inside it), the old DAG is
+//!    contracted through the resulting merge map, and levels/summary are
+//!    reassembled over the patched condensation — the graph itself is
+//!    never re-traversed.
+//! 4. **Cost-bounded fallback** ([`RepairPlan::FullRebuild`]) — effective
+//!    deletions (which can split SCCs and sever paths, invalidating the
+//!    SCC layer in a way no local certificate in the index can repair),
+//!    deltas with more distinct new arcs than the planner budget, and
+//!    merge regions whose estimated size exceeds
+//!    [`RepairBudget::max_region`] all fall back to the catalog's
+//!    off-lock full rebuild: past that size, a localized repair would not
+//!    beat rebuilding.
+//!
+//! ## The supergraph cycle test
+//!
+//! Whether jointly adding arc set `A` to the condensation DAG `D`
+//! creates a cycle is decided exactly on a *supergraph* over the distinct
+//! endpoint components of `A`: its edges are `A` itself plus `x → y`
+//! whenever `x ⇝ y` in `D` (an O(1)–O(log) index query per ordered
+//! pair). Any cycle in `D ∪ A` decomposes into new arcs joined by old
+//! `D`-paths, each of which is a supergraph edge — and conversely every
+//! supergraph cycle expands into a real cycle (a cycle of only `⇝`-edges
+//! is impossible because `D` is acyclic). So `D ∪ A` is cyclic iff the
+//! supergraph is, and an arc of `A` participates in a cycle iff its
+//! endpoints share a supergraph SCC. The supergraph has at most
+//! `2·|A| ≤ 2·`[`RepairBudget::max_planned_arcs`] nodes, so running the
+//! workspace SCC algorithm on it is trivially cheap.
+
+use crate::index::Index;
+use pscc_core::{parallel_scc, SccConfig};
+use pscc_graph::{DiGraph, V};
+
+/// Cost bounds deciding when a localized repair would not beat the
+/// off-lock full rebuild (tier 4 of the planner, carried by
+/// [`crate::IndexConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RepairBudget {
+    /// Deltas contracting to more distinct new condensation arcs than
+    /// this are priced straight to a full rebuild (bounds the planner's
+    /// own supergraph analysis to `O(max_planned_arcs²)` index queries).
+    pub max_planned_arcs: usize,
+    /// A merge region larger than `region_frac × num_components` falls
+    /// back to a full rebuild.
+    pub region_frac: f64,
+    /// Floor for the region bound, so small graphs still repair locally
+    /// even when `region_frac × num_components` rounds to nothing.
+    pub min_region: usize,
+}
+
+impl Default for RepairBudget {
+    fn default() -> Self {
+        RepairBudget { max_planned_arcs: 128, region_frac: 0.25, min_region: 32 }
+    }
+}
+
+impl RepairBudget {
+    /// The largest merge region (in components, out of `k`) the planner
+    /// will repair in place.
+    pub fn max_region(&self, k: usize) -> usize {
+        ((k as f64 * self.region_frac) as usize).max(self.min_region)
+    }
+}
+
+/// Why the planner fell back to a full rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// The delta contains an effective deletion: it can split SCCs or
+    /// sever paths, and the index holds no local certificate to repair
+    /// either without re-running SCC from scratch.
+    Deletion,
+    /// More distinct new condensation arcs than
+    /// [`RepairBudget::max_planned_arcs`].
+    PlannerOverflow,
+    /// The cycle-merge region exceeds [`RepairBudget::max_region`].
+    RegionOverBudget,
+}
+
+/// The repair tier [`plan_repair`] chose, with everything the executor
+/// needs. Arc endpoints and region members are **old component ids** of
+/// the index the plan was made against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairPlan {
+    /// Every effective change provably preserves the reachability
+    /// relation: keep the index and its warm memo.
+    Absorb,
+    /// Splice these (deduplicated) arcs into the condensation DAG; no
+    /// components merge (`Index::splice_dag_arcs`).
+    DagSplice {
+        /// New condensation arcs `(comp(u), comp(v))`.
+        arcs: Vec<(u32, u32)>,
+    },
+    /// Re-run SCC on the induced `region` of the condensation DAG and
+    /// contract (`Index::recompute_region`).
+    RegionRecompute {
+        /// Components possibly involved in a merge (sorted), closed over
+        /// every cycle the delta can create.
+        region: Vec<u32>,
+        /// All new condensation arcs (cycle-forming and splice alike).
+        arcs: Vec<(u32, u32)>,
+    },
+    /// A localized repair would not win: rebuild off-lock.
+    FullRebuild {
+        /// What priced the delta out of the localized tiers.
+        reason: RebuildReason,
+    },
+}
+
+/// Chooses the cheapest provably correct repair for applying the
+/// effective insertions `ins` and deletions `del` to the graph behind
+/// `index` (see the [module docs](self) for the tier definitions and
+/// correctness arguments).
+///
+/// `ins`/`del` must already be reduced against the graph: insertions of
+/// absent edges and deletions of present ones only (the catalog's
+/// effective-delta computation guarantees this).
+pub fn plan_repair(
+    index: &Index,
+    ins: &[(V, V)],
+    del: &[(V, V)],
+    budget: &RepairBudget,
+) -> RepairPlan {
+    if !del.is_empty() {
+        return RepairPlan::FullRebuild { reason: RebuildReason::Deletion };
+    }
+    // Contract the non-absorbable insertions to new condensation arcs.
+    let mut arcs: Vec<(u32, u32)> = ins
+        .iter()
+        .map(|&(u, v)| (index.comp(u), index.comp(v)))
+        .filter(|&(cu, cv)| cu != cv && !index.comp_reaches(cu as usize, cv as usize))
+        .collect();
+    pscc_graph::dedup_edges(&mut arcs);
+    if arcs.is_empty() {
+        return RepairPlan::Absorb;
+    }
+    if arcs.len() > budget.max_planned_arcs {
+        return RepairPlan::FullRebuild { reason: RebuildReason::PlannerOverflow };
+    }
+
+    // Supergraph cycle test over the distinct endpoint components.
+    let mut nodes: Vec<u32> = arcs.iter().flat_map(|&(s, t)| [s, t]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let local = |c: u32| nodes.binary_search(&c).expect("endpoint is a node") as V;
+    let mut sedges: Vec<(V, V)> = arcs.iter().map(|&(s, t)| (local(s), local(t))).collect();
+    for (i, &x) in nodes.iter().enumerate() {
+        for (j, &y) in nodes.iter().enumerate() {
+            if i != j && index.comp_reaches(x as usize, y as usize) {
+                sedges.push((i as V, j as V));
+            }
+        }
+    }
+    let supergraph = DiGraph::from_edges(nodes.len(), &sedges);
+    let labels = parallel_scc(&supergraph, &SccConfig::default()).labels;
+    let cyclic: Vec<(u32, u32)> = arcs
+        .iter()
+        .copied()
+        .filter(|&(s, t)| labels[local(s) as usize] == labels[local(t) as usize])
+        .collect();
+    if cyclic.is_empty() {
+        return RepairPlan::DagSplice { arcs };
+    }
+
+    // Merge region: descendants(cycle targets) ∩ ancestors(cycle
+    // sources), estimated with early exit once it cannot fit the budget.
+    let cap = budget.max_region(index.num_components());
+    let mut targets: Vec<V> = cyclic.iter().map(|&(_, t)| t).collect();
+    let mut sources: Vec<V> = cyclic.iter().map(|&(s, _)| s).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    sources.sort_unstable();
+    sources.dedup();
+    let Some(region) = bounded_region(index.dag(), &targets, &sources, cap) else {
+        return RepairPlan::FullRebuild { reason: RebuildReason::RegionOverBudget };
+    };
+    RepairPlan::RegionRecompute { region, arcs }
+}
+
+/// `descendants(targets) ∩ ancestors(sources)` over `dag`, or `None` as
+/// soon as the result provably exceeds `cap`. The forward cone is
+/// collected first (bailing past `cap·8` visited components — the cone
+/// bounds the intersection, and a loose factor keeps a big cone from
+/// spuriously failing a small region); the backward sweep then walks only
+/// inside it, so its cost is bounded by the cone, not the whole DAG.
+fn bounded_region(dag: &DiGraph, targets: &[V], sources: &[V], cap: usize) -> Option<Vec<u32>> {
+    let k = dag.n();
+    let mut in_cone = vec![false; k];
+    let mut visited = 0usize;
+    let mut stack: Vec<V> = Vec::new();
+    let cone_cap = cap.saturating_mul(8).max(cap);
+    for &t in targets {
+        if !in_cone[t as usize] {
+            in_cone[t as usize] = true;
+            visited += 1;
+            stack.push(t);
+        }
+    }
+    while let Some(c) = stack.pop() {
+        for &d in dag.out_neighbors(c) {
+            if !in_cone[d as usize] {
+                if visited >= cone_cap {
+                    return None;
+                }
+                in_cone[d as usize] = true;
+                visited += 1;
+                stack.push(d);
+            }
+        }
+    }
+    // Backward from the sources, never leaving the cone.
+    let mut in_region = vec![false; k];
+    let mut region: Vec<u32> = Vec::new();
+    for &s in sources {
+        debug_assert!(in_cone[s as usize], "a cycle source is reachable from its target");
+        if !in_region[s as usize] {
+            in_region[s as usize] = true;
+            region.push(s);
+            stack.push(s);
+        }
+    }
+    while let Some(c) = stack.pop() {
+        for &p in dag.in_neighbors(c) {
+            if in_cone[p as usize] && !in_region[p as usize] {
+                if region.len() >= cap {
+                    return None;
+                }
+                in_region[p as usize] = true;
+                region.push(p);
+                stack.push(p);
+            }
+        }
+    }
+    if region.len() > cap {
+        return None;
+    }
+    region.sort_unstable();
+    Some(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(n: usize, edges: &[(V, V)]) -> Index {
+        Index::build(&DiGraph::from_edges(n, edges))
+    }
+
+    #[test]
+    fn absorbable_insertions_plan_absorb() {
+        // {0,1} is an SCC; 1 -> 2 -> 3 is a tail.
+        let idx = index_of(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        let plan = plan_repair(&idx, &[(1, 0), (0, 3), (1, 3)], &[], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::Absorb);
+    }
+
+    #[test]
+    fn deletion_plans_full_rebuild() {
+        let idx = index_of(3, &[(0, 1), (1, 2)]);
+        let plan = plan_repair(&idx, &[(0, 2)], &[(1, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::Deletion });
+    }
+
+    #[test]
+    fn cross_component_forward_edge_plans_splice() {
+        // Two disconnected paths: 0 -> 1 and 2 -> 3.
+        let idx = index_of(4, &[(0, 1), (2, 3)]);
+        let plan = plan_repair(&idx, &[(1, 2)], &[], &RepairBudget::default());
+        let arcs = vec![(idx.comp(1), idx.comp(2))];
+        assert_eq!(plan, RepairPlan::DagSplice { arcs });
+    }
+
+    #[test]
+    fn back_edge_plans_region_recompute_over_the_path() {
+        // 0 -> 1 -> 2 -> 3 -> 4; inserting 3 -> 1 merges {1, 2, 3}.
+        let idx = index_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let plan = plan_repair(&idx, &[(3, 1)], &[], &RepairBudget::default());
+        match plan {
+            RepairPlan::RegionRecompute { region, arcs } => {
+                let mut want: Vec<u32> = vec![idx.comp(1), idx.comp(2), idx.comp(3)];
+                want.sort_unstable();
+                assert_eq!(region, want);
+                assert_eq!(arcs, vec![(idx.comp(3), idx.comp(1))]);
+            }
+            other => panic!("expected RegionRecompute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jointly_cyclic_splices_are_detected() {
+        // Two paths: 0 -> 1 and 2 -> 3. Inserting 1 -> 2 AND 3 -> 0 is
+        // individually acyclic but jointly closes a cycle through all
+        // four components — the supergraph test must catch it.
+        let idx = index_of(4, &[(0, 1), (2, 3)]);
+        let plan = plan_repair(&idx, &[(1, 2), (3, 0)], &[], &RepairBudget::default());
+        match plan {
+            RepairPlan::RegionRecompute { region, .. } => {
+                let mut want: Vec<u32> = (0..4).map(|v| idx.comp(v)).collect();
+                want.sort_unstable();
+                assert_eq!(region, want, "all four components are on the joint cycle");
+            }
+            other => panic!("expected RegionRecompute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_arc_sets_fall_back() {
+        let edges: Vec<(V, V)> = (0..40).map(|i| (i, i + 1)).collect();
+        let idx = index_of(41, &edges);
+        // Every (even, odd) pair going backward is a distinct new arc.
+        let ins: Vec<(V, V)> = (0..20).map(|i| (40 - i, i)).collect();
+        let tight = RepairBudget { max_planned_arcs: 3, ..RepairBudget::default() };
+        let plan = plan_repair(&idx, &ins, &[], &tight);
+        assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::PlannerOverflow });
+    }
+
+    #[test]
+    fn oversized_region_falls_back() {
+        // A long path; a back edge from the end to the start makes the
+        // whole path the region.
+        let edges: Vec<(V, V)> = (0..99).map(|i| (i, i + 1)).collect();
+        let idx = index_of(100, &edges);
+        let tight = RepairBudget { region_frac: 0.1, min_region: 4, ..RepairBudget::default() };
+        let plan = plan_repair(&idx, &[(99, 0)], &[], &tight);
+        assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::RegionOverBudget });
+        // A budget that admits the whole path repairs it in place.
+        let roomy = RepairBudget { min_region: 128, ..RepairBudget::default() };
+        let plan = plan_repair(&idx, &[(99, 0)], &[], &roomy);
+        assert!(
+            matches!(plan, RepairPlan::RegionRecompute { ref region, .. } if region.len() == 100)
+        );
+    }
+
+    #[test]
+    fn absorbability_follows_the_summary() {
+        // {0,1} is an SCC; 1 -> 2 -> 3 is a tail.
+        let idx = index_of(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        // A back edge merges components: not absorbable, and one bad edge
+        // taints the whole batch out of the absorb tier.
+        let plan = plan_repair(&idx, &[(0, 3), (3, 0)], &[], &RepairBudget::default());
+        assert!(!matches!(plan, RepairPlan::Absorb), "got {plan:?}");
+    }
+}

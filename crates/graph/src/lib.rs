@@ -13,10 +13,12 @@ pub mod fixtures;
 pub mod generators;
 pub mod io;
 pub mod stats;
+pub mod view;
 pub mod wcsr;
 
 pub use builder::{build_csr, dedup_edges, merge_csr};
 pub use csr::{Csr, DiGraph, UnGraph};
+pub use view::SubgraphView;
 pub use wcsr::WCsr;
 
 /// Vertex identifier. Graphs are capped at `u32::MAX - 1` vertices;

@@ -1,0 +1,189 @@
+//! Induced-subgraph views: run graph algorithms on a vertex subset
+//! without materializing anything per-vertex for the rest of the graph's
+//! vertex set.
+//!
+//! A [`SubgraphView`] maps a chosen vertex subset to dense local ids
+//! `0..len` and can extract the induced subgraph (optionally with extra
+//! arcs) as a standalone [`DiGraph`] whose vertex `i` is
+//! `view.to_global(i)`. The incremental condensation repair in
+//! `pscc-engine` uses this to run the full SCC machinery on just the
+//! affected region of a condensation DAG instead of the whole graph.
+
+use crate::csr::DiGraph;
+use crate::{NONE_V, V};
+
+/// A dense relabeling of a vertex subset of one digraph.
+///
+/// ```
+/// use pscc_graph::{DiGraph, SubgraphView};
+///
+/// // 0 -> 1 -> 2 -> 3, plus 1 -> 3.
+/// let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 3)]);
+/// let view = SubgraphView::new(&g, &[1, 2, 3]);
+/// let sub = view.extract();
+/// assert_eq!(sub.n(), 3);
+/// assert_eq!(sub.m(), 3); // 1->2, 2->3, 1->3 survive; 0->1 is cut
+/// assert_eq!(view.to_global(0), 1);
+/// assert_eq!(view.local_of(0), None); // vertex 0 is outside the view
+/// ```
+pub struct SubgraphView<'g> {
+    graph: &'g DiGraph,
+    verts: Vec<V>,
+    /// `local[global] == NONE_V` for vertices outside the view.
+    local: Vec<V>,
+}
+
+impl<'g> SubgraphView<'g> {
+    /// A view of `g` restricted to `vertices` (order defines local ids).
+    ///
+    /// Panics if a vertex is out of range or appears twice.
+    pub fn new(g: &'g DiGraph, vertices: &[V]) -> Self {
+        let mut local = vec![NONE_V; g.n()];
+        for (i, &v) in vertices.iter().enumerate() {
+            assert!((v as usize) < g.n(), "view vertex {v} out of range (n={})", g.n());
+            assert_eq!(local[v as usize], NONE_V, "view vertex {v} listed twice");
+            local[v as usize] = i as V;
+        }
+        SubgraphView { graph: g, verts: vertices.to_vec(), local }
+    }
+
+    /// Number of vertices in the view.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        self.graph
+    }
+
+    /// The global id of local vertex `i`.
+    #[inline]
+    pub fn to_global(&self, i: usize) -> V {
+        self.verts[i]
+    }
+
+    /// The view's vertices, in local-id order.
+    pub fn vertices(&self) -> &[V] {
+        &self.verts
+    }
+
+    /// The local id of global vertex `v`, if it is in the view.
+    #[inline]
+    pub fn local_of(&self, v: V) -> Option<V> {
+        match self.local[v as usize] {
+            NONE_V => None,
+            l => Some(l),
+        }
+    }
+
+    /// Materializes the induced subgraph: every edge of the base graph
+    /// whose endpoints are both in the view, relabeled to local ids.
+    pub fn extract(&self) -> DiGraph {
+        self.extract_with_arcs(&[])
+    }
+
+    /// [`SubgraphView::extract`] plus extra arcs given with **global**
+    /// endpoints (both must be in the view) — the repair path uses this to
+    /// overlay freshly inserted condensation arcs on the affected region.
+    pub fn extract_with_arcs(&self, extra: &[(V, V)]) -> DiGraph {
+        let mut edges: Vec<(V, V)> = Vec::with_capacity(extra.len());
+        for (i, &v) in self.verts.iter().enumerate() {
+            for &w in self.graph.out_neighbors(v) {
+                if let Some(lw) = self.local_of(w) {
+                    edges.push((i as V, lw));
+                }
+            }
+        }
+        for &(u, v) in extra {
+            let lu = self.local_of(u).unwrap_or_else(|| panic!("extra arc source {u} not in view"));
+            let lv = self.local_of(v).unwrap_or_else(|| panic!("extra arc target {v} not in view"));
+            edges.push((lu, lv));
+        }
+        DiGraph::from_edges(self.verts.len(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_plus_tail() -> DiGraph {
+        // 0 -> {1, 2} -> 3 -> 4, and 4 -> 3 (a 2-cycle at the end).
+        DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 3)])
+    }
+
+    #[test]
+    fn extract_keeps_only_inner_edges() {
+        let g = diamond_plus_tail();
+        let view = SubgraphView::new(&g, &[1, 3, 4]);
+        let sub = view.extract();
+        assert_eq!(sub.n(), 3);
+        // 1->3, 3->4, 4->3 survive; edges touching 0 or 2 are cut.
+        assert_eq!(sub.m(), 3);
+        assert_eq!(sub.out_neighbors(0), &[1]); // local 0 = global 1
+        assert_eq!(sub.out_neighbors(1), &[2]);
+        assert_eq!(sub.out_neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let g = diamond_plus_tail();
+        let view = SubgraphView::new(&g, &[4, 0, 2]);
+        assert_eq!(view.len(), 3);
+        for i in 0..view.len() {
+            assert_eq!(view.local_of(view.to_global(i)), Some(i as V));
+        }
+        assert_eq!(view.local_of(1), None);
+        assert_eq!(view.local_of(3), None);
+        assert_eq!(view.vertices(), &[4, 0, 2]);
+    }
+
+    #[test]
+    fn extra_arcs_are_overlaid() {
+        let g = diamond_plus_tail();
+        let view = SubgraphView::new(&g, &[1, 2]);
+        // No induced edges between 1 and 2; overlay both directions.
+        let sub = view.extract_with_arcs(&[(1, 2), (2, 1)]);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(sub.out_neighbors(0), &[1]);
+        assert_eq!(sub.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_view() {
+        let g = diamond_plus_tail();
+        let view = SubgraphView::new(&g, &[]);
+        assert!(view.is_empty());
+        let sub = view.extract();
+        assert_eq!(sub.n(), 0);
+        assert_eq!(sub.m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_vertex_rejected() {
+        let g = diamond_plus_tail();
+        let _ = SubgraphView::new(&g, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertex_rejected() {
+        let g = diamond_plus_tail();
+        let _ = SubgraphView::new(&g, &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in view")]
+    fn extra_arc_outside_view_rejected() {
+        let g = diamond_plus_tail();
+        let view = SubgraphView::new(&g, &[1, 2]);
+        let _ = view.extract_with_arcs(&[(1, 3)]);
+    }
+}

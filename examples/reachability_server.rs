@@ -1,8 +1,9 @@
 //! A reachability "server" with live updates and optional durability:
 //! generate an RMAT graph (or load an edge list), register it in a
 //! [`Catalog`], answer a 10 000-query batch, then apply batched edge
-//! updates (deltas) and serve the batch again — reporting whether each
-//! delta was *absorbed* (index kept) or forced a *rebuild*.
+//! updates (deltas) and serve the batch again — reporting which repair
+//! tier each delta took (*absorbed* / *dag-spliced* /
+//! *region-recomputed* / *full-rebuild*) and the per-tier tallies.
 //!
 //! Run: `cargo run --release --example reachability_server [--data-dir DIR] [graph.txt [updates.txt]]`
 //!
@@ -15,9 +16,12 @@
 //! + 17 42                - 42 17
 //! ```
 //!
-//! Without an update file, two synthetic deltas demonstrate both repair
-//! paths: one made of already-reachable pairs (absorbed, same index
-//! instance) and one closing a back edge (component merge, rebuild).
+//! Without an update file, three synthetic deltas demonstrate the repair
+//! tiers: one made of already-reachable pairs (absorbed, same index
+//! instance), one joining two mutually unreachable components (a
+//! condensation arc splice), and one closing a back edge (component
+//! merge: region recompute, or a cost-bounded rebuild when the merge
+//! region is too large).
 //!
 //! ## Persistence mode (`--data-dir DIR`)
 //!
@@ -140,26 +144,52 @@ fn main() {
             );
             println!("  index instance kept (absorbed_deltas = {})", kept.stats().absorbed_deltas);
 
-            // Delta 2: a back edge along the first unreachable pair merges
-            // two components — the index must rebuild.
+            // Delta 2: an edge between two mutually unreachable vertices
+            // adds a condensation arc without merging components — the
+            // DAG-splice tier patches the index in place.
+            let splice_edge = queries
+                .iter()
+                .zip(&answers)
+                .find(|&(&(u, v), &a)| !a && u != v && !kept.reaches(v, u))
+                .map(|(&q, _)| q);
+            if let Some((u, v)) = splice_edge {
+                let mut splice = Delta::new();
+                splice.insert(u, v);
+                println!("\ndelta 2: cross-component edge ({u}, {v}) — no cycle possible");
+                let report = catalog.apply_delta(NAME, &splice).expect("valid delta");
+                print_delta_report(&report);
+            }
+
+            // Delta 3: a back edge along the first one-way pair merges
+            // components — region recompute (or a cost-bounded rebuild).
+            let fresh = catalog.index(NAME).expect("still registered");
             let merge_edge = queries
                 .iter()
                 .zip(&answers)
-                .find(|&(&(u, v), &a)| a && u != v && !kept.reaches(v, u))
+                .find(|&(&(u, v), &a)| a && u != v && !fresh.reaches(v, u))
                 .map(|(&(u, v), _)| (v, u));
             if let Some((u, v)) = merge_edge {
                 let mut merge = Delta::new();
                 merge.insert(u, v);
-                println!("\ndelta 2: back edge ({u}, {v}) closing a cycle");
+                println!("\ndelta 3: back edge ({u}, {v}) closing a cycle");
                 let report = catalog.apply_delta(NAME, &merge).expect("valid delta");
                 print_delta_report(&report);
             }
         }
     }
+    print_repair_counts(&catalog);
 
     // ---- Serve the same batch against the updated graph ----
     let index = catalog.index(NAME).expect("still registered");
-    println!("\nafter updates: built_by {:?}", index.stats().built_by);
+    let s = index.stats();
+    println!(
+        "\nafter updates: built_by {:?}  (lineage: {} splices, {} region recomputes, \
+         {:.1}ms total repair time)",
+        s.built_by,
+        s.dag_splices,
+        s.region_recomputes,
+        s.repair_seconds * 1e3,
+    );
     let answers = serve_batch(&catalog, &queries);
     spot_check(&catalog, &queries, &answers);
 
@@ -214,9 +244,20 @@ fn recover_and_verify(dir: &Path, updates_path: Option<&str>) {
         println!("\napplying {path} durably: {} operations", delta.len());
         let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
         print_delta_report(&report);
+        print_repair_counts(&catalog);
         let answers = serve_batch(&catalog, &queries);
         spot_check(&catalog, &queries, &answers);
         save_answers(dir, &answers);
+    }
+}
+
+/// Prints the per-tier repair tallies of the served graph.
+fn print_repair_counts(catalog: &Catalog) {
+    if let Some(c) = catalog.repair_counts(NAME) {
+        println!(
+            "\nrepair tiers: {} absorbed, {} dag-spliced, {} region-recomputed, {} full rebuilds",
+            c.absorbed, c.dag_spliced, c.region_recomputed, c.full_rebuilds
+        );
     }
 }
 

@@ -1,10 +1,11 @@
 //! Acceptance test for the catalog's delta-ingestion path on an RMAT
 //! graph: random edge-insertion deltas applied through
 //! `Catalog::apply_delta` must answer a 10 000-query batch identically to
-//! a from-scratch index over the merged graph — and the incremental
-//! repair must provably take the right path (an in-SCC/already-reachable
+//! a from-scratch index over the merged graph — and the tiered repair
+//! planner must provably take the right path (an in-SCC/already-reachable
 //! delta keeps the very same `Arc<Index>` instance, a component-merging
-//! delta rebuilds).
+//! delta is repaired by the region tier without an SCC run over the
+//! whole graph).
 
 use parallel_scc::engine::{BuildCause, Delta, DeltaOutcome};
 use parallel_scc::prelude::*;
@@ -48,7 +49,7 @@ fn rmat_deltas_match_from_scratch_rebuild() {
 }
 
 #[test]
-fn rmat_absorbable_delta_keeps_index_merging_delta_rebuilds() {
+fn rmat_absorbable_delta_keeps_index_merging_delta_repairs_in_place() {
     let g = parallel_scc::graph::generators::rmat::rmat_digraph(14, 65_536, 0xcafe);
     let n = g.n();
     let catalog = Catalog::new();
@@ -82,15 +83,67 @@ fn rmat_absorbable_delta_keeps_index_merging_delta_rebuilds() {
     assert_eq!(kept.stats().absorbed_deltas, 1);
     assert_eq!(kept.stats().built_by, BuildCause::Fresh);
 
-    // Component-merging delta: new index, stamped as a delta rebuild.
+    // Component-merging delta: a patched index from the region tier (or,
+    // if the merge region outgrows the planner budget on this graph, the
+    // cost-bounded full rebuild) — never a silent wrong answer.
     let mut d = Delta::new();
     d.insert(merging.0, merging.1);
     let report = catalog.apply_delta("g", &d).unwrap();
-    assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
-    let rebuilt = catalog.index("g").unwrap();
-    assert!(!Arc::ptr_eq(&before, &rebuilt), "merging delta must rebuild the index");
-    assert_eq!(rebuilt.stats().built_by, BuildCause::DeltaRebuild);
+    let repaired = catalog.index("g").unwrap();
+    assert!(!Arc::ptr_eq(&before, &repaired), "merging delta must produce a new index");
+    match report.outcome {
+        DeltaOutcome::RegionRecomputed => {
+            assert_eq!(repaired.stats().built_by, BuildCause::RegionRecompute);
+            assert_eq!(repaired.stats().region_recomputes, 1);
+        }
+        DeltaOutcome::Rebuilt => {
+            assert_eq!(repaired.stats().built_by, BuildCause::DeltaRebuild);
+        }
+        other => panic!("merging delta took an impossible path: {other:?}"),
+    }
+    // Components did merge: strictly fewer than before.
+    assert!(repaired.num_components() < before.num_components());
     // The merge is visible: the reversed pair became mutually reachable.
     assert_eq!(catalog.reaches("g", merging.1, merging.0), Some(true));
     assert_eq!(catalog.reaches("g", merging.0, merging.1), Some(true));
+}
+
+/// The region tier must answer the same 10k-query batch as a from-scratch
+/// index after a cycle-merging insertion on RMAT.
+#[test]
+fn rmat_region_recompute_matches_from_scratch_rebuild() {
+    let g = parallel_scc::graph::generators::rmat::rmat_digraph(14, 65_536, 0x4e610);
+    let n = g.n();
+    let catalog = Catalog::new();
+    catalog.insert("g", g.clone());
+    let before = catalog.index("g").unwrap();
+
+    // Reverse an existing cross-component edge: guaranteed to close at
+    // least one cycle through the two endpoint components.
+    let queries = random_queries(n, 4_000, 0x7ea);
+    let answers = catalog.answer_batch("g", &queries).unwrap();
+    let (u, v) = queries
+        .iter()
+        .zip(&answers)
+        .find(|&(&(u, v), &a)| a && u != v && !before.reaches(v, u))
+        .map(|(&q, _)| q)
+        .expect("RMAT batch should contain a one-way pair");
+
+    let mut d = Delta::new();
+    d.insert(v, u);
+    let report = catalog.apply_delta("g", &d).unwrap();
+    assert!(
+        matches!(report.outcome, DeltaOutcome::RegionRecomputed | DeltaOutcome::Rebuilt),
+        "unexpected outcome {:?}",
+        report.outcome
+    );
+
+    let mut edges: Vec<(V, V)> = g.out_csr().edges().collect();
+    edges.push((v, u));
+    let scratch = ReachIndex::build(&DiGraph::from_edges(n, &edges));
+    let check = random_queries(n, 10_000, 0xc4ec4);
+    let got = catalog.answer_batch("g", &check).unwrap();
+    for (i, &(a, b)) in check.iter().enumerate() {
+        assert_eq!(got[i], scratch.reaches(a, b), "query ({a}, {b})");
+    }
 }
