@@ -8,11 +8,15 @@
 //!
 //! * index build time over an RMAT graph (per-phase breakdown included),
 //! * batched query throughput (10k mixed queries, warm + cold memo),
-//! * delta latency on **every repair tier** of the planner: absorbed
-//!   (index kept), dag-spliced (condensation arc splice), region
-//!   recompute (SCC re-run on the affected DAG region), and the full
-//!   rebuild fallback (deletion-forced) — plus the speedup of each
-//!   localized tier over the equivalent full rebuild.
+//! * delta latency on **every repair tier** of the planner — insertions:
+//!   absorbed (index kept), dag-spliced (condensation arc splice),
+//!   region recompute (SCC re-run on the affected DAG region);
+//!   deletions: support decrement (metadata only, index kept), DAG-arc
+//!   unsplice (dead arc removed in place), SCC split check, and the
+//!   full rebuild fallback (a structural deletion mixed with an
+//!   insertion) — plus the speedup of each localized tier over the
+//!   equivalent full rebuild (the build asserts dag-splice ≥ 5× and
+//!   arc-unsplice ≥ 3×).
 //!
 //! Run: `cargo run --release -p pscc-bench --bin bench_engine [out.json]`
 
@@ -34,6 +38,27 @@ fn timed_delta(
 ) -> Option<f64> {
     let mut delta = Delta::new();
     delta.insert(edge.0, edge.1);
+    let t = Instant::now();
+    let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
+    let secs = t.elapsed().as_secs_f64();
+    if report.outcome == want {
+        Some(secs)
+    } else {
+        *fallbacks += 1;
+        None
+    }
+}
+
+/// Applies one single-edge *deletion* delta and returns its latency if
+/// the outcome matched; tallies a mismatch into `fallbacks` otherwise.
+fn timed_deletion(
+    catalog: &Catalog,
+    edge: (V, V),
+    want: DeltaOutcome,
+    fallbacks: &mut usize,
+) -> Option<f64> {
+    let mut delta = Delta::new();
+    delta.delete(edge.0, edge.1);
     let t = Instant::now();
     let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
     let secs = t.elapsed().as_secs_f64();
@@ -148,13 +173,102 @@ fn main() {
         }
     }
 
-    // ---- Rebuild-delta latency: one effective deletion forces it ----
-    let doomed: Vec<(V, V)> =
-        catalog.graph(NAME).expect("registered").out_csr().edges().take(3).collect();
+    // ---- Deletion tiers ----
+    // Group the present edges by component pair once: decrement and
+    // unsplice deltas never change component ids, so the grouping stays
+    // valid as long as each sample targets a distinct pair.
+    let (multi_pairs, single_pairs) = {
+        let idx = catalog.index(NAME).expect("registered");
+        let graph = catalog.graph(NAME).expect("registered");
+        let mut by_pair: std::collections::HashMap<(u32, u32), ((V, V), u32)> =
+            std::collections::HashMap::new();
+        for (u, v) in graph.out_csr().edges() {
+            let (a, b) = (idx.comp(u), idx.comp(v));
+            if a != b {
+                let slot = by_pair.entry((a, b)).or_insert(((u, v), 0));
+                slot.1 += 1;
+            }
+        }
+        let mut multi: Vec<(V, V)> = Vec::new();
+        let mut single: Vec<(V, V)> = Vec::new();
+        for &(edge, count) in by_pair.values() {
+            if count >= 2 {
+                multi.push(edge);
+            } else {
+                single.push(edge);
+            }
+        }
+        (multi, single)
+    };
+
+    // Support decrement: delete one of several parallel supports of one
+    // condensation arc — metadata only, the index instance is kept.
+    let mut decrement_seconds = Vec::new();
+    let mut decrement_fallbacks = 0usize;
+    for &edge in multi_pairs.iter().take(5) {
+        if let Some(s) =
+            timed_deletion(&catalog, edge, DeltaOutcome::Absorbed, &mut decrement_fallbacks)
+        {
+            decrement_seconds.push(s);
+        }
+    }
+
+    // Arc unsplice: delete the only support of an arc.
+    let mut unsplice_seconds = Vec::new();
+    let mut unsplice_fallbacks = 0usize;
+    for &edge in single_pairs.iter() {
+        if unsplice_seconds.len() >= 5 {
+            break;
+        }
+        if let Some(s) =
+            timed_deletion(&catalog, edge, DeltaOutcome::ArcUnspliced, &mut unsplice_fallbacks)
+        {
+            unsplice_seconds.push(s);
+        }
+    }
+
+    // SCC split check: delete an intra-SCC edge of a small (in-budget)
+    // component. Component ids shift on every actual split, so the
+    // candidate is re-derived from the live index each round.
+    let mut split_seconds = Vec::new();
+    let mut split_fallbacks = 0usize;
+    for _ in 0..12 {
+        if split_seconds.len() >= 3 {
+            break;
+        }
+        let idx = catalog.index(NAME).expect("registered");
+        let graph = catalog.graph(NAME).expect("registered");
+        // The planner's own gate, so candidates match what it will admit.
+        let budget = pscc_engine::IndexConfig::default().repair.max_region(idx.n());
+        let candidate = graph.out_csr().edges().find(|&(u, v)| {
+            u != v
+                && idx.comp(u) == idx.comp(v)
+                && (2..=budget).contains(&idx.component_size(idx.comp(u)))
+        });
+        let Some(edge) = candidate else { break };
+        if let Some(s) =
+            timed_deletion(&catalog, edge, DeltaOutcome::SccSplit, &mut split_fallbacks)
+        {
+            split_seconds.push(s);
+        }
+    }
+
+    // Full rebuild: a structural deletion (an intra-SCC edge is always
+    // structural — only the split check could classify it) mixed with an
+    // insertion is always priced out of the localized tiers.
     let mut rebuild_seconds = Vec::new();
-    for &(u, v) in &doomed {
+    for _ in 0..3 {
+        let idx = catalog.index(NAME).expect("registered");
+        let graph = catalog.graph(NAME).expect("registered");
+        let doomed = graph.out_csr().edges().find(|&(u, v)| u != v && idx.comp(u) == idx.comp(v));
+        let absent = (0..n as V)
+            .map(|k| {
+                (k.wrapping_mul(7919) % n as V, (k.wrapping_mul(104_729).wrapping_add(1)) % n as V)
+            })
+            .find(|&(u, v)| u != v && graph.out_neighbors(u).binary_search(&v).is_err());
+        let (Some((du, dv)), Some((iu, iv))) = (doomed, absent) else { break };
         let mut delta = Delta::new();
-        delta.delete(u, v);
+        delta.delete(du, dv).insert(iu, iv);
         let t = Instant::now();
         let report = catalog.apply_delta(NAME, &delta).expect("valid delta");
         if report.outcome == DeltaOutcome::Rebuilt {
@@ -175,6 +289,7 @@ fn main() {
     let rebuild_mean = mean(&rebuild_seconds);
     let splice_speedup = rebuild_mean / mean(&splice_seconds);
     let region_speedup = rebuild_mean / mean(&region_seconds);
+    let unsplice_speedup = rebuild_mean / mean(&unsplice_seconds);
     // JSON must stay strictly valid even when a tier got no samples on
     // this graph: non-finite numbers serialize as null, never NaN.
     let num = |x: f64, digits: usize| {
@@ -211,15 +326,24 @@ fn main() {
     "dag_splice_samples": {splice_n},
     "region_recompute_mean_seconds": {region},
     "region_recompute_samples": {region_n},
+    "support_decrement_mean_seconds": {decrement},
+    "support_decrement_samples": {decrement_n},
+    "arc_unsplice_mean_seconds": {unsplice},
+    "arc_unsplice_samples": {unsplice_n},
+    "scc_split_mean_seconds": {split},
+    "scc_split_samples": {split_n},
     "rebuild_mean_seconds": {rebuild},
     "rebuild_samples": {rebuild_n},
     "dag_splice_speedup_vs_rebuild": {splice_speedup_json},
-    "region_recompute_speedup_vs_rebuild": {region_speedup_json}
+    "region_recompute_speedup_vs_rebuild": {region_speedup_json},
+    "arc_unsplice_speedup_vs_rebuild": {unsplice_speedup_json}
   }},
   "repair_tiers": {{
     "absorbed": {t_abs},
     "dag_spliced": {t_splice},
     "region_recomputed": {t_region},
+    "arc_unspliced": {t_unsplice},
+    "scc_splits": {t_split},
     "full_rebuilds": {t_rebuild}
   }}
 }}
@@ -239,26 +363,41 @@ fn main() {
         splice_n = splice_seconds.len(),
         region = num(mean(&region_seconds), 6),
         region_n = region_seconds.len(),
+        decrement = num(mean(&decrement_seconds), 6),
+        decrement_n = decrement_seconds.len(),
+        unsplice = num(mean(&unsplice_seconds), 6),
+        unsplice_n = unsplice_seconds.len(),
+        split = num(mean(&split_seconds), 6),
+        split_n = split_seconds.len(),
         rebuild = num(rebuild_mean, 6),
         rebuild_n = rebuild_seconds.len(),
         splice_speedup_json = num(splice_speedup, 2),
         region_speedup_json = num(region_speedup, 2),
+        unsplice_speedup_json = num(unsplice_speedup, 2),
         t_abs = tiers.absorbed,
         t_splice = tiers.dag_spliced,
         t_region = tiers.region_recomputed,
+        t_unsplice = tiers.arc_unspliced,
+        t_split = tiers.scc_split,
         t_rebuild = tiers.full_rebuilds,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("{json}");
     println!("wrote {out_path}");
     println!(
-        "splice {:.2}x / region {:.2}x faster than a full rebuild \
-         ({splice_fallbacks} splice / {region_fallbacks} region candidates fell back)",
-        splice_speedup, region_speedup
+        "splice {:.2}x / region {:.2}x / unsplice {:.2}x faster than a full rebuild \
+         ({splice_fallbacks} splice / {region_fallbacks} region / {decrement_fallbacks} \
+         decrement / {unsplice_fallbacks} unsplice / {split_fallbacks} split candidates \
+         fell back)",
+        splice_speedup, region_speedup, unsplice_speedup
     );
     assert!(
         !absorbed_seconds.is_empty() && !rebuild_seconds.is_empty() && !splice_seconds.is_empty(),
         "the absorbed, dag-splice, and rebuild tiers must all have been measured"
+    );
+    assert!(
+        !decrement_seconds.is_empty() && !unsplice_seconds.is_empty(),
+        "the support-decrement and arc-unsplice deletion tiers must both have been measured"
     );
     // Gate on the best observed repair latency rather than the mean: the
     // mean is what the JSON tracks, but a single descheduled sample on a
@@ -271,6 +410,12 @@ fn main() {
         "a localized repair tier must beat the full rebuild by at least 5x \
          (best {best_speedup:.2}x; means: splice {splice_speedup:.2}x, \
           region {region_speedup:.2}x)"
+    );
+    let best_unsplice_speedup = rebuild_mean / best(&unsplice_seconds);
+    assert!(
+        best_unsplice_speedup >= 3.0,
+        "an arc unsplice must beat the equivalent full rebuild by at least 3x \
+         (best {best_unsplice_speedup:.2}x; mean {unsplice_speedup:.2}x)"
     );
     assert!(
         stats.total_build_seconds() <= build_seconds,

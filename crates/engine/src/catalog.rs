@@ -73,12 +73,18 @@ impl Default for CompactionPolicy {
 /// index across its lifetime (see [`crate::planner`] for the tiers).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RepairCounts {
-    /// Deltas absorbed: index and memo kept untouched.
+    /// Deltas absorbed: index and memo kept untouched (includes
+    /// metadata-only deletions — support decrements and SCC-split checks
+    /// where the component held together).
     pub absorbed: u64,
     /// Deltas repaired by the condensation arc-splice tier.
     pub dag_spliced: u64,
     /// Deltas repaired by an SCC recompute on the affected DAG region.
     pub region_recomputed: u64,
+    /// Deletion deltas repaired by removing dead condensation arcs.
+    pub arc_unspliced: u64,
+    /// Deletion deltas repaired by splitting components in place.
+    pub scc_split: u64,
     /// Deltas that fell back to a full index rebuild.
     pub full_rebuilds: u64,
 }
@@ -89,6 +95,8 @@ struct TierTallies {
     absorbed: AtomicU64,
     dag_spliced: AtomicU64,
     region_recomputed: AtomicU64,
+    arc_unspliced: AtomicU64,
+    scc_split: AtomicU64,
     full_rebuilds: AtomicU64,
 }
 
@@ -98,6 +106,8 @@ impl TierTallies {
             absorbed: self.absorbed.load(Ordering::Relaxed),
             dag_spliced: self.dag_spliced.load(Ordering::Relaxed),
             region_recomputed: self.region_recomputed.load(Ordering::Relaxed),
+            arc_unspliced: self.arc_unspliced.load(Ordering::Relaxed),
+            scc_split: self.scc_split.load(Ordering::Relaxed),
             full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
         }
     }
@@ -310,9 +320,19 @@ impl Catalog {
     /// * insertions that merge components re-run SCC on just the affected
     ///   DAG region and contract the old condensation through the merge
     ///   map ([`DeltaOutcome::RegionRecomputed`]);
-    /// * effective deletions and repairs past the planner's
-    ///   [`crate::planner::RepairBudget`] rebuild the index from scratch
-    ///   ([`DeltaOutcome::Rebuilt`], stamped
+    /// * deletions of one of several parallel edge supports of a
+    ///   condensation arc (or of a latent absorbed pair) are metadata-only
+    ///   decrements of the index's arc-support table — index and memo
+    ///   kept ([`DeltaOutcome::Absorbed`]);
+    /// * deletions that take arcs' last support away remove exactly those
+    ///   arcs in place ([`DeltaOutcome::ArcUnspliced`]);
+    /// * intra-SCC deletions re-run SCC on just the affected components'
+    ///   members and splice the sub-components back
+    ///   ([`DeltaOutcome::SccSplit`] — or [`DeltaOutcome::Absorbed`] when
+    ///   every component holds together);
+    /// * deltas mixing structural deletions with insertions, and repairs
+    ///   past the planner's [`crate::planner::RepairBudget`], rebuild the
+    ///   index from scratch ([`DeltaOutcome::Rebuilt`], stamped
     ///   [`BuildCause::DeltaRebuild`][crate::index::BuildCause]);
     /// * if no index was built yet the graph is swapped and indexing stays
     ///   lazy ([`DeltaOutcome::Deferred`]).
@@ -401,13 +421,27 @@ impl Catalog {
             None => Exec::Deferred,
             Some((index, _)) => match plan_repair(index, &ins, &del, &entry.config.repair) {
                 RepairPlan::Absorb => Exec::Keep,
-                RepairPlan::DagSplice { arcs } => {
-                    install(index.splice_dag_arcs(&arcs, &entry.config), DeltaOutcome::DagSpliced)
-                }
+                RepairPlan::DagSplice { arcs } => install(
+                    index.splice_dag_arcs(&arcs, &ins, &del, &entry.config),
+                    DeltaOutcome::DagSpliced,
+                ),
                 RepairPlan::RegionRecompute { region, arcs } => install(
-                    index.recompute_region(&region, &arcs, &entry.config),
+                    index.recompute_region(&region, &arcs, &ins, &del, &entry.config),
                     DeltaOutcome::RegionRecomputed,
                 ),
+                RepairPlan::ArcUnsplice { arcs } => install(
+                    index.unsplice_dag_arcs(&arcs, &del, &entry.config),
+                    DeltaOutcome::ArcUnspliced,
+                ),
+                RepairPlan::SccSplit { comps, dead_arcs } => {
+                    match index.split_sccs(&merged, &comps, &dead_arcs, &del, &entry.config) {
+                        Some(patched) => install(patched, DeltaOutcome::SccSplit),
+                        // Every checked component held together and no
+                        // arc died: reachability is unchanged — keep the
+                        // index like any other metadata-only delta.
+                        None => Exec::Keep,
+                    }
+                }
                 RepairPlan::FullRebuild { .. } => {
                     let mut index = Index::build_with_config(&merged, &entry.config);
                     index.set_built_by(BuildCause::DeltaRebuild);
@@ -430,9 +464,11 @@ impl Catalog {
             }
             Exec::Keep => match &st.index {
                 // Whichever index is installed describes the same (old)
-                // graph, so the absorbability argument holds for it too.
+                // graph, so the absorbability argument holds for it too —
+                // and its support table takes this delta's increments
+                // and decrements.
                 Some((index, _)) => {
-                    index.note_absorbed();
+                    index.note_absorbed(&ins, &del);
                     DeltaOutcome::Absorbed
                 }
                 None => DeltaOutcome::Deferred, // invalidated mid-flight
@@ -456,6 +492,10 @@ impl Catalog {
             DeltaOutcome::RegionRecomputed => {
                 entry.repairs.region_recomputed.fetch_add(1, Ordering::Relaxed)
             }
+            DeltaOutcome::ArcUnspliced => {
+                entry.repairs.arc_unspliced.fetch_add(1, Ordering::Relaxed)
+            }
+            DeltaOutcome::SccSplit => entry.repairs.scc_split.fetch_add(1, Ordering::Relaxed),
             DeltaOutcome::Rebuilt => entry.repairs.full_rebuilds.fetch_add(1, Ordering::Relaxed),
             DeltaOutcome::NoOp | DeltaOutcome::Deferred => 0,
         };
@@ -988,7 +1028,7 @@ mod tests {
         cat.insert("g", DiGraph::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3)]));
         let _ = cat.index("g").unwrap();
         let mut absorb = Delta::new();
-        absorb.insert(0, 3); // already reachable
+        absorb.insert(0, 3); // already reachable (a latent pair from now on)
         assert_eq!(cat.apply_delta("g", &absorb).unwrap().outcome, DeltaOutcome::Absorbed);
         let mut splice = Delta::new();
         splice.insert(3, 4); // new condensation arc, no merge
@@ -996,35 +1036,145 @@ mod tests {
         let mut merge = Delta::new();
         merge.insert(3, 2); // closes 2 <-> 3
         assert_eq!(cat.apply_delta("g", &merge).unwrap().outcome, DeltaOutcome::RegionRecomputed);
-        let mut del = Delta::new();
-        del.delete(3, 4); // effective deletion: full rebuild
-        assert_eq!(cat.apply_delta("g", &del).unwrap().outcome, DeltaOutcome::Rebuilt);
+        let mut unsplice = Delta::new();
+        unsplice.delete(3, 4); // the arc's only support: unspliced in place
+        assert_eq!(cat.apply_delta("g", &unsplice).unwrap().outcome, DeltaOutcome::ArcUnspliced);
+        let mut split = Delta::new();
+        split.delete(3, 2); // intra-SCC: {2, 3} falls apart
+        assert_eq!(cat.apply_delta("g", &split).unwrap().outcome, DeltaOutcome::SccSplit);
+        let mut mixed = Delta::new();
+        mixed.delete(1, 2).insert(4, 0); // structural deletion + insertion
+        assert_eq!(cat.apply_delta("g", &mixed).unwrap().outcome, DeltaOutcome::Rebuilt);
         assert_eq!(
             cat.repair_counts("g"),
             Some(RepairCounts {
                 absorbed: 1,
                 dag_spliced: 1,
                 region_recomputed: 1,
+                arc_unspliced: 1,
+                scc_split: 1,
                 full_rebuilds: 1
             })
         );
+        // Final edge set: (0,1), (1,0), (2,3), (0,3), (4,0).
+        assert_eq!(cat.reaches("g", 4, 3), Some(true));
+        assert_eq!(cat.reaches("g", 1, 3), Some(true), "via the absorbed (0, 3)");
         assert_eq!(cat.reaches("g", 0, 4), Some(false));
-        assert_eq!(cat.reaches("g", 3, 2), Some(true));
+        assert_eq!(cat.reaches("g", 1, 2), Some(false));
         assert_eq!(cat.repair_counts("missing"), None);
     }
 
     #[test]
-    fn effective_deletion_rebuilds_and_flips_answers() {
+    fn effective_deletion_unsplices_and_flips_answers() {
         let cat = Catalog::new();
         cat.insert("g", path_digraph(5));
         assert_eq!(cat.reaches("g", 0, 4), Some(true));
         let mut d = Delta::new();
-        d.delete(2, 3);
+        d.delete(2, 3); // singleton comps: the arc's only support
         let report = cat.apply_delta("g", &d).unwrap();
-        assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
+        assert_eq!(report.outcome, DeltaOutcome::ArcUnspliced);
         assert_eq!(report.deleted, 1);
         assert_eq!(cat.reaches("g", 0, 4), Some(false));
         assert_eq!(cat.reaches("g", 0, 2), Some(true));
+        assert_eq!(cat.reaches("g", 3, 4), Some(true));
+    }
+
+    #[test]
+    fn parallel_support_deletion_keeps_the_index_instance() {
+        // Two 2-cycles {0,1} and {2,3} joined by two parallel supports of
+        // the same condensation arc: (1, 2) and (0, 3).
+        let cat = Catalog::new();
+        cat.insert("g", DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (0, 3)]));
+        let before = cat.index("g").unwrap();
+        assert_eq!(before.stats().supported_pairs, 1);
+        let mut d = Delta::new();
+        d.delete(1, 2); // (0, 3) still witnesses the arc
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Absorbed);
+        assert_eq!(report.deleted, 1);
+        let after = cat.index("g").unwrap();
+        assert!(Arc::ptr_eq(&before, &after), "support decrement must keep the index");
+        assert_eq!(cat.reaches("g", 0, 3), Some(true));
+        // Deleting the second support kills the arc: unsplice, answers flip.
+        let mut d2 = Delta::new();
+        d2.delete(0, 3);
+        assert_eq!(cat.apply_delta("g", &d2).unwrap().outcome, DeltaOutcome::ArcUnspliced);
+        assert_eq!(cat.reaches("g", 0, 3), Some(false));
+        assert_eq!(
+            cat.repair_counts("g"),
+            Some(RepairCounts { absorbed: 1, arc_unspliced: 1, ..RepairCounts::default() })
+        );
+    }
+
+    #[test]
+    fn intra_scc_deletion_that_keeps_the_component_whole_is_absorbed() {
+        // A 3-cycle with a chord: deleting the chord cannot split it.
+        let cat = Catalog::new();
+        cat.insert("g", DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]));
+        let before = cat.index("g").unwrap();
+        assert_eq!(before.num_components(), 1);
+        let mut d = Delta::new();
+        d.delete(0, 2);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Absorbed, "split check found no split");
+        assert!(Arc::ptr_eq(&before, &cat.index("g").unwrap()));
+        // Deleting a cycle edge does split it: 3 singleton components.
+        let mut d2 = Delta::new();
+        d2.delete(1, 2);
+        assert_eq!(cat.apply_delta("g", &d2).unwrap().outcome, DeltaOutcome::SccSplit);
+        let after = cat.index("g").unwrap();
+        assert_eq!(after.num_components(), 3);
+        assert_eq!(cat.reaches("g", 0, 1), Some(true));
+        assert_eq!(cat.reaches("g", 1, 0), Some(false));
+    }
+
+    #[test]
+    fn split_delta_that_also_kills_a_latent_pair_stays_correct() {
+        // A 3-cycle {0,1,2} plus a path 3 -> 4 -> 5. The shortcut (3, 5)
+        // is absorbed (latent). One delta then deletes a cycle edge (an
+        // SCC split) *and* the latent shortcut (metadata-only): the
+        // split executor must drop the dying latent pair cleanly.
+        let cat = Catalog::new();
+        cat.insert("g", DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]));
+        let _ = cat.index("g").unwrap();
+        let mut shortcut = Delta::new();
+        shortcut.insert(3, 5);
+        assert_eq!(cat.apply_delta("g", &shortcut).unwrap().outcome, DeltaOutcome::Absorbed);
+        assert_eq!(cat.index("g").unwrap().stats().latent_arcs, 1);
+        let mut d = Delta::new();
+        d.delete(1, 2).delete(3, 5);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::SccSplit);
+        assert_eq!(report.deleted, 2);
+        let after = cat.index("g").unwrap();
+        assert_eq!(after.num_components(), 6, "the cycle split into singletons");
+        assert_eq!(after.stats().latent_arcs, 0);
+        assert_eq!(cat.reaches("g", 0, 2), Some(false));
+        assert_eq!(cat.reaches("g", 2, 1), Some(true));
+        assert_eq!(cat.reaches("g", 3, 5), Some(true), "still via 4");
+    }
+
+    #[test]
+    fn oversized_split_component_falls_back_to_rebuild() {
+        // One big cycle; a tiny region budget prices the split check out.
+        let cfg = IndexConfig {
+            repair: crate::planner::RepairBudget {
+                region_frac: 0.05,
+                min_region: 2,
+                ..crate::planner::RepairBudget::default()
+            },
+            ..IndexConfig::default()
+        };
+        let cat = Catalog::new();
+        cat.insert_with_config("g", cycle_digraph(100), cfg, BatchOptions::default());
+        let _ = cat.index("g").unwrap();
+        let mut d = Delta::new();
+        d.delete(40, 41);
+        let report = cat.apply_delta("g", &d).unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Rebuilt);
+        assert_eq!(cat.index("g").unwrap().stats().built_by, BuildCause::DeltaRebuild);
+        assert_eq!(cat.reaches("g", 39, 42), Some(false));
+        assert_eq!(cat.reaches("g", 41, 40), Some(true), "the long way around survives");
     }
 
     #[test]

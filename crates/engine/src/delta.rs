@@ -96,7 +96,9 @@ impl Delta {
     /// * both lists are sorted and deduplicated (a delta is a *set* of
     ///   operations — repeating one changes nothing);
     /// * an edge named by both lists keeps only its insertion, per the
-    ///   documented ends-up-present rule.
+    ///   documented ends-up-present rule. Queue **order is irrelevant**:
+    ///   delete-then-insert-then-delete of one edge resolves exactly like
+    ///   insert-then-delete — the edge ends up present.
     ///
     /// [`crate::Catalog::apply_delta`] normalizes every delta before
     /// classification and merging, so downstream code (the repair
@@ -149,9 +151,19 @@ pub enum DeltaOutcome {
     /// re-ran on just the affected DAG region and the condensation was
     /// contracted through the merge map.
     RegionRecomputed,
-    /// The graph was updated and no localized repair would win (an
-    /// effective deletion, or a repair past the planner's budget): the
-    /// index was rebuilt from scratch (with a fresh memo).
+    /// The graph was updated and some deletions took condensation arcs'
+    /// last direct-edge support away (without splitting any component):
+    /// the dead arcs were removed in place, levels relaxed and summaries
+    /// narrowed for affected ancestors only.
+    ArcUnspliced,
+    /// The graph was updated and an intra-SCC deletion split its
+    /// component: SCC re-ran on just that component's members and the
+    /// sub-components were spliced back into the DAG.
+    SccSplit,
+    /// The graph was updated and no localized repair would win (a delta
+    /// mixing structural deletions with insertions, or a repair past the
+    /// planner's budget): the index was rebuilt from scratch (with a
+    /// fresh memo).
     Rebuilt,
 }
 
@@ -260,6 +272,57 @@ mod tests {
         let n = d.normalized();
         assert_eq!(n.insertions(), &[(7, 8)]);
         assert!(n.deletions().is_empty());
+    }
+
+    #[test]
+    fn normalize_delete_insert_delete_is_insert_wins() {
+        // A delta is a *set* of operations — queue order is irrelevant.
+        // delete → insert → delete of one edge must resolve exactly like
+        // insert → delete: the insertion wins, the edge ends up present.
+        let mut d = Delta::new();
+        d.delete(4, 5).insert(4, 5).delete(4, 5);
+        let n = d.normalized();
+        assert_eq!(n.insertions(), &[(4, 5)]);
+        assert!(n.deletions().is_empty());
+    }
+
+    #[test]
+    fn normalize_insert_delete_insert_is_insert_wins() {
+        let mut d = Delta::new();
+        d.insert(1, 2).delete(1, 2).insert(1, 2);
+        let n = d.normalized();
+        assert_eq!(n.insertions(), &[(1, 2)]);
+        assert!(n.deletions().is_empty());
+    }
+
+    #[test]
+    fn normalize_is_order_independent() {
+        // Every interleaving of the same multiset of operations yields
+        // the same canonical form.
+        let ops: [(&str, V, V); 6] =
+            [("d", 0, 1), ("i", 0, 1), ("d", 0, 1), ("i", 2, 3), ("d", 4, 5), ("d", 2, 3)];
+        let build = |order: &[usize]| {
+            let mut d = Delta::new();
+            for &k in order {
+                let (op, u, v) = ops[k];
+                if op == "i" {
+                    d.insert(u, v);
+                } else {
+                    d.delete(u, v);
+                }
+            }
+            d.normalized()
+        };
+        let want = build(&[0, 1, 2, 3, 4, 5]);
+        for order in
+            [[5, 4, 3, 2, 1, 0], [2, 0, 1, 5, 3, 4], [3, 5, 4, 0, 2, 1], [1, 2, 0, 4, 5, 3]]
+        {
+            let got = build(&order);
+            assert_eq!(got.insertions(), want.insertions(), "order {order:?}");
+            assert_eq!(got.deletions(), want.deletions(), "order {order:?}");
+        }
+        assert_eq!(want.insertions(), &[(0, 1), (2, 3)]);
+        assert_eq!(want.deletions(), &[(4, 5)]);
     }
 
     #[test]

@@ -38,11 +38,14 @@
 //! a DAG region) — each of which reuses every layer a delta provably
 //! cannot have touched.
 
-use crate::layers::{ancestors_of, LevelLayer, SccLayer, SummaryConfig, SummaryLayer};
+use crate::layers::{
+    ancestors_of, LevelLayer, SccLayer, SummaryConfig, SummaryLayer, SupportLayer,
+};
 use pscc_apps::{condense, topological_order, Condensation};
 use pscc_core::{normalize_labels, parallel_scc, parallel_scc_induced, SccConfig};
 use pscc_graph::{DiGraph, V};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use crate::layers::SummaryTier;
@@ -105,9 +108,18 @@ pub enum BuildCause {
     /// Patched from a live index by re-running SCC on the affected DAG
     /// region and contracting the old condensation through the merge map.
     RegionRecompute,
+    /// Patched from a live index by removing condensation arcs whose last
+    /// direct-edge support a deletion took away (levels relaxed, summary
+    /// narrowed for affected ancestors only).
+    ArcUnsplice,
+    /// Patched from a live index by re-running SCC on the members of the
+    /// components an intra-SCC deletion may have split, splicing the
+    /// resulting sub-components back into the DAG.
+    SccSplit,
     /// Rebuilt from scratch because an applied [`crate::delta::Delta`]
-    /// was priced out of every localized tier (an effective deletion, or
-    /// a repair region past the planner's budget).
+    /// was priced out of every localized tier (a mixed
+    /// structural-deletion + insertion delta, or a repair past the
+    /// planner's budget).
     DeltaRebuild,
 }
 
@@ -144,8 +156,22 @@ pub struct IndexStats {
     /// Deltas repaired by a region SCC recompute
     /// ([`BuildCause::RegionRecompute`]) in this index's lineage.
     pub region_recomputes: u64,
+    /// Deltas repaired by removing dead condensation arcs
+    /// ([`BuildCause::ArcUnsplice`]) in this index's lineage.
+    pub arc_unsplices: u64,
+    /// Deltas repaired by an SCC-split check over the affected components
+    /// ([`BuildCause::SccSplit`]) in this index's lineage.
+    pub scc_splits: u64,
+    /// Distinct cross-component pairs in the arc-support table — the
+    /// certificate behind the deletion tiers (0 when the table is
+    /// untracked, e.g. for an index built from a bare condensation).
+    pub supported_pairs: usize,
+    /// Supported pairs currently absent from the DAG: insertions absorbed
+    /// without a repair, to be spliced in by the next structural removal.
+    pub latent_arcs: usize,
     /// Total seconds spent inside incremental repairs across the lineage
-    /// (splices + region recomputes; full rebuilds reset the lineage).
+    /// (splices + region recomputes + unsplices + splits; full rebuilds
+    /// reset the lineage).
     pub repair_seconds: f64,
 }
 
@@ -159,15 +185,24 @@ impl IndexStats {
 }
 
 /// An immutable reachability index over one digraph.
+///
+/// "Immutable" covers everything queries read; two bookkeeping fields are
+/// interior-mutable because kept indexes are shared as `Arc<Index>`: the
+/// absorbed-delta counter and the arc-support table (only the catalog's
+/// update-lock-serialized writers touch the latter — queries never do).
 pub struct Index {
     scc: SccLayer,
     levels: LevelLayer,
     dag: DiGraph,
     summary: SummaryLayer,
     stats: IndexStats,
-    /// Deltas absorbed without a repair; interior-mutable because kept
-    /// indexes are shared as `Arc<Index>` (see [`IndexStats::absorbed_deltas`]).
+    /// Deltas absorbed without a repair (see [`IndexStats::absorbed_deltas`]).
     absorbed: AtomicU64,
+    /// Direct-edge multiplicities per cross-component pair plus latent
+    /// pairs — the deletion planner's certificate. `None` when the graph
+    /// was never seen (an index from a bare [`Condensation`]): deletions
+    /// then fall back to a full rebuild.
+    support: Mutex<Option<SupportLayer>>,
 }
 
 impl Index {
@@ -189,11 +224,18 @@ impl Index {
         let mut index = Self::from_condensation(cond, cfg);
         index.stats.scc_seconds = scc_seconds;
         index.stats.condense_seconds = condense_seconds;
+        // The graph is in hand, so the deletion planner's certificate can
+        // be built: direct-edge multiplicities per condensation arc. A
+        // fresh condensation has every supported pair as a real arc.
+        let support = SupportLayer::build(g, &index.scc.comp_of);
+        index.support = Mutex::new(Some(support));
         index
     }
 
     /// Builds an index from an existing condensation (skips the SCC run;
-    /// useful when labels were computed elsewhere).
+    /// useful when labels were computed elsewhere). Such an index never
+    /// sees the graph, so it carries no arc-support table — deltas with
+    /// deletions against it always take the full-rebuild path.
     pub fn from_condensation(cond: Condensation, cfg: &IndexConfig) -> Index {
         let Condensation { comp_of, dag, sizes } = cond;
         Self::assemble(SccLayer { comp_of, sizes }, dag, cfg, IndexStats::default())
@@ -223,7 +265,55 @@ impl Index {
             exception_components,
             ..base
         };
-        Index { scc, levels, dag, summary, stats, absorbed: AtomicU64::new(0) }
+        Index {
+            scc,
+            levels,
+            dag,
+            summary,
+            stats,
+            absorbed: AtomicU64::new(0),
+            support: Mutex::new(None),
+        }
+    }
+
+    // ---- Arc-support bookkeeping ----------------------------------------
+
+    /// Read access to the arc-support table for the repair planner.
+    pub(crate) fn support_table(&self) -> std::sync::MutexGuard<'_, Option<SupportLayer>> {
+        self.support.lock().expect("support lock")
+    }
+
+    fn support_clone(&self) -> Option<SupportLayer> {
+        self.support.lock().expect("support lock").clone()
+    }
+
+    /// True if `a → b` is an arc of the index's condensation DAG.
+    fn dag_has_arc(dag: &DiGraph, a: u32, b: u32) -> bool {
+        dag.out_neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Applies one delta's effective edges to a support table whose ids
+    /// match `comp_of`, against `dag` (the DAG *after* this repair — a
+    /// newly supported pair absent from it becomes latent).
+    fn patch_support(
+        support: &mut SupportLayer,
+        comp_of: &[u32],
+        dag: &DiGraph,
+        ins: &[(V, V)],
+        del: &[(V, V)],
+    ) {
+        for &(u, v) in del {
+            let (a, b) = (comp_of[u as usize], comp_of[v as usize]);
+            if a != b {
+                support.record_delete((a, b));
+            }
+        }
+        for &(u, v) in ins {
+            let (a, b) = (comp_of[u as usize], comp_of[v as usize]);
+            if a != b {
+                support.record_insert((a, b), Self::dag_has_arc(dag, a, b));
+            }
+        }
     }
 
     // ---- Incremental repair constructors --------------------------------
@@ -233,8 +323,16 @@ impl Index {
     /// arcs cannot create a cycle among components — then the SCC layer is
     /// untouched, levels are relaxed from the new arcs, and the summary is
     /// repaired for the affected ancestors only (see the `layers`
-    /// module).
-    pub(crate) fn splice_dag_arcs(&self, arcs: &[(u32, u32)], cfg: &IndexConfig) -> Index {
+    /// module). `ins`/`del` are the delta's effective edges, used solely
+    /// to keep the arc-support table in lockstep (any deletions riding
+    /// along were proven metadata-only by the planner).
+    pub(crate) fn splice_dag_arcs(
+        &self,
+        arcs: &[(u32, u32)],
+        ins: &[(V, V)],
+        del: &[(V, V)],
+        cfg: &IndexConfig,
+    ) -> Index {
         let t = Instant::now();
         let mut arcs: Vec<(V, V)> = arcs.to_vec();
         pscc_graph::dedup_edges(&mut arcs);
@@ -252,6 +350,11 @@ impl Index {
         let mut summary = self.summary.clone();
         summary.splice(&dag, &affected, cfg.exception_cap);
 
+        let mut support = self.support_clone();
+        if let Some(sup) = support.as_mut() {
+            Self::patch_support(sup, &self.scc.comp_of, &dag, ins, del);
+        }
+
         let mut stats = self.stats.clone();
         stats.dag_arcs = dag.m();
         stats.summary_bytes = summary.bytes(dag.n());
@@ -266,6 +369,7 @@ impl Index {
             summary,
             stats,
             absorbed: AtomicU64::new(self.absorbed.load(Ordering::Relaxed)),
+            support: Mutex::new(support),
         }
     }
 
@@ -279,6 +383,8 @@ impl Index {
         &self,
         region: &[u32],
         arcs: &[(u32, u32)],
+        ins: &[(V, V)],
+        del: &[(V, V)],
         cfg: &IndexConfig,
     ) -> Index {
         let t = Instant::now();
@@ -335,13 +441,268 @@ impl Index {
             .collect();
         let dag = DiGraph::from_edges(k_new, &new_arcs);
 
+        // The support table follows the merge map (multiplicities of
+        // merged pairs sum; merged-away pairs became intra-component);
+        // then the delta's own edges land with the *new* component ids.
+        let support = self.support_clone().map(|s| {
+            let mut sup = s.remapped(&map, &dag);
+            Self::patch_support(&mut sup, &scc.comp_of, &dag, ins, del);
+            sup
+        });
+
         let mut base = self.stats.clone();
         base.built_by = BuildCause::RegionRecompute;
         base.region_recomputes += 1;
         let mut index = Self::assemble(scc, dag, cfg, base);
         index.stats.repair_seconds += t.elapsed().as_secs_f64();
         index.absorbed = AtomicU64::new(self.absorbed.load(Ordering::Relaxed));
+        index.support = Mutex::new(support);
         index
+    }
+
+    /// Tier-3 repair (deletions): remove condensation arcs whose last
+    /// direct-edge support the delta deleted. Sound **only** when the
+    /// planner proved every structural deletion is such a dead arc (no
+    /// intra-SCC deletion, so the SCC layer is untouched). Before the
+    /// arcs go, every **latent** pair is spliced into the DAG — a latent
+    /// pair's reachability was witnessed by DAG paths that may run
+    /// through exactly the arcs being removed. Levels are then relaxed
+    /// exactly from the changed arcs and the summary is repaired for the
+    /// affected ancestors only: ancestors (old DAG) of the dead arcs'
+    /// sources whose descendant sets shrank, plus ancestors (new DAG) of
+    /// the latent arcs' sources whose descendant sets grew.
+    pub(crate) fn unsplice_dag_arcs(
+        &self,
+        dead: &[(u32, u32)],
+        del: &[(V, V)],
+        cfg: &IndexConfig,
+    ) -> Index {
+        let t = Instant::now();
+        let mut support = self.support_clone().expect("unsplice is planned from a support table");
+        for &(u, v) in del {
+            let (a, b) = (self.comp(u), self.comp(v));
+            if a != b {
+                support.record_delete((a, b));
+            }
+        }
+        // Dead pairs left the latent set above (if they were latent they
+        // would have been metadata-only), so the drain yields exactly the
+        // surviving absorbed pairs.
+        let latent: Vec<(V, V)> = support.drain_latent();
+        let mut dead: Vec<(V, V)> = dead.to_vec();
+        pscc_graph::dedup_edges(&mut dead);
+        let dag = self.dag.with_delta(&latent, &dead);
+
+        let mut levels = self.levels.clone();
+        let mut seeds: Vec<V> = dead.iter().chain(&latent).map(|&(_, b)| b).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        levels.unsplice(&dag, &seeds);
+
+        let mut affected =
+            ancestors_of(&self.dag, &dead.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+        affected.extend(ancestors_of(&dag, &latent.iter().map(|&(s, _)| s).collect::<Vec<_>>()));
+        affected.sort_unstable();
+        affected.dedup();
+        affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
+        let mut summary = self.summary.clone();
+        summary.splice(&dag, &affected, cfg.exception_cap);
+
+        let mut stats = self.stats.clone();
+        stats.dag_arcs = dag.m();
+        stats.summary_bytes = summary.bytes(dag.n());
+        stats.exception_components = summary.exception_count();
+        stats.built_by = BuildCause::ArcUnsplice;
+        stats.arc_unsplices += 1;
+        stats.repair_seconds += t.elapsed().as_secs_f64();
+        Index {
+            scc: self.scc.clone(),
+            levels,
+            dag,
+            summary,
+            stats,
+            absorbed: AtomicU64::new(self.absorbed.load(Ordering::Relaxed)),
+            support: Mutex::new(Some(support)),
+        }
+    }
+
+    /// Tier-4 repair (deletions): an intra-SCC deletion may have split
+    /// its component — re-run SCC on **only that component's members**
+    /// over `merged` (the post-deletion graph) and splice the resulting
+    /// sub-components back into the DAG. `comps` are the components with
+    /// an intra-SCC deletion; `dead` are condensation arcs the same delta
+    /// killed (their pairs' support hit zero); `del` is the full
+    /// effective deletion list (the plan admits no insertions).
+    ///
+    /// Returns `None` when no component actually split and no arc died —
+    /// the reachability relation is then provably unchanged and the
+    /// caller keeps the live index (support decrements applied through
+    /// [`Index::note_absorbed`]).
+    ///
+    /// Arcs incident to a split component are re-derived (with support
+    /// counts) from the members' adjacency in `merged` — a boundary scan
+    /// bounded by the component's volume, never a whole-graph traversal;
+    /// all other arcs carry over from the old DAG, minus the dead ones,
+    /// plus every latent pair (drained for the same witness reason as in
+    /// the unsplice tier). Levels and summary are reassembled over the
+    /// patched condensation.
+    pub(crate) fn split_sccs(
+        &self,
+        merged: &DiGraph,
+        comps: &[u32],
+        dead: &[(u32, u32)],
+        del: &[(V, V)],
+        cfg: &IndexConfig,
+    ) -> Option<Index> {
+        let t = Instant::now();
+        let k_old = self.num_components();
+        let mut split_pos = vec![usize::MAX; k_old];
+        for (i, &c) in comps.iter().enumerate() {
+            split_pos[c as usize] = i;
+        }
+        // Members per split component, in ascending vertex order (one
+        // O(n) label scan — linear in vertices, far from a rebuild's
+        // SCC + summary cost over the whole graph).
+        let mut members: Vec<Vec<V>> = vec![Vec::new(); comps.len()];
+        for (v, &c) in self.scc.comp_of.iter().enumerate() {
+            if split_pos[c as usize] != usize::MAX {
+                members[split_pos[c as usize]].push(v as V);
+            }
+        }
+        // Sub-SCC per component over the post-deletion graph; labels
+        // normalized to first-occurrence order for determinism.
+        let groups: Vec<Vec<u32>> = members
+            .iter()
+            .map(|m| normalize_labels(&parallel_scc_induced(merged, m, &[], &cfg.scc)))
+            .collect();
+        let group_counts: Vec<usize> =
+            groups.iter().map(|g| g.iter().map(|&x| x as usize + 1).max().unwrap_or(0)).collect();
+        if group_counts.iter().all(|&c| c <= 1) && dead.is_empty() {
+            return None; // every component held together: metadata only
+        }
+
+        // Renumber: old ids in order, split components expanding to their
+        // group count (deterministic: groups are first-occurrence over
+        // ascending member vertex ids).
+        let mut map_whole = vec![u32::MAX; k_old]; // non-split comps only
+        let mut group_base = vec![u32::MAX; comps.len()];
+        let mut next = 0u32;
+        for c in 0..k_old {
+            match split_pos[c] {
+                usize::MAX => {
+                    map_whole[c] = next;
+                    next += 1;
+                }
+                i => {
+                    group_base[i] = next;
+                    next += group_counts[i] as u32;
+                }
+            }
+        }
+        let k_new = next as usize;
+
+        let mut comp_of = vec![u32::MAX; self.n()];
+        for (v, &c) in self.scc.comp_of.iter().enumerate() {
+            if split_pos[c as usize] == usize::MAX {
+                comp_of[v] = map_whole[c as usize];
+            }
+        }
+        for (i, m) in members.iter().enumerate() {
+            for (j, &v) in m.iter().enumerate() {
+                comp_of[v as usize] = group_base[i] + groups[i][j];
+            }
+        }
+        let mut sizes = vec![0usize; k_new];
+        for &c in &comp_of {
+            sizes[c as usize] += 1;
+        }
+        let scc = SccLayer { comp_of, sizes };
+
+        // New condensation arcs. Kept: old arcs not incident to a split
+        // component and not dead. Re-derived (with support counts): every
+        // merged-graph edge incident to a split component's members — the
+        // out scan covers edges leaving members, the in scan edges
+        // arriving from non-split components (member-to-member edges are
+        // some member's out edge, counted exactly once).
+        let dead_set: std::collections::BTreeSet<(u32, u32)> = dead.iter().copied().collect();
+        let is_split = |c: u32| split_pos[c as usize] != usize::MAX;
+        let mut arcs: Vec<(V, V)> = self
+            .dag
+            .out_csr()
+            .edges()
+            .filter(|&(a, b)| !is_split(a) && !is_split(b) && !dead_set.contains(&(a, b)))
+            .map(|(a, b)| (map_whole[a as usize], map_whole[b as usize]))
+            .collect();
+        let mut boundary: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
+        for m in &members {
+            for &u in m {
+                let cu = scc.comp_of[u as usize];
+                for &w in merged.out_neighbors(u) {
+                    let cw = scc.comp_of[w as usize];
+                    if cu != cw {
+                        *boundary.entry((cu, cw)).or_insert(0) += 1;
+                    }
+                }
+                for &w in merged.in_neighbors(u) {
+                    if !is_split(self.scc.comp_of[w as usize]) {
+                        let cw = scc.comp_of[w as usize];
+                        if cw != cu {
+                            *boundary.entry((cw, cu)).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        arcs.extend(boundary.keys().copied());
+
+        // Support table: kept entries remapped with the delta's
+        // decrements applied; entries touching a split component replaced
+        // by the boundary recount (ground truth over `merged`); latent
+        // pairs all become arcs.
+        let support = self.support_clone().map(|old| {
+            let mut decrements: std::collections::HashMap<(u32, u32), u64> =
+                std::collections::HashMap::new();
+            for &(u, v) in del {
+                let pair = (self.comp(u), self.comp(v));
+                if pair.0 != pair.1 {
+                    *decrements.entry(pair).or_insert(0) += 1;
+                }
+            }
+            let mut sup = SupportLayer::default();
+            for ((a, b), count) in old.entries() {
+                if !is_split(a) && !is_split(b) && !dead_set.contains(&(a, b)) {
+                    let count = count - decrements.get(&(a, b)).copied().unwrap_or(0);
+                    if count == 0 {
+                        // A pair dying outside `dead_arcs` must have been
+                        // latent (the planner classified it metadata-only
+                        // — the DAG witnesses it without the arc): it
+                        // simply leaves the table, nothing to unsplice.
+                        debug_assert!(old.is_latent((a, b)), "a dying kept pair must be latent");
+                        continue;
+                    }
+                    let pair = (map_whole[a as usize], map_whole[b as usize]);
+                    sup.set_arc_support(pair, count);
+                    if old.is_latent((a, b)) {
+                        arcs.push(pair); // drained latent pair becomes an arc
+                    }
+                }
+            }
+            for (&pair, &count) in &boundary {
+                sup.set_arc_support(pair, count);
+            }
+            sup
+        });
+        let dag = DiGraph::from_edges(k_new, &arcs);
+
+        let mut base = self.stats.clone();
+        base.built_by = BuildCause::SccSplit;
+        base.scc_splits += 1;
+        let mut index = Self::assemble(scc, dag, cfg, base);
+        index.stats.repair_seconds += t.elapsed().as_secs_f64();
+        index.absorbed = AtomicU64::new(self.absorbed.load(Ordering::Relaxed));
+        index.support = Mutex::new(support);
+        Some(index)
     }
 
     /// Stamps the build cause (the catalog marks delta-forced rebuilds).
@@ -349,9 +710,16 @@ impl Index {
         self.stats.built_by = cause;
     }
 
-    /// Records one absorbed delta (kept index, unchanged answers).
-    pub(crate) fn note_absorbed(&self) {
+    /// Records one absorbed delta: the index is kept because every
+    /// effective change provably preserves the reachability relation —
+    /// but the arc-support table still moves (inserted cross edges add
+    /// support or latent pairs, metadata-only deletions decrement it).
+    pub(crate) fn note_absorbed(&self, ins: &[(V, V)], del: &[(V, V)]) {
         self.absorbed.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.support.lock().expect("support lock");
+        if let Some(sup) = guard.as_mut() {
+            Self::patch_support(sup, &self.scc.comp_of, &self.dag, ins, del);
+        }
     }
 
     /// Number of vertices of the indexed graph.
@@ -393,10 +761,15 @@ impl Index {
     }
 
     /// Build-cost and shape statistics (a snapshot: `absorbed_deltas`
-    /// advances as the catalog absorbs deltas into this index).
+    /// and the arc-support figures advance as the catalog applies deltas
+    /// to this index).
     pub fn stats(&self) -> IndexStats {
         let mut s = self.stats.clone();
         s.absorbed_deltas = self.absorbed.load(Ordering::Relaxed);
+        if let Some(sup) = self.support.lock().expect("support lock").as_ref() {
+            s.supported_pairs = sup.supported_pairs();
+            s.latent_arcs = sup.latent_arcs();
+        }
         s
     }
 
@@ -559,10 +932,74 @@ mod tests {
             // Insert 2 -> 3 (components are vertex-labeled singletons here,
             // so comp arcs mirror vertex arcs).
             let arcs = vec![(idx.comp(2), idx.comp(3))];
-            let patched = idx.splice_dag_arcs(&arcs, &cfg);
+            let patched = idx.splice_dag_arcs(&arcs, &[(2, 3)], &[], &cfg);
             assert_eq!(patched.stats.built_by, BuildCause::DagSplice);
             assert_eq!(patched.stats.dag_splices, 1);
             let merged = g.with_delta(&[(2, 3)], &[]);
+            for u in 0..6 {
+                for v in 0..6 {
+                    assert_eq!(patched.reaches(u, v), bfs_reaches(&merged, u, v), "({u}, {v})");
+                }
+            }
+        }
+    }
+
+    /// `unsplice_dag_arcs` on a dead arc must answer exactly like a
+    /// from-scratch build on the post-deletion graph — including when a
+    /// previously absorbed (latent) pair is the only surviving witness.
+    #[test]
+    fn unsplice_matches_scratch_build_both_tiers() {
+        for cfg in [IndexConfig::default(), tiny_budget()] {
+            // 0 -> 1 -> 2 with a shortcut 0 -> 2 absorbed post-build.
+            let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+            let idx = Index::build_with_config(&g, &cfg);
+            let with_shortcut = g.with_delta(&[(0, 2)], &[]);
+            idx.note_absorbed(&[(0, 2)], &[]); // (0, 2) is latent now
+            assert_eq!(idx.stats().latent_arcs, 1);
+            // Delete 1 -> 2: arc (c1, c2) dies; the latent (c0, c2) must
+            // be spliced in or 0 ⇝ 2 would be lost.
+            let dead = vec![(idx.comp(1), idx.comp(2))];
+            let patched = idx.unsplice_dag_arcs(&dead, &[(1, 2)], &cfg);
+            assert_eq!(patched.stats().built_by, BuildCause::ArcUnsplice);
+            assert_eq!(patched.stats().arc_unsplices, 1);
+            assert_eq!(patched.stats().latent_arcs, 0, "latent pairs drain on unsplice");
+            let merged = with_shortcut.with_delta(&[], &[(1, 2)]);
+            for u in 0..3 {
+                for v in 0..3 {
+                    assert_eq!(patched.reaches(u, v), bfs_reaches(&merged, u, v), "({u}, {v})");
+                }
+            }
+            // Levels narrowed exactly: 2 is now a direct child of 0 only.
+            assert!(patched.level(patched.comp(0)) < patched.level(patched.comp(2)));
+        }
+    }
+
+    /// `split_sccs` must detect a component that stays whole (`None`) and
+    /// otherwise answer like a from-scratch build on the split graph.
+    #[test]
+    fn split_sccs_matches_scratch_build_both_tiers() {
+        for cfg in [IndexConfig::default(), tiny_budget()] {
+            // A 4-cycle {1,2,3,4} with a chord 1 -> 3, entered from 0 and
+            // leaving to 5.
+            let g =
+                DiGraph::from_edges(6, &[(1, 2), (2, 3), (3, 4), (4, 1), (1, 3), (0, 1), (4, 5)]);
+            let idx = Index::build_with_config(&g, &cfg);
+            assert_eq!(idx.num_components(), 3);
+            let c = idx.comp(1);
+            // Deleting the chord keeps the cycle strongly connected.
+            let still_whole = g.with_delta(&[], &[(1, 3)]);
+            assert!(idx.split_sccs(&still_whole, &[c], &[], &[(1, 3)], &cfg).is_none());
+            // Deleting 2 -> 3 splits the cycle: the chord 1 -> 3 keeps
+            // {1, 3, 4} strongly connected, 2 falls out.
+            let merged = g.with_delta(&[], &[(2, 3)]);
+            let patched =
+                idx.split_sccs(&merged, &[c], &[], &[(2, 3)], &cfg).expect("the cycle splits");
+            assert_eq!(patched.stats().built_by, BuildCause::SccSplit);
+            assert_eq!(patched.stats().scc_splits, 1);
+            assert_eq!(patched.num_components(), 4);
+            assert_eq!(patched.comp(1), patched.comp(3));
+            assert_eq!(patched.comp(1), patched.comp(4));
+            assert_ne!(patched.comp(1), patched.comp(2));
             for u in 0..6 {
                 for v in 0..6 {
                     assert_eq!(patched.reaches(u, v), bfs_reaches(&merged, u, v), "({u}, {v})");
@@ -583,7 +1020,7 @@ mod tests {
             let (c3, c1) = (idx.comp(3), idx.comp(1));
             let mut region: Vec<u32> = vec![idx.comp(1), idx.comp(2), idx.comp(3)];
             region.sort_unstable();
-            let patched = idx.recompute_region(&region, &[(c3, c1)], &cfg);
+            let patched = idx.recompute_region(&region, &[(c3, c1)], &[(3, 1)], &[], &cfg);
             assert_eq!(patched.stats.built_by, BuildCause::RegionRecompute);
             assert_eq!(patched.num_components(), 4);
             assert_eq!(patched.comp(1), patched.comp(3));

@@ -7,9 +7,10 @@
 //! | layer | full build | partial invalidation |
 //! |---|---|---|
 //! | [`SccLayer`] | BGSS SCC over the graph | [`SccLayer::remapped`] — merge components through an old→new id map |
-//! | condensation DAG | `condense` over all edges | `DiGraph::with_delta` arc splice, or contraction of the *old DAG* (never the graph) |
-//! | [`LevelLayer`] | sweep in topological order | [`LevelLayer::splice`] — worklist relaxation from the new arcs |
-//! | [`SummaryLayer`] | bitsets or interval labels | [`SummaryLayer::splice`] — recompute/widen only the affected ancestors |
+//! | condensation DAG | `condense` over all edges | `DiGraph::with_delta` arc splice/unsplice, or contraction of the *old DAG* (never the graph) |
+//! | [`LevelLayer`] | sweep in topological order | [`LevelLayer::splice`] — worklist relaxation from new arcs; [`LevelLayer::unsplice`] — exact recompute from changed-arc targets |
+//! | [`SummaryLayer`] | bitsets or interval labels | [`SummaryLayer::splice`] — recompute/widen only the affected ancestors (sound for arc removal too) |
+//! | [`SupportLayer`] | `contracted_support` over the graph | per-edge increments/decrements, id remap after merges |
 //!
 //! The DAG itself has no wrapper type: `DiGraph` already supports the two
 //! partial updates the repair tiers need (arc splicing via `with_delta`,
@@ -17,6 +18,7 @@
 
 use pscc_graph::{DiGraph, V};
 use pscc_runtime::SplitMix64;
+use std::collections::{BTreeSet, HashMap};
 
 /// Which descendant-summary representation an
 /// [`Index`](crate::index::Index) holds.
@@ -52,6 +54,148 @@ impl SccLayer {
             sizes[map[c] as usize] += s;
         }
         SccLayer { comp_of, sizes }
+    }
+}
+
+// ---- Arc support ----------------------------------------------------------
+
+/// The arc-support layer: how many graph edges contract to each
+/// cross-component pair, plus which supported pairs are **latent** —
+/// absorbed by the repair planner without ever becoming a DAG arc.
+///
+/// This is the certificate that makes deletions plannable:
+///
+/// * a cross-component edge whose pair keeps support `> 0` can be deleted
+///   as a pure metadata decrement (another parallel edge witnesses the
+///   same arc, so the reachability relation is provably unchanged);
+/// * a pair whose support hits `0` kills its DAG arc — the arc-unsplice
+///   tier removes it and, crucially, **drains every latent pair into the
+///   DAG first**: a latent pair's reachability was witnessed by DAG paths
+///   when it was absorbed, and arcs have only been *added* since (any
+///   structural removal drains the latent set), but the arcs being
+///   removed right now may be exactly that witness;
+/// * a latent pair whose support hits `0` is metadata-only too — by the
+///   same invariant, the current DAG still witnesses its endpoints'
+///   reachability without it.
+///
+/// Intra-component edges and self loops are not tracked: deleting them
+/// can never remove a condensation arc (the SCC-split check is
+/// graph-driven instead).
+#[derive(Clone, Default)]
+pub(crate) struct SupportLayer {
+    /// `cross[(a, b)]` = number of graph edges `u → v` with
+    /// `comp(u) = a ≠ b = comp(v)`. Pairs with zero support are absent.
+    cross: HashMap<(u32, u32), u64>,
+    /// Supported pairs absent from the index DAG (see above). Invariant:
+    /// `latent ⊆ cross.keys()`, and every latent pair's reachability is
+    /// witnessed by the current DAG without it.
+    latent: BTreeSet<(u32, u32)>,
+}
+
+impl SupportLayer {
+    /// Full build from the indexed graph and its component labeling. A
+    /// fresh condensation carries every supported pair as a real arc, so
+    /// the latent set starts empty.
+    pub fn build(graph: &DiGraph, comp_of: &[u32]) -> SupportLayer {
+        SupportLayer {
+            cross: pscc_graph::contracted_support(graph.out_csr(), comp_of),
+            latent: BTreeSet::new(),
+        }
+    }
+
+    /// Direct-edge multiplicity of the pair (0 when untracked).
+    pub fn support(&self, pair: (u32, u32)) -> u64 {
+        self.cross.get(&pair).copied().unwrap_or(0)
+    }
+
+    /// True if the pair is supported but absent from the DAG.
+    pub fn is_latent(&self, pair: (u32, u32)) -> bool {
+        self.latent.contains(&pair)
+    }
+
+    /// Records one inserted cross-component edge. `is_dag_arc` says
+    /// whether the pair is an arc of the index DAG *after* this delta's
+    /// repair — a newly supported pair that is not becomes latent.
+    pub fn record_insert(&mut self, pair: (u32, u32), is_dag_arc: bool) {
+        let count = self.cross.entry(pair).or_insert(0);
+        *count += 1;
+        if *count == 1 && !is_dag_arc {
+            self.latent.insert(pair);
+        }
+    }
+
+    /// Records one deleted cross-component edge; a pair decremented to
+    /// zero support leaves the table (and the latent set). Returns the
+    /// remaining support.
+    pub fn record_delete(&mut self, pair: (u32, u32)) -> u64 {
+        match self.cross.get_mut(&pair) {
+            Some(count) if *count > 1 => {
+                *count -= 1;
+                *count
+            }
+            Some(_) => {
+                self.cross.remove(&pair);
+                self.latent.remove(&pair);
+                0
+            }
+            None => {
+                debug_assert!(false, "deleting an unsupported cross pair {pair:?}");
+                0
+            }
+        }
+    }
+
+    /// Sets the multiplicity of a pair known to be a real DAG arc (bulk
+    /// table reconstruction after an SCC split; never touches the latent
+    /// set).
+    pub fn set_arc_support(&mut self, pair: (u32, u32), count: u64) {
+        debug_assert!(count > 0, "supported pairs have positive multiplicity");
+        self.cross.insert(pair, count);
+    }
+
+    /// Removes and returns every latent pair — the arc-unsplice and
+    /// SCC-split tiers splice them all into the DAG, restoring the
+    /// "every supported pair is an arc" state of a fresh build.
+    pub fn drain_latent(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.latent).into_iter().collect()
+    }
+
+    /// Partial invalidation after a region merge: pushes every pair
+    /// through `map` (old → new component ids), summing multiplicities
+    /// and dropping pairs whose endpoints merged (their edges became
+    /// intra-component). Latent pairs are re-checked against `dag` (the
+    /// *new* condensation): a contraction can have turned a formerly
+    /// latent pair into a real arc.
+    pub fn remapped(&self, map: &[u32], dag: &DiGraph) -> SupportLayer {
+        let mut cross: HashMap<(u32, u32), u64> = HashMap::with_capacity(self.cross.len());
+        for (&(a, b), &count) in &self.cross {
+            let (na, nb) = (map[a as usize], map[b as usize]);
+            if na != nb {
+                *cross.entry((na, nb)).or_insert(0) += count;
+            }
+        }
+        let latent = self
+            .latent
+            .iter()
+            .map(|&(a, b)| (map[a as usize], map[b as usize]))
+            .filter(|&(na, nb)| na != nb && dag.out_neighbors(na).binary_search(&nb).is_err())
+            .collect();
+        SupportLayer { cross, latent }
+    }
+
+    /// Number of distinct supported cross-component pairs.
+    pub fn supported_pairs(&self) -> usize {
+        self.cross.len()
+    }
+
+    /// Number of latent pairs.
+    pub fn latent_arcs(&self) -> usize {
+        self.latent.len()
+    }
+
+    /// Iterates `(pair, multiplicity)` entries (unordered).
+    pub fn entries(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
+        self.cross.iter().map(|(&p, &c)| (p, c))
     }
 }
 
@@ -93,6 +237,29 @@ impl LevelLayer {
                     self.levels[d as usize] = self.levels[c as usize] + 1;
                     work.push(d);
                 }
+            }
+        }
+    }
+
+    /// Partial invalidation after arcs were **removed** (and possibly
+    /// others added in the same repair): exact per-component recompute
+    /// from the in-neighbors of the *new* DAG, seeded at every changed
+    /// arc's target and propagated to successors while values move.
+    ///
+    /// Unlike [`LevelLayer::splice`] this handles levels that shrink: a
+    /// removed arc can have been the unique longest incoming path of its
+    /// target. Levels depend only on predecessors, so the worklist
+    /// converges to the unique longest-path fixpoint of the new DAG (a
+    /// component recomputed against a predecessor that later moves is
+    /// simply re-pushed by that predecessor's change).
+    pub fn unsplice(&mut self, dag: &DiGraph, seeds: &[V]) {
+        let mut work: Vec<V> = seeds.to_vec();
+        while let Some(c) = work.pop() {
+            let want =
+                dag.in_neighbors(c).iter().map(|&p| self.levels[p as usize] + 1).max().unwrap_or(0);
+            if self.levels[c as usize] != want {
+                self.levels[c as usize] = want;
+                work.extend_from_slice(dag.out_neighbors(c));
             }
         }
     }
@@ -211,11 +378,17 @@ impl SummaryLayer {
         }
     }
 
-    /// Partial invalidation after an arc splice. `affected` must hold
-    /// exactly the components whose descendant set grew — the ancestors
-    /// (in the **new** DAG, sources included) of the spliced arcs'
-    /// sources — ordered children-first (descending new level), so every
-    /// component is repaired after all of its affected out-neighbors.
+    /// Partial invalidation after an arc splice **or unsplice**.
+    /// `affected` must hold every component whose descendant set changed
+    /// — the ancestors (in the relevant DAG, sources included) of the
+    /// changed arcs' sources — ordered children-first (descending new
+    /// level), so every component is repaired after all of its affected
+    /// out-neighbors. Each affected row/list is recomputed from its
+    /// (final) children against `dag` as passed, so the same pass is
+    /// exact whether the arcs were added or removed; only the interval
+    /// *labels* are widen-only (see below), which stays sound under arc
+    /// removal because reachability shrinking makes an over-approximation
+    /// strictly looser, never wrong.
     ///
     /// * Bitset tier: the affected rows are recomputed from their
     ///   (final) child rows; unaffected rows are untouched.

@@ -31,12 +31,20 @@
 //!   [`Catalog::apply_delta`]: the delta is normalized
 //!   ([`Delta::normalized`]), the graph merged in parallel
 //!   (`DiGraph::with_delta`), and the index repaired *incrementally* by
-//!   the tiered planner ([`planner`]): absorb (answers provably
-//!   unchanged, index kept) → condensation arc splice (SCC labels kept,
-//!   levels/summary patched for affected ancestors) → region SCC
-//!   recompute (the SCC algorithm re-runs on just the affected DAG
-//!   region) → cost-bounded full rebuild. Each tier's use is tallied per
-//!   entry ([`Catalog::repair_counts`]).
+//!   the tiered planner ([`planner`]). Insertions: absorb (answers
+//!   provably unchanged, index kept) → condensation arc splice (SCC
+//!   labels kept, levels/summary patched for affected ancestors) →
+//!   region SCC recompute (the SCC algorithm re-runs on just the
+//!   affected DAG region). Deletions, against a per-arc edge-support
+//!   table: support decrement (a parallel edge or the DAG still
+//!   witnesses the arc — metadata only, index kept) → DAG-arc unsplice
+//!   (the last support died: drop the arc, relax levels, narrow
+//!   summaries for affected ancestors) → SCC split check (an intra-SCC
+//!   deletion: SCC re-runs on just that component's members and the
+//!   sub-components are spliced back). The cost-bounded full rebuild
+//!   remains only for mixed structural deltas and repairs past the
+//!   [`RepairBudget`]. Each tier's use is tallied per entry
+//!   ([`Catalog::repair_counts`]).
 //!
 //! ```
 //! use pscc_engine::{Catalog, Index, QueryBatch};

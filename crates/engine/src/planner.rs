@@ -37,11 +37,35 @@
 //!    contracted through the resulting merge map, and levels/summary are
 //!    reassembled over the patched condensation — the graph itself is
 //!    never re-traversed.
-//! 4. **Cost-bounded fallback** ([`RepairPlan::FullRebuild`]) — effective
-//!    deletions (which can split SCCs and sever paths, invalidating the
-//!    SCC layer in a way no local certificate in the index can repair),
-//!    deltas with more distinct new arcs than the planner budget, and
-//!    merge regions whose estimated size exceeds
+//! 4. **Deletion: support decrement** (classified into the plan of the
+//!    remaining insertions, down to [`RepairPlan::Absorb`]) — the index
+//!    carries an **arc-support table** (see the engine's `layers`
+//!    module): direct-edge multiplicities per cross-component pair.
+//!    Deleting one of several parallel supports of a pair — or the last
+//!    support of a *latent* pair (absorbed, never became a DAG arc) — is
+//!    a metadata-only decrement. *Correctness:* a cross-component edge
+//!    lies on no cycle (that would need `comp(v) ⇝ comp(u)`), so SCCs
+//!    cannot change; any path through the deleted edge reroutes over a
+//!    surviving parallel support (endpoints share the same component
+//!    pair), or — for a latent pair — over the DAG paths that witnessed
+//!    the pair when it was absorbed, which still exist because arcs have
+//!    only been added since (every structural removal drains the latent
+//!    set into the DAG).
+//! 5. **Deletion: DAG-arc unsplice** ([`RepairPlan::ArcUnsplice`]) — the
+//!    delta takes some DAG arcs' support to zero and splits nothing:
+//!    the dead arcs are removed (latent pairs spliced in first), levels
+//!    are worklist-relaxed exactly, and summaries are narrowed for the
+//!    affected ancestors only.
+//! 6. **Deletion: SCC split check** ([`RepairPlan::SccSplit`]) — an
+//!    intra-SCC deletion can split its component: SCC re-runs on **only
+//!    that component's members** in the post-deletion graph and the
+//!    sub-components are spliced back into the DAG (a component that
+//!    holds together leaves the index untouched). The graph is never
+//!    re-traversed beyond the affected members' adjacency.
+//! 7. **Cost-bounded fallback** ([`RepairPlan::FullRebuild`]) — deltas
+//!    mixing structural deletions with insertions, indexes without a
+//!    support table, deltas with more distinct new/dead arcs than the
+//!    planner budget, and merge regions or split components past
 //!    [`RepairBudget::max_region`] all fall back to the catalog's
 //!    off-lock full rebuild: past that size, a localized repair would not
 //!    beat rebuilding.
@@ -99,15 +123,21 @@ impl RepairBudget {
 /// Why the planner fell back to a full rebuild.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RebuildReason {
-    /// The delta contains an effective deletion: it can split SCCs or
-    /// sever paths, and the index holds no local certificate to repair
-    /// either without re-running SCC from scratch.
+    /// The delta mixes a *structural* deletion (a dead DAG arc or a
+    /// possible SCC split) with insertions — the deletion tiers are
+    /// proven for pure-deletion deltas only — or the index carries no
+    /// arc-support table to classify deletions against (it was built
+    /// from a bare condensation, never seeing the graph).
     Deletion,
-    /// More distinct new condensation arcs than
+    /// More distinct new (or dead) condensation arcs than
     /// [`RepairBudget::max_planned_arcs`].
     PlannerOverflow,
     /// The cycle-merge region exceeds [`RepairBudget::max_region`].
     RegionOverBudget,
+    /// The components an intra-SCC deletion may split hold more vertices
+    /// than [`RepairBudget::max_region`] admits — re-running SCC on them
+    /// would not beat rebuilding.
+    SplitOverBudget,
 }
 
 /// The repair tier [`plan_repair`] chose, with everything the executor
@@ -133,6 +163,24 @@ pub enum RepairPlan {
         /// All new condensation arcs (cycle-forming and splice alike).
         arcs: Vec<(u32, u32)>,
     },
+    /// Remove these DAG arcs — the delta deleted their last direct-edge
+    /// support — splicing latent pairs in first
+    /// (`Index::unsplice_dag_arcs`). Planned only for pure-deletion
+    /// deltas that provably split no component.
+    ArcUnsplice {
+        /// Dead condensation arcs `(comp(u), comp(v))`, deduplicated.
+        arcs: Vec<(u32, u32)>,
+    },
+    /// Re-run SCC on the members of these components — an intra-SCC
+    /// deletion may have split them — and splice the sub-components back
+    /// into the DAG (`Index::split_sccs`). Planned only for
+    /// pure-deletion deltas.
+    SccSplit {
+        /// Components with an intra-SCC deletion (sorted, deduplicated).
+        comps: Vec<u32>,
+        /// DAG arcs the same delta killed (support reached zero).
+        dead_arcs: Vec<(u32, u32)>,
+    },
     /// A localized repair would not win: rebuild off-lock.
     FullRebuild {
         /// What priced the delta out of the localized tiers.
@@ -155,7 +203,34 @@ pub fn plan_repair(
     budget: &RepairBudget,
 ) -> RepairPlan {
     if !del.is_empty() {
-        return RepairPlan::FullRebuild { reason: RebuildReason::Deletion };
+        match classify_deletions(index, del) {
+            // Every deletion is a metadata-only support decrement: the
+            // reachability relation is untouched, so the remaining
+            // insertions are planned against the unchanged index exactly
+            // as if the delta held no deletions.
+            DeletionClass::Metadata => {}
+            DeletionClass::Unplannable => {
+                return RepairPlan::FullRebuild { reason: RebuildReason::Deletion };
+            }
+            DeletionClass::Structural { dead_arcs, splits } => {
+                if !ins.is_empty() {
+                    // The deletion tiers are proven for pure-deletion
+                    // deltas; mixing in insertions prices out.
+                    return RepairPlan::FullRebuild { reason: RebuildReason::Deletion };
+                }
+                if dead_arcs.len() > budget.max_planned_arcs {
+                    return RepairPlan::FullRebuild { reason: RebuildReason::PlannerOverflow };
+                }
+                if !splits.is_empty() {
+                    let vertices: usize = splits.iter().map(|&c| index.component_size(c)).sum();
+                    if vertices > budget.max_region(index.n()) {
+                        return RepairPlan::FullRebuild { reason: RebuildReason::SplitOverBudget };
+                    }
+                    return RepairPlan::SccSplit { comps: splits, dead_arcs };
+                }
+                return RepairPlan::ArcUnsplice { arcs: dead_arcs };
+            }
+        }
     }
     // Contract the non-absorbable insertions to new condensation arcs.
     let mut arcs: Vec<(u32, u32)> = ins
@@ -208,6 +283,62 @@ pub fn plan_repair(
         return RepairPlan::FullRebuild { reason: RebuildReason::RegionOverBudget };
     };
     RepairPlan::RegionRecompute { region, arcs }
+}
+
+/// How a delta's effective deletions bear on the index structure.
+enum DeletionClass {
+    /// Every deletion is a support decrement (parallel support survives,
+    /// or the pair is latent / a self loop): the reachability relation is
+    /// provably unchanged.
+    Metadata,
+    /// Some deletions change the index: DAG arcs whose support hit zero
+    /// and/or components an intra-SCC deletion may split.
+    Structural { dead_arcs: Vec<(u32, u32)>, splits: Vec<u32> },
+    /// The index has no arc-support table to classify against.
+    Unplannable,
+}
+
+/// Classifies the effective deletions `del` against `index`'s arc-support
+/// table (see the [module docs](self), tiers 4–6).
+fn classify_deletions(index: &Index, del: &[(V, V)]) -> DeletionClass {
+    let guard = index.support_table();
+    let Some(support) = guard.as_ref() else {
+        return DeletionClass::Unplannable;
+    };
+    let mut splits: Vec<u32> = Vec::new();
+    let mut pending: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+    for &(u, v) in del {
+        if u == v {
+            continue; // a self loop never changes reachability or SCCs
+        }
+        let (a, b) = (index.comp(u), index.comp(v));
+        if a == b {
+            // Intra-SCC deletion: only re-running SCC on the component's
+            // members can tell whether it split.
+            splits.push(a);
+        } else {
+            *pending.entry((a, b)).or_insert(0) += 1;
+        }
+    }
+    splits.sort_unstable();
+    splits.dedup();
+    let mut dead_arcs: Vec<(u32, u32)> = Vec::new();
+    for (&pair, &deleted) in &pending {
+        let have = support.support(pair);
+        debug_assert!(have >= deleted, "deleting more edges than pair {pair:?} supports");
+        if have <= deleted && !support.is_latent(pair) {
+            // The pair's last direct edge is going away and it is a real
+            // DAG arc. (A dying *latent* pair is metadata-only: the DAG
+            // witnesses its endpoints' reachability without it.)
+            dead_arcs.push(pair);
+        }
+    }
+    dead_arcs.sort_unstable();
+    if splits.is_empty() && dead_arcs.is_empty() {
+        DeletionClass::Metadata
+    } else {
+        DeletionClass::Structural { dead_arcs, splits }
+    }
 }
 
 /// `descendants(targets) ∩ ancestors(sources)` over `dag`, or `None` as
@@ -288,9 +419,95 @@ mod tests {
     }
 
     #[test]
-    fn deletion_plans_full_rebuild() {
+    fn structural_deletion_mixed_with_insertions_plans_full_rebuild() {
+        // Deleting (1, 2) kills its arc (support 1); the insertion riding
+        // along prices the delta out of the pure-deletion tiers.
         let idx = index_of(3, &[(0, 1), (1, 2)]);
         let plan = plan_repair(&idx, &[(0, 2)], &[(1, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::Deletion });
+    }
+
+    #[test]
+    fn parallel_support_deletion_plans_absorb() {
+        // Two 2-cycles joined by two parallel supports of one arc.
+        let idx = index_of(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (0, 3)]);
+        let plan = plan_repair(&idx, &[], &[(1, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::Absorb, "a parallel support survives");
+        // Deleting both supports at once kills the arc.
+        let plan = plan_repair(&idx, &[], &[(1, 2), (0, 3)], &RepairBudget::default());
+        let arcs = vec![(idx.comp(1), idx.comp(2))];
+        assert_eq!(plan, RepairPlan::ArcUnsplice { arcs });
+    }
+
+    #[test]
+    fn self_loop_deletion_plans_absorb() {
+        let idx = index_of(3, &[(0, 0), (0, 1), (1, 2)]);
+        let plan = plan_repair(&idx, &[], &[(0, 0)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::Absorb);
+    }
+
+    #[test]
+    fn last_support_deletion_plans_unsplice() {
+        let idx = index_of(3, &[(0, 1), (1, 2)]);
+        let plan = plan_repair(&idx, &[], &[(1, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::ArcUnsplice { arcs: vec![(idx.comp(1), idx.comp(2))] });
+    }
+
+    #[test]
+    fn latent_pair_deletion_plans_absorb() {
+        // 0 -> 1 -> 2, then absorb a shortcut 0 -> 2 (never becomes an
+        // arc). Deleting the shortcut is metadata-only: the DAG path
+        // through 1 still witnesses 0 ⇝ 2.
+        let idx = index_of(3, &[(0, 1), (1, 2)]);
+        idx.note_absorbed(&[(0, 2)], &[]);
+        let plan = plan_repair(&idx, &[], &[(0, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::Absorb);
+    }
+
+    #[test]
+    fn intra_scc_deletion_plans_split_check() {
+        // A 3-cycle feeding a tail; deleting a cycle edge needs the
+        // split check over the cycle's component only.
+        let idx = index_of(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let plan = plan_repair(&idx, &[], &[(1, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::SccSplit { comps: vec![idx.comp(1)], dead_arcs: vec![] });
+    }
+
+    #[test]
+    fn split_and_dead_arc_combine_into_one_split_plan() {
+        // Deleting a cycle edge *and* the tail arc in one delta.
+        let idx = index_of(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let plan = plan_repair(&idx, &[], &[(1, 2), (2, 3)], &RepairBudget::default());
+        assert_eq!(
+            plan,
+            RepairPlan::SccSplit {
+                comps: vec![idx.comp(1)],
+                dead_arcs: vec![(idx.comp(2), idx.comp(3))],
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_split_component_falls_back() {
+        use pscc_graph::generators::simple::cycle_digraph;
+        let idx = Index::build(&cycle_digraph(200));
+        let tight = RepairBudget { region_frac: 0.1, min_region: 4, ..RepairBudget::default() };
+        let plan = plan_repair(&idx, &[], &[(5, 6)], &tight);
+        assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::SplitOverBudget });
+        // A budget admitting the whole component runs the split check.
+        let roomy = RepairBudget { min_region: 256, ..RepairBudget::default() };
+        let plan = plan_repair(&idx, &[], &[(5, 6)], &roomy);
+        assert_eq!(plan, RepairPlan::SccSplit { comps: vec![idx.comp(5)], dead_arcs: vec![] });
+    }
+
+    #[test]
+    fn index_without_a_support_table_prices_deletions_out() {
+        // An index from a bare condensation never saw the graph.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scc = parallel_scc(&g, &SccConfig::default());
+        let cond = pscc_apps::condense(&g, &scc.labels);
+        let idx = Index::from_condensation(cond, &crate::IndexConfig::default());
+        let plan = plan_repair(&idx, &[], &[(1, 2)], &RepairBudget::default());
         assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::Deletion });
     }
 

@@ -126,6 +126,30 @@ pub fn merge_csr(base: &Csr, insertions: &[(V, V)], deletions: &[(V, V)]) -> Csr
     Csr::from_parts(offsets, targets)
 }
 
+/// Multiplicity of every *contracted* cross-label edge of `csr`: how many
+/// edges `u → v` map to each ordered pair `(labels[u], labels[v])` with
+/// distinct labels (same-label edges and self loops contribute nothing).
+///
+/// This is the arc-support table of a condensation: an arc of the
+/// contracted graph exists iff its pair has a non-zero count, and deleting
+/// a single edge can only remove the arc when its count reaches zero —
+/// which is what lets batched updates ([`merge_csr`] /
+/// `DiGraph::with_delta`) classify most deletions as metadata-only
+/// decrements instead of structural repairs. Callers keep the table in
+/// lockstep with the deltas they merge: `+1` per inserted cross-label
+/// edge, `-1` per deleted one.
+pub fn contracted_support(csr: &Csr, labels: &[u32]) -> std::collections::HashMap<(u32, u32), u64> {
+    assert_eq!(labels.len(), csr.n(), "one label per vertex");
+    let mut support = std::collections::HashMap::new();
+    for (u, v) in csr.edges() {
+        let (a, b) = (labels[u as usize], labels[v as usize]);
+        if a != b {
+            *support.entry((a, b)).or_insert(0u64) += 1;
+        }
+    }
+    support
+}
+
 /// Emits the sorted union of `nb` and `ins` minus the members of `del`
 /// that are not in `ins` (insertions win over deletions). All three
 /// inputs are sorted and duplicate-free; each surviving target is emitted
@@ -287,6 +311,30 @@ mod tests {
             dedup_edges(&mut del);
             assert_eq!(merge_csr(&base, &ins, &del), merge_oracle(&base, &ins, &del));
         }
+    }
+
+    #[test]
+    fn contracted_support_counts_cross_label_multiplicities() {
+        // Labels: {0,1} -> 0, {2} -> 1, {3} -> 2.
+        let labels = vec![0u32, 0, 1, 2];
+        let g = build_csr(4, &[(0, 1), (1, 0), (0, 2), (1, 2), (2, 3), (3, 3)]);
+        let support = contracted_support(&g, &labels);
+        // Intra-label edges (0,1), (1,0) and the self loop (3,3) vanish;
+        // the two parallel supports of (0 -> 1) are both counted.
+        assert_eq!(support.len(), 2);
+        assert_eq!(support[&(0, 1)], 2);
+        assert_eq!(support[&(1, 2)], 1);
+    }
+
+    #[test]
+    fn contracted_support_stays_in_lockstep_with_merge() {
+        let labels = vec![0u32, 0, 1];
+        let base = build_csr(3, &[(0, 2), (1, 2)]);
+        let merged = merge_csr(&base, &[], &[(1, 2)]);
+        let mut support = contracted_support(&base, &labels);
+        // The caller-side decrement matches a recount over the merged CSR.
+        *support.get_mut(&(0, 1)).unwrap() -= 1;
+        assert_eq!(support, contracted_support(&merged, &labels));
     }
 
     #[test]

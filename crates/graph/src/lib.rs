@@ -16,7 +16,7 @@ pub mod stats;
 pub mod view;
 pub mod wcsr;
 
-pub use builder::{build_csr, dedup_edges, merge_csr};
+pub use builder::{build_csr, contracted_support, dedup_edges, merge_csr};
 pub use csr::{Csr, DiGraph, UnGraph};
 pub use view::SubgraphView;
 pub use wcsr::WCsr;

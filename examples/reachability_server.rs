@@ -16,12 +16,14 @@
 //! + 17 42                - 42 17
 //! ```
 //!
-//! Without an update file, three synthetic deltas demonstrate the repair
+//! Without an update file, five synthetic deltas demonstrate the repair
 //! tiers: one made of already-reachable pairs (absorbed, same index
 //! instance), one joining two mutually unreachable components (a
-//! condensation arc splice), and one closing a back edge (component
-//! merge: region recompute, or a cost-bounded rebuild when the merge
-//! region is too large).
+//! condensation arc splice), one closing a back edge (component merge:
+//! region recompute, or a cost-bounded rebuild when the merge region is
+//! too large), one **deleting** the edge the splice added (its arc's
+//! only support dies: a DAG-arc unsplice, no rebuild), and one deleting
+//! an intra-SCC edge of a small component (the SCC split check).
 //!
 //! ## Persistence mode (`--data-dir DIR`)
 //!
@@ -175,6 +177,43 @@ fn main() {
                 let report = catalog.apply_delta(NAME, &merge).expect("valid delta");
                 print_delta_report(&report);
             }
+
+            // Delta 4: delete the edge delta 2 spliced in — its
+            // condensation arc loses its only direct support, so the
+            // planner unsplices the arc in place instead of rebuilding.
+            // (Skipped if delta 3's merge swallowed both endpoints into
+            // one component — the deletion would be intra-SCC instead.)
+            let fresh = catalog.index(NAME).expect("still registered");
+            if let Some((u, v)) = splice_edge.filter(|&(u, v)| fresh.comp(u) != fresh.comp(v)) {
+                let mut unsplice = Delta::new();
+                unsplice.delete(u, v);
+                println!(
+                    "\ndelta 4: deleting the spliced edge ({u}, {v}) — its arc's last support"
+                );
+                let report = catalog.apply_delta(NAME, &unsplice).expect("valid delta");
+                print_delta_report(&report);
+            }
+
+            // Delta 5: delete an intra-SCC edge of a small component —
+            // the SCC split check re-runs SCC on just that component's
+            // members (and keeps the index when it holds together).
+            let fresh = catalog.index(NAME).expect("still registered");
+            let graph = catalog.graph(NAME).expect("still registered");
+            let intra = graph.out_csr().edges().find(|&(u, v)| {
+                u != v
+                    && fresh.comp(u) == fresh.comp(v)
+                    && (2..=64).contains(&fresh.component_size(fresh.comp(u)))
+            });
+            if let Some((u, v)) = intra {
+                let mut split = Delta::new();
+                split.delete(u, v);
+                println!(
+                    "\ndelta 5: deleting intra-SCC edge ({u}, {v}) of a {}-vertex component",
+                    fresh.component_size(fresh.comp(u))
+                );
+                let report = catalog.apply_delta(NAME, &split).expect("valid delta");
+                print_delta_report(&report);
+            }
         }
     }
     print_repair_counts(&catalog);
@@ -184,11 +223,16 @@ fn main() {
     let s = index.stats();
     println!(
         "\nafter updates: built_by {:?}  (lineage: {} splices, {} region recomputes, \
-         {:.1}ms total repair time)",
+         {} unsplices, {} scc splits, {:.1}ms total repair time; support table: \
+         {} arc pairs, {} latent)",
         s.built_by,
         s.dag_splices,
         s.region_recomputes,
+        s.arc_unsplices,
+        s.scc_splits,
         s.repair_seconds * 1e3,
+        s.supported_pairs,
+        s.latent_arcs,
     );
     let answers = serve_batch(&catalog, &queries);
     spot_check(&catalog, &queries, &answers);
@@ -255,8 +299,14 @@ fn recover_and_verify(dir: &Path, updates_path: Option<&str>) {
 fn print_repair_counts(catalog: &Catalog) {
     if let Some(c) = catalog.repair_counts(NAME) {
         println!(
-            "\nrepair tiers: {} absorbed, {} dag-spliced, {} region-recomputed, {} full rebuilds",
-            c.absorbed, c.dag_spliced, c.region_recomputed, c.full_rebuilds
+            "\nrepair tiers: {} absorbed, {} dag-spliced, {} region-recomputed, \
+             {} arc-unspliced, {} scc-split, {} full rebuilds",
+            c.absorbed,
+            c.dag_spliced,
+            c.region_recomputed,
+            c.arc_unspliced,
+            c.scc_split,
+            c.full_rebuilds
         );
     }
 }

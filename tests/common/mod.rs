@@ -2,6 +2,11 @@
 //! `mod common;` (a directory module, so cargo does not treat it as a
 //! test target of its own).
 
+// Each test target compiles `common` independently and uses a different
+// slice of it — unused items in one target are not dead code.
+#[allow(dead_code)]
+pub mod scenarios;
+
 use parallel_scc::prelude::*;
 
 /// Brute-force reachability oracle: iterative DFS over the out-CSR.

@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 
 mod common;
 use common::bfs_reaches;
+use common::scenarios::{replay_against_oracle, scenario_suite};
 
 /// One side of a delta: a plain edge list.
 type EdgeList = Vec<(V, V)>;
@@ -64,17 +65,37 @@ fn find_pair(rng: &mut SplitMix64, n: usize, want: impl Fn(V, V) -> bool) -> Opt
     None
 }
 
+/// The shared scenario suite (the same harness the deletion oracle
+/// uses, see `tests/common/scenarios.rs`) replayed with per-step tier
+/// expectations: the insertion tiers are exercised by construction on
+/// graph families beyond random G(n, m).
+#[test]
+fn scenario_suite_matches_oracle_with_scripted_tiers() {
+    for scenario in scenario_suite(0x9e99) {
+        let _ = replay_against_oracle(
+            &scenario,
+            parallel_scc::engine::IndexConfig::default(),
+            true,
+            true,
+        );
+    }
+}
+
 #[test]
 fn random_delta_sequences_hit_every_tier_and_match_the_oracle() {
-    let mut outcomes = [0u64; 6]; // NoOp, Deferred, Absorbed, DagSpliced, RegionRecomputed, Rebuilt
-    let tally = |outcomes: &mut [u64; 6], o: DeltaOutcome| {
+    // NoOp, Deferred, Absorbed, DagSpliced, RegionRecomputed,
+    // ArcUnspliced, SccSplit, Rebuilt
+    let mut outcomes = [0u64; 8];
+    let tally = |outcomes: &mut [u64; 8], o: DeltaOutcome| {
         outcomes[match o {
             DeltaOutcome::NoOp => 0,
             DeltaOutcome::Deferred => 1,
             DeltaOutcome::Absorbed => 2,
             DeltaOutcome::DagSpliced => 3,
             DeltaOutcome::RegionRecomputed => 4,
-            DeltaOutcome::Rebuilt => 5,
+            DeltaOutcome::ArcUnspliced => 5,
+            DeltaOutcome::SccSplit => 6,
+            DeltaOutcome::Rebuilt => 7,
         }] += 1;
     };
 
@@ -166,12 +187,16 @@ fn random_delta_sequences_hit_every_tier_and_match_the_oracle() {
         }
     }
 
-    let [noop, deferred, absorbed, spliced, region, rebuilt] = outcomes;
+    let [noop, deferred, absorbed, spliced, region, unspliced, split, rebuilt] = outcomes;
     assert!(noop > 0, "NoOp never taken");
     assert!(deferred > 0, "Deferred never taken");
     assert!(absorbed > 0, "Absorbed tier never taken");
     assert!(spliced > 0, "DagSplice tier never taken");
     assert!(region > 0, "RegionRecompute tier never taken");
+    // Step 4 deletes present edges: on these random graphs they land in
+    // the unsplice or split tier (or, with an insertion riding along,
+    // the rebuild fallback) — all three must stay reachable.
+    assert!(unspliced + split > 0, "no deletion repaired in place");
     assert!(rebuilt > 0, "full-rebuild tier never taken");
 }
 

@@ -126,8 +126,13 @@ fn slow_build_config(labelings: usize) -> IndexConfig {
 fn queries_answered_from_old_index_during_delta_rebuild() {
     // Sparse digraph -> a DAG with ~n components, so the forced interval
     // tier rebuild costs a long, measurable time.
-    let g = parallel_scc::graph::generators::random::gnm_digraph(200_000, 300_000, 42);
-    let doomed_edge = g.out_csr().edges().next().expect("graph has edges");
+    let n = 200_000usize;
+    let g = parallel_scc::graph::generators::random::gnm_digraph(n, 300_000, 42);
+    // An edge absent from the graph, so the insertion is effective.
+    let absent_edge = (0..n as V)
+        .map(|k| ((k.wrapping_mul(7919)) % n as V, (k.wrapping_mul(104_729) + 1) % n as V))
+        .find(|&(u, v)| u != v && g.out_neighbors(u).binary_search(&v).is_err())
+        .expect("a sparse graph has absent pairs");
     let cat = Arc::new(Catalog::new());
     cat.insert_with_config(
         "g",
@@ -135,16 +140,29 @@ fn queries_answered_from_old_index_during_delta_rebuild() {
         slow_build_config(10),
         parallel_scc::engine::BatchOptions::default(),
     );
-    let _ = cat.index("g").expect("eager first build");
+    let index = cat.index("g").expect("eager first build");
+    // An intra-SCC edge is always a *structural* deletion (only the
+    // split check could classify it) — mixed with the insertion below,
+    // the planner must price the delta out to a full rebuild.
+    let doomed_edge = cat
+        .graph("g")
+        .expect("registered")
+        .out_csr()
+        .edges()
+        .find(|&(u, v)| u != v && index.comp(u) == index.comp(v))
+        .expect("gnm(200k, 300k) has a giant SCC with intra edges");
+    drop(index);
 
     let rebuild_done = Arc::new(AtomicBool::new(false));
     let writer = {
         let cat = cat.clone();
         let done = rebuild_done.clone();
         std::thread::spawn(move || {
-            // Any effective deletion forces a full (slow) rebuild.
+            // A structural deletion mixed with an effective insertion is
+            // priced out of every localized tier (deletions alone now
+            // repair in place): a full (slow) rebuild, guaranteed.
             let mut d = Delta::new();
-            d.delete(doomed_edge.0, doomed_edge.1);
+            d.delete(doomed_edge.0, doomed_edge.1).insert(absent_edge.0, absent_edge.1);
             let report = cat.apply_delta("g", &d).expect("valid delta");
             done.store(true, Ordering::SeqCst);
             report
