@@ -16,7 +16,14 @@
 //!   full rebuild fallback (a structural deletion mixed with an
 //!   insertion) — plus the speedup of each localized tier over the
 //!   equivalent full rebuild (the build asserts dag-splice ≥ 5× and
-//!   arc-unsplice ≥ 3×).
+//!   arc-unsplice ≥ 3×),
+//! * telemetry percentiles — the `pscc_batch_query_nanos` and
+//!   `pscc_wal_fsync_nanos` histograms (the latter fed by a small durable
+//!   catalog run in a scratch directory) exported as p50/p90/p99/max —
+//!   and the **telemetry overhead gate**: warm-batch throughput with the
+//!   runtime kill-switch on vs off must stay within 3% (the off state
+//!   skips every clock read and span, the same work the `telemetry-off`
+//!   feature compiles out).
 //!
 //! Run: `cargo run --release -p pscc-bench --bin bench_engine [out.json]`
 
@@ -98,6 +105,34 @@ fn main() {
     let t = Instant::now();
     let _ = catalog.answer_batch(NAME, &queries).expect("registered");
     let warm_seconds = t.elapsed().as_secs_f64();
+
+    // ---- Telemetry overhead gate ----
+    // Interleave warm batches with the runtime kill-switch on and off and
+    // compare best-of throughput. Off skips exactly the work the
+    // `telemetry-off` feature compiles out (clock reads, span bookkeeping,
+    // histogram records), so the runtime toggle measures the same
+    // instrumentation cost without needing a second binary.
+    let mut enabled_best = f64::INFINITY;
+    let mut disabled_best = f64::INFINITY;
+    for round in 0..14 {
+        let on = round % 2 == 0;
+        pscc_telemetry::set_enabled(on);
+        let t = Instant::now();
+        let _ = catalog.answer_batch(NAME, &queries).expect("registered");
+        let secs = t.elapsed().as_secs_f64();
+        if round < 2 {
+            continue; // one warmup pair before either side scores
+        }
+        if on {
+            enabled_best = enabled_best.min(secs);
+        } else {
+            disabled_best = disabled_best.min(secs);
+        }
+    }
+    pscc_telemetry::set_enabled(true);
+    let enabled_warm_qps = QUERIES as f64 / enabled_best;
+    let disabled_warm_qps = QUERIES as f64 / disabled_best;
+    let overhead_ratio = enabled_warm_qps / disabled_warm_qps;
 
     // ---- Absorbed-delta latency: insert already-reachable pairs ----
     let reachable: Vec<(V, V)> = queries
@@ -278,6 +313,49 @@ fn main() {
 
     let tiers = catalog.repair_counts(NAME).expect("registered");
 
+    // ---- Durable WAL latency: a small persisted catalog in a scratch
+    // directory feeds the fsync histogram with real device syncs. ----
+    {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("pscc_bench_engine_wal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let small = pscc_graph::generators::random::gnm_digraph(2_000, 8_000, 0x5701e);
+        let durable = Catalog::new();
+        durable.insert("wal", small);
+        durable.persist_to("wal", &dir).expect("persist scratch catalog");
+        let _ = durable.index("wal").expect("registered");
+        let mut rng = SplitMix64::new(0xd1ab10);
+        let mut applied = 0u32;
+        while applied < 50 {
+            let (u, v) = (rng.next_below(2_000) as V, rng.next_below(2_000) as V);
+            if u == v || durable.graph("wal").expect("registered").out_neighbors(u).contains(&v) {
+                continue; // a no-op delta would skip the write-ahead log
+            }
+            let mut delta = Delta::new();
+            delta.insert(u, v);
+            durable.apply_delta("wal", &delta).expect("valid delta");
+            applied += 1;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ---- Latency histograms out of the telemetry registry ----
+    let batch_hist = pscc_telemetry::histogram("pscc_batch_query_nanos").snapshot();
+    let fsync_hist = pscc_telemetry::histogram("pscc_wal_fsync_nanos").snapshot();
+    assert!(batch_hist.count > 0, "warm/cold batches must have fed the batch histogram");
+    assert!(fsync_hist.count >= 50, "the durable phase must have fed the fsync histogram");
+    let hist_json = |h: &pscc_telemetry::HistogramSnapshot| {
+        format!(
+            r#"{{ "count": {}, "p50_seconds": {:.9}, "p90_seconds": {:.9}, "p99_seconds": {:.9}, "max_seconds": {:.9} }}"#,
+            h.count,
+            h.quantile_nanos(0.5) / 1e9,
+            h.quantile_nanos(0.9) / 1e9,
+            h.quantile_nanos(0.99) / 1e9,
+            h.max as f64 / 1e9,
+        )
+    };
+
     let mean = |xs: &[f64]| {
         if xs.is_empty() {
             f64::NAN
@@ -345,6 +423,15 @@ fn main() {
     "arc_unspliced": {t_unsplice},
     "scc_splits": {t_split},
     "full_rebuilds": {t_rebuild}
+  }},
+  "latency_histograms": {{
+    "batch_query": {batch_query_hist},
+    "wal_fsync": {wal_fsync_hist}
+  }},
+  "telemetry_overhead": {{
+    "enabled_warm_qps": {enabled_warm_qps:.0},
+    "disabled_warm_qps": {disabled_warm_qps:.0},
+    "ratio": {overhead_ratio:.4}
   }}
 }}
 "#,
@@ -380,6 +467,8 @@ fn main() {
         t_unsplice = tiers.arc_unspliced,
         t_split = tiers.scc_split,
         t_rebuild = tiers.full_rebuilds,
+        batch_query_hist = hist_json(&batch_hist),
+        wal_fsync_hist = hist_json(&fsync_hist),
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("{json}");
@@ -420,5 +509,11 @@ fn main() {
     assert!(
         stats.total_build_seconds() <= build_seconds,
         "phase breakdown cannot exceed the wall build time"
+    );
+    assert!(
+        overhead_ratio >= 0.97,
+        "always-on telemetry must cost under 3% of warm-batch throughput \
+         (enabled {enabled_warm_qps:.0} qps vs disabled {disabled_warm_qps:.0} qps, \
+          ratio {overhead_ratio:.4})"
     );
 }

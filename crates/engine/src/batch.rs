@@ -13,6 +13,32 @@ use crate::index::Index;
 use pscc_graph::V;
 use pscc_runtime::par_for_grain;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Cached handle for the `pscc_batch_query_nanos` histogram (wall time
+/// of each `answer` / `answer_sequential` call).
+fn batch_histogram() -> &'static Arc<pscc_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<pscc_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| pscc_telemetry::histogram("pscc_batch_query_nanos"))
+}
+
+/// Cached handle for the `pscc_batch_queries_total` counter.
+fn queries_counter() -> &'static Arc<pscc_telemetry::Counter> {
+    static C: OnceLock<Arc<pscc_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| pscc_telemetry::counter("pscc_batch_queries_total"))
+}
+
+/// Cached handle for the `pscc_batch_memo_hits_total` counter.
+fn memo_hits_counter() -> &'static Arc<pscc_telemetry::Counter> {
+    static C: OnceLock<Arc<pscc_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| pscc_telemetry::counter("pscc_batch_memo_hits_total"))
+}
+
+/// Cached handle for the `pscc_batch_memo_misses_total` counter.
+fn memo_misses_counter() -> &'static Arc<pscc_telemetry::Counter> {
+    static C: OnceLock<Arc<pscc_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| pscc_telemetry::counter("pscc_batch_memo_misses_total"))
+}
 
 /// Options for [`QueryBatch`].
 #[derive(Clone, Debug)]
@@ -92,27 +118,56 @@ impl<'a> QueryBatch<'a> {
     /// Answers every query in parallel; `out[i]` corresponds to
     /// `queries[i]`.
     pub fn answer(&self, queries: &[(V, V)]) -> Vec<bool> {
-        if pscc_runtime::num_workers() <= 1 {
-            // One worker: the atomic result bitmap buys nothing.
-            return self.answer_sequential(queries);
-        }
-        let out: Vec<AtomicU64> =
-            (0..queries.len().div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
-        par_for_grain(queries.len(), self.grain, |i| {
-            let (u, v) = queries[i];
-            if self.reaches(u, v) {
-                out[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+        self.instrumented(queries, || {
+            if pscc_runtime::num_workers() <= 1 {
+                // One worker: the atomic result bitmap buys nothing.
+                return self.sequential_core(queries);
             }
-        });
-        (0..queries.len())
-            .map(|i| out[i / 64].load(Ordering::Relaxed) >> (i % 64) & 1 == 1)
-            .collect()
+            let out: Vec<AtomicU64> =
+                (0..queries.len().div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+            par_for_grain(queries.len(), self.grain, |i| {
+                let (u, v) = queries[i];
+                if self.reaches(u, v) {
+                    out[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+                }
+            });
+            (0..queries.len())
+                .map(|i| out[i / 64].load(Ordering::Relaxed) >> (i % 64) & 1 == 1)
+                .collect()
+        })
     }
 
     /// Answers every query one at a time on the calling thread (the
     /// baseline the `engine_queries` bench compares against).
     pub fn answer_sequential(&self, queries: &[(V, V)]) -> Vec<bool> {
+        self.instrumented(queries, || self.sequential_core(queries))
+    }
+
+    fn sequential_core(&self, queries: &[(V, V)]) -> Vec<bool> {
         queries.iter().map(|&(u, v)| self.reaches(u, v)).collect()
+    }
+
+    /// Runs `f` (the batch body over `queries`), recording the batch's
+    /// wall time into `pscc_batch_query_nanos` and its query / memo-hit /
+    /// memo-miss counts into the global counters. Per-query hot paths pay
+    /// nothing for this: the hit count is a before/after diff of the
+    /// memo's existing tally, which is exact for this batch unless
+    /// another batch shares the same memo concurrently (then the split
+    /// between the two is approximate; the totals still add up).
+    fn instrumented(&self, queries: &[(V, V)], f: impl FnOnce() -> Vec<bool>) -> Vec<bool> {
+        if !pscc_telemetry::enabled() || queries.is_empty() {
+            return f();
+        }
+        let hits_before = self.memo.hits.load(Ordering::Relaxed);
+        let timer = pscc_telemetry::Timer::start();
+        let out = f();
+        batch_histogram().record(timer.elapsed());
+        let hits = self.memo.hits.load(Ordering::Relaxed).saturating_sub(hits_before);
+        let total = queries.len();
+        queries_counter().add(total as u64);
+        memo_hits_counter().add(hits.min(total) as u64);
+        memo_misses_counter().add(total.saturating_sub(hits) as u64);
+        out
     }
 
     /// Tallies: queries answered by this executor, and hits of its memo

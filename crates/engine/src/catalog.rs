@@ -113,6 +113,82 @@ impl TierTallies {
     }
 }
 
+/// Per-entry metric handles, resolved once at entry construction: the
+/// registry lookup takes a lock, so serving paths must never resolve a
+/// metric name per call. Names follow the workspace's label-in-name
+/// convention, e.g. `pscc_catalog_deltas_total{graph="g"}`.
+struct EntryMetrics {
+    /// Applied deltas (every non-noop outcome, including deferred).
+    deltas: Arc<pscc_telemetry::Counter>,
+    /// Queries submitted through [`Catalog::answer_batch`].
+    queries: Arc<pscc_telemetry::Counter>,
+    /// Full index builds: lazy first-query builds and delta rebuilds.
+    rebuilds: Arc<pscc_telemetry::Counter>,
+    /// Off-lock builds discarded because a delta swapped the graph
+    /// mid-build (mirrors [`Catalog::discarded_builds`]).
+    stale_builds_discarded: Arc<pscc_telemetry::Counter>,
+    /// 1 while an off-lock index build for this entry is running — the
+    /// observable witness that queries keep serving from the old index.
+    rebuild_in_flight: Arc<pscc_telemetry::Gauge>,
+    /// Wall time of each non-noop `apply_delta` (lock to swap).
+    delta_nanos: Arc<pscc_telemetry::Histogram>,
+    /// Wall time of each full index build.
+    rebuild_nanos: Arc<pscc_telemetry::Histogram>,
+}
+
+/// `base{graph="<name>"}` with quotes and backslashes in `name` escaped,
+/// so arbitrary graph names stay well-formed exposition labels.
+fn graph_metric(base: &str, name: &str) -> String {
+    let mut value = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => value.push_str("\\\""),
+            '\\' => value.push_str("\\\\"),
+            '\n' => value.push_str("\\n"),
+            _ => value.push(c),
+        }
+    }
+    format!("{base}{{graph=\"{value}\"}}")
+}
+
+/// Stable telemetry name of a delta outcome (the `outcome` attribute of
+/// the `apply_delta` span).
+fn outcome_name(outcome: DeltaOutcome) -> &'static str {
+    match outcome {
+        DeltaOutcome::NoOp => "noop",
+        DeltaOutcome::Absorbed => "absorbed",
+        DeltaOutcome::DagSpliced => "dag_spliced",
+        DeltaOutcome::RegionRecomputed => "region_recomputed",
+        DeltaOutcome::ArcUnspliced => "arc_unspliced",
+        DeltaOutcome::SccSplit => "scc_split",
+        DeltaOutcome::Rebuilt => "rebuilt",
+        DeltaOutcome::Deferred => "deferred",
+    }
+}
+
+impl EntryMetrics {
+    fn for_graph(name: &str) -> EntryMetrics {
+        EntryMetrics {
+            deltas: pscc_telemetry::counter(&graph_metric("pscc_catalog_deltas_total", name)),
+            queries: pscc_telemetry::counter(&graph_metric("pscc_catalog_queries_total", name)),
+            rebuilds: pscc_telemetry::counter(&graph_metric("pscc_catalog_rebuilds_total", name)),
+            stale_builds_discarded: pscc_telemetry::counter(&graph_metric(
+                "pscc_catalog_stale_builds_discarded_total",
+                name,
+            )),
+            rebuild_in_flight: pscc_telemetry::gauge(&graph_metric(
+                "pscc_catalog_rebuild_in_flight",
+                name,
+            )),
+            delta_nanos: pscc_telemetry::histogram(&graph_metric("pscc_catalog_delta_nanos", name)),
+            rebuild_nanos: pscc_telemetry::histogram(&graph_metric(
+                "pscc_catalog_rebuild_nanos",
+                name,
+            )),
+        }
+    }
+}
+
 /// Mutable per-graph state, guarded by the short-hold `state` mutex: the
 /// graph, its (lazily built) index, and the generation counter that
 /// stamps every graph swap.
@@ -129,6 +205,10 @@ struct EntryState {
 }
 
 struct Entry {
+    /// The graph's registered name (for span attributes).
+    name: String,
+    /// Cached metric handles for this entry's name.
+    metrics: EntryMetrics,
     config: IndexConfig,
     batch: BatchOptions,
     /// Short-hold lock: clone/swap the state triple, nothing else.
@@ -151,6 +231,7 @@ struct Entry {
 
 impl Entry {
     fn new(
+        name: &str,
         config: IndexConfig,
         batch: BatchOptions,
         graph: Arc<DiGraph>,
@@ -158,6 +239,8 @@ impl Entry {
         store: Option<Arc<Store>>,
     ) -> Arc<Entry> {
         Arc::new(Entry {
+            name: name.to_string(),
+            metrics: EntryMetrics::for_graph(name),
             config,
             batch,
             state: Mutex::new(EntryState { graph, index: None, generation }),
@@ -221,7 +304,7 @@ impl Catalog {
         config: IndexConfig,
         batch: BatchOptions,
     ) {
-        let entry = Entry::new(config, batch, Arc::new(graph), 0, None);
+        let entry = Entry::new(name, config, batch, Arc::new(graph), 0, None);
         self.entries.write().expect("catalog lock").insert(name.to_string(), entry);
     }
 
@@ -301,6 +384,10 @@ impl Catalog {
     /// later batches.
     pub fn answer_batch(&self, name: &str, queries: &[(V, V)]) -> Option<Vec<bool>> {
         let entry = self.entry(name)?;
+        let mut span = pscc_telemetry::span("answer_batch");
+        span.set_attr("graph", &entry.name);
+        span.set_attr("queries", queries.len());
+        entry.metrics.queries.add(queries.len() as u64);
         let (index, memo) = Self::entry_index_and_memo(&entry);
         let batch = QueryBatch::with_shared_memo(&index, memo, entry.batch.grain);
         Some(batch.answer(queries))
@@ -367,6 +454,11 @@ impl Catalog {
         delta: &Delta,
         log: bool,
     ) -> Result<DeltaReport, DeltaError> {
+        // Root span of the delta's causal trace: normalize → plan(tier) →
+        // execute → fsync → swap, each a child span with its own duration.
+        let mut root = pscc_telemetry::span("apply_delta");
+        root.set_attr("graph", &entry.name);
+        let delta_timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
         // Serialize writers; queries proceed untouched.
         let _writer = entry.update.lock().expect("update lock");
         let (graph, generation, index_pair) = {
@@ -385,12 +477,15 @@ impl Catalog {
         // insertions of absent edges and deletions of present ones. The
         // graph cannot change under us — every swap happens under the
         // update lock we hold.
+        let normalize_span = pscc_telemetry::span("normalize");
         let delta = delta.normalized();
         let has_edge = |&(u, v): &(V, V)| graph.out_neighbors(u).binary_search(&v).is_ok();
         let ins: Vec<(V, V)> =
             delta.insertions().iter().filter(|e| !has_edge(e)).copied().collect();
         let del: Vec<(V, V)> = delta.deletions().iter().filter(|e| has_edge(e)).copied().collect();
+        drop(normalize_span);
         if ins.is_empty() && del.is_empty() {
+            root.set_attr("outcome", "noop");
             return Ok(DeltaReport { outcome: DeltaOutcome::NoOp, inserted: 0, deleted: 0 });
         }
 
@@ -398,6 +493,7 @@ impl Catalog {
         // in-memory mutation. A failed append changes nothing.
         if log {
             if let Some(store) = entry.store() {
+                let _fsync_span = pscc_telemetry::span("fsync");
                 let record = DeltaRecord { insertions: ins.clone(), deletions: del.clone() };
                 store.append(&record).map_err(|e| DeltaError::Storage(e.to_string()))?;
             }
@@ -407,6 +503,7 @@ impl Catalog {
         // answering from the current graph + index throughout. The planner
         // runs against the captured index — valid for the pre-merge graph,
         // which is exactly what the tier arguments are stated over.
+        let execute_span = pscc_telemetry::span("execute");
         let merged = Arc::new(graph.with_delta(&ins, &del));
         enum Exec {
             Deferred,
@@ -443,17 +540,25 @@ impl Catalog {
                     }
                 }
                 RepairPlan::FullRebuild { .. } => {
+                    let _in_flight = entry.metrics.rebuild_in_flight.inc_scoped();
+                    let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
                     let mut index = Index::build_with_config(&merged, &entry.config);
                     index.set_built_by(BuildCause::DeltaRebuild);
+                    if let Some(t) = timer {
+                        entry.metrics.rebuild_nanos.record(t.elapsed());
+                    }
+                    entry.metrics.rebuilds.inc();
                     install(index, DeltaOutcome::Rebuilt)
                 }
             },
         };
+        drop(execute_span);
 
         // Re-lock only to swap. The graph is still the one we read (swaps
         // are update-lock-serialized), but the *index* slot may have moved:
         // a lazy first-query build can have installed an index for the old
         // graph, or `invalidate` can have cleared it.
+        let swap_span = pscc_telemetry::span("swap");
         let mut st = entry.state.lock().expect("entry lock");
         debug_assert!(Arc::ptr_eq(&st.graph, &graph), "graph swapped without the update lock");
         debug_assert_eq!(st.generation, generation, "generation moved without the update lock");
@@ -479,6 +584,7 @@ impl Catalog {
                 // answers. Drop it — the next query rebuilds lazily.
                 if st.index.take().is_some() {
                     entry.discarded_builds.fetch_add(1, Ordering::Relaxed);
+                    entry.metrics.stale_builds_discarded.inc();
                 }
                 DeltaOutcome::Deferred
             }
@@ -486,6 +592,12 @@ impl Catalog {
         st.graph = merged;
         st.generation += 1;
         drop(st);
+        drop(swap_span);
+        root.set_attr("outcome", outcome_name(outcome));
+        entry.metrics.deltas.inc();
+        if let Some(t) = delta_timer {
+            entry.metrics.delta_nanos.record(t.elapsed());
+        }
         match outcome {
             DeltaOutcome::Absorbed => entry.repairs.absorbed.fetch_add(1, Ordering::Relaxed),
             DeltaOutcome::DagSpliced => entry.repairs.dag_spliced.fetch_add(1, Ordering::Relaxed),
@@ -622,6 +734,7 @@ impl Catalog {
                 grain: recovery.meta.grain as usize,
             };
             let entry = Entry::new(
+                &name,
                 config.clone(),
                 batch,
                 Arc::new(recovery.graph),
@@ -680,7 +793,8 @@ impl Catalog {
             // Worker died (a job panicked fatally): the closure — and its
             // flag-clearing guard — was dropped unrun, so the flag is
             // already clear; just surface the condition.
-            eprintln!("pscc-engine: maintenance worker is dead; compaction skipped");
+            pscc_telemetry::counter("pscc_maintenance_failures_total").inc();
+            pscc_telemetry::log!(Error, "maintenance worker is dead; compaction skipped");
         }
     }
 
@@ -702,7 +816,8 @@ impl Catalog {
             grain: entry.batch.grain as u64,
         };
         if let Err(e) = store.compact(&graph, meta) {
-            eprintln!("pscc-engine: compaction of {} failed: {e}", store.dir().display());
+            pscc_telemetry::counter("pscc_maintenance_failures_total").inc();
+            pscc_telemetry::log!(Error, "compaction of {} failed: {e}", store.dir().display());
         }
     }
 
@@ -728,7 +843,20 @@ impl Catalog {
                 }
                 (st.graph.clone(), st.generation)
             };
-            let index = Arc::new(Index::build_with_config(&graph, &entry.config));
+            let index = {
+                // The gauge is the observable witness (used by the
+                // concurrency stress suite) that queries keep serving
+                // from the installed index while this build runs.
+                let _in_flight = entry.metrics.rebuild_in_flight.inc_scoped();
+                let _span = pscc_telemetry::span("index_build");
+                let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
+                let index = Arc::new(Index::build_with_config(&graph, &entry.config));
+                if let Some(t) = timer {
+                    entry.metrics.rebuild_nanos.record(t.elapsed());
+                }
+                entry.metrics.rebuilds.inc();
+                index
+            };
             let memo = Arc::new(MemoCache::new(entry.batch.memo_bits, index.num_components()));
             let mut st = entry.state.lock().expect("entry lock");
             if st.generation == generation {
@@ -740,6 +868,7 @@ impl Catalog {
                 return st.index.clone().expect("installed above");
             }
             entry.discarded_builds.fetch_add(1, Ordering::Relaxed);
+            entry.metrics.stale_builds_discarded.inc();
         }
     }
 

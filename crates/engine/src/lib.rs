@@ -77,3 +77,4 @@ pub use catalog::{Catalog, CompactionPolicy, RepairCounts};
 pub use delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
 pub use index::{BuildCause, Index, IndexConfig, IndexStats, SummaryTier};
 pub use planner::{RebuildReason, RepairBudget, RepairPlan};
+pub use pscc_telemetry as telemetry;

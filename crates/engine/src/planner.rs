@@ -188,6 +188,22 @@ pub enum RepairPlan {
     },
 }
 
+impl RepairPlan {
+    /// The tier's stable telemetry name, as recorded in the `tier`
+    /// attribute of the planner's `plan` span and rendered in trace
+    /// dumps.
+    pub fn tier_name(&self) -> &'static str {
+        match self {
+            RepairPlan::Absorb => "absorb",
+            RepairPlan::DagSplice { .. } => "dag_splice",
+            RepairPlan::RegionRecompute { .. } => "region_recompute",
+            RepairPlan::ArcUnsplice { .. } => "arc_unsplice",
+            RepairPlan::SccSplit { .. } => "scc_split",
+            RepairPlan::FullRebuild { .. } => "full_rebuild",
+        }
+    }
+}
+
 /// Chooses the cheapest provably correct repair for applying the
 /// effective insertions `ins` and deletions `del` to the graph behind
 /// `index` (see the [module docs](self) for the tier definitions and
@@ -197,6 +213,18 @@ pub enum RepairPlan {
 /// absent edges and deletions of present ones only (the catalog's
 /// effective-delta computation guarantees this).
 pub fn plan_repair(
+    index: &Index,
+    ins: &[(V, V)],
+    del: &[(V, V)],
+    budget: &RepairBudget,
+) -> RepairPlan {
+    let mut span = pscc_telemetry::span("plan");
+    let plan = plan_repair_inner(index, ins, del, budget);
+    span.set_attr("tier", plan.tier_name());
+    plan
+}
+
+fn plan_repair_inner(
     index: &Index,
     ins: &[(V, V)],
     del: &[(V, V)],

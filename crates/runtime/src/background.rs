@@ -8,9 +8,22 @@
 //! a deterministic shutdown that tests rely on via [`Background::flush`].
 
 use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cached handle for the `pscc_background_queue_depth` gauge.
+fn queue_depth_gauge() -> &'static Arc<pscc_telemetry::Gauge> {
+    static GAUGE: OnceLock<Arc<pscc_telemetry::Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| pscc_telemetry::gauge("pscc_background_queue_depth"))
+}
+
+/// Cached handle for the `pscc_background_job_nanos` latency histogram.
+fn job_latency_histogram() -> &'static Arc<pscc_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<pscc_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| pscc_telemetry::histogram("pscc_background_job_nanos"))
+}
 
 /// A named worker thread draining a FIFO job queue.
 ///
@@ -50,7 +63,11 @@ impl Background {
                 // one bad run — but announced so it is not silent.
                 while let Ok(job) = rx.recv() {
                     if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-                        eprintln!("background worker {thread_name:?}: job panicked (contained)");
+                        pscc_telemetry::counter("pscc_background_job_panics_total").inc();
+                        pscc_telemetry::log!(
+                            Error,
+                            "background worker {thread_name:?}: job panicked (contained)"
+                        );
                     }
                 }
             })
@@ -62,8 +79,30 @@ impl Background {
     /// (only possible if the process is already unwinding in unusual
     /// ways — panicking jobs are contained), in which case `job` is
     /// dropped unrun.
+    ///
+    /// Telemetry: the pending-job count is visible as the
+    /// `pscc_background_queue_depth` gauge, each job's execution time is
+    /// recorded into `pscc_background_job_nanos`, and the job runs under
+    /// the submitting thread's trace context, so spans it opens stay in
+    /// the causal chain that deferred the work.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
-        self.tx.as_ref().expect("worker alive until drop").send(Box::new(job)).is_ok()
+        let ctx = pscc_telemetry::current_context();
+        let depth = queue_depth_gauge();
+        depth.inc();
+        let wrapped = move || {
+            queue_depth_gauge().dec();
+            let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
+            pscc_telemetry::with_context(ctx, job);
+            if let Some(t) = timer {
+                job_latency_histogram().record(t.elapsed());
+            }
+        };
+        let sent =
+            self.tx.as_ref().expect("worker alive until drop").send(Box::new(wrapped)).is_ok();
+        if !sent {
+            depth.dec();
+        }
+        sent
     }
 
     /// Blocks until every job submitted before this call has finished

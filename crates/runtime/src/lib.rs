@@ -18,9 +18,15 @@
 //! * [`permute::random_permutation`] for the BGSS prefix-doubling batches,
 //! * atomic helpers ([`atomic::AtomicBits`], [`atomic::atomic_max_u64`]),
 //! * [`pool::with_threads`] for the processor-count sweeps of Fig. 7/8,
-//! * [`timer::PhaseTimer`] for the Fig. 9 breakdown,
+//! * [`PhaseTimer`] for the Fig. 9 breakdown (re-exported from
+//!   `pscc_telemetry`, which owns the workspace's timing primitives),
 //! * [`background::Background`], a named single-threaded worker for
 //!   deferred maintenance (the engine's store compaction runs on one).
+//!
+//! The parallel primitives are telemetry-aware: `par_range` workers and
+//! `Background` jobs propagate the submitting thread's
+//! [`pscc_telemetry::TraceContext`], and expose a live-worker gauge and a
+//! job-latency histogram through the global metric registry.
 
 pub mod atomic;
 pub mod background;
@@ -32,6 +38,7 @@ pub mod reduce;
 pub mod rng;
 pub mod scan;
 pub mod sort;
+#[deprecated(note = "use `pscc_runtime::{Timer, PhaseTimer}` or `pscc_telemetry::time`")]
 pub mod timer;
 
 pub use atomic::{atomic_max_u32, atomic_max_u64, atomic_min_u32, AtomicBits};
@@ -40,8 +47,8 @@ pub use pack::{pack, pack_index, pack_map};
 pub use parfor::{par_for, par_for_grain, par_range, DEFAULT_GRAIN};
 pub use permute::random_permutation;
 pub use pool::{num_workers, with_threads};
+pub use pscc_telemetry::{PhaseTimer, Timer};
 pub use reduce::{par_count, par_max, par_reduce, par_sum_u64};
 pub use rng::{hash32, hash64, SplitMix64};
 pub use scan::scan_exclusive;
 pub use sort::{par_sort_unstable, par_sort_unstable_by_key};
-pub use timer::{PhaseTimer, Timer};

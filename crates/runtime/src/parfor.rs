@@ -57,13 +57,21 @@ where
         return;
     }
     let cursor = AtomicUsize::new(0);
+    // Telemetry: workers inherit the spawning thread's trace context (so
+    // spans opened inside `f` stay in the caller's causal chain) and are
+    // counted in the live-worker gauge for the duration of the region.
+    let telemetry_on = pscc_telemetry::enabled();
+    let ctx = if telemetry_on { pscc_telemetry::current_context() } else { None };
     let work = || {
-        pool::enter_region(|| loop {
-            let b = cursor.fetch_add(1, Ordering::Relaxed);
-            if b >= blocks {
-                break;
-            }
-            f(block_range(b));
+        let _active = telemetry_on.then(|| active_workers_gauge().inc_scoped());
+        pscc_telemetry::with_context(ctx, || {
+            pool::enter_region(|| loop {
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks {
+                    break;
+                }
+                f(block_range(b));
+            })
         })
     };
     std::thread::scope(|s| {
@@ -72,6 +80,14 @@ where
         }
         work();
     });
+}
+
+/// Cached handle for the `pscc_pool_active_workers` gauge (the registry
+/// lookup takes a lock, so hot loops must not resolve the name per call).
+fn active_workers_gauge() -> &'static std::sync::Arc<pscc_telemetry::Gauge> {
+    static GAUGE: std::sync::OnceLock<std::sync::Arc<pscc_telemetry::Gauge>> =
+        std::sync::OnceLock::new();
+    GAUGE.get_or_init(|| pscc_telemetry::gauge("pscc_pool_active_workers"))
 }
 
 /// Runs `f(i)` for every `i` in `0..n` in parallel with a custom grain.

@@ -1,129 +1,10 @@
-//! Wall-clock timers and the named-phase accumulator used for the Fig. 9
-//! running-time breakdown.
+//! Deprecated location of the timing primitives.
+//!
+//! [`Timer`] and [`PhaseTimer`] moved to `pscc_telemetry::time` so the
+//! workspace has exactly one monotonic-clock stopwatch implementation,
+//! shared by the algorithms and the telemetry subsystem. This module
+//! re-exports them for source compatibility; import them from the crate
+//! root (`pscc_runtime::{Timer, PhaseTimer}`) or from `pscc_telemetry`
+//! instead.
 
-use std::time::{Duration, Instant};
-
-/// A simple wall-clock stopwatch.
-#[derive(Clone, Copy, Debug)]
-pub struct Timer {
-    start: Instant,
-}
-
-impl Timer {
-    /// Starts a new timer.
-    pub fn start() -> Self {
-        Self { start: Instant::now() }
-    }
-
-    /// Elapsed time since start.
-    pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
-    }
-
-    /// Elapsed seconds since start.
-    pub fn seconds(&self) -> f64 {
-        self.elapsed().as_secs_f64()
-    }
-
-    /// Restarts the timer and returns the elapsed time up to now.
-    pub fn lap(&mut self) -> Duration {
-        let e = self.start.elapsed();
-        self.start = Instant::now();
-        e
-    }
-}
-
-/// Accumulates wall-clock time into named phases.
-///
-/// The SCC driver uses the phase names of §4 / Fig. 9: `trim`,
-/// `first_scc`, `multi_search`, `table_resize`, `labeling`, `other`.
-#[derive(Clone, Debug, Default)]
-pub struct PhaseTimer {
-    phases: Vec<(String, Duration)>,
-}
-
-impl PhaseTimer {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds `d` to phase `name` (creating it on first use).
-    pub fn add(&mut self, name: &str, d: Duration) {
-        if let Some(entry) = self.phases.iter_mut().find(|(n, _)| n == name) {
-            entry.1 += d;
-        } else {
-            self.phases.push((name.to_string(), d));
-        }
-    }
-
-    /// Times `f` and charges its duration to `name`.
-    pub fn run<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
-        let t = Timer::start();
-        let r = f();
-        self.add(name, t.elapsed());
-        r
-    }
-
-    /// Total accumulated seconds in phase `name` (zero if absent).
-    pub fn seconds(&self, name: &str) -> f64 {
-        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_secs_f64()).unwrap_or(0.0)
-    }
-
-    /// All phases in insertion order.
-    pub fn phases(&self) -> &[(String, Duration)] {
-        &self.phases
-    }
-
-    /// Sum over all phases, in seconds.
-    pub fn total_seconds(&self) -> f64 {
-        self.phases.iter().map(|(_, d)| d.as_secs_f64()).sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn timer_measures_positive_time() {
-        let t = Timer::start();
-        std::hint::black_box((0..10_000).sum::<u64>());
-        assert!(t.seconds() >= 0.0);
-    }
-
-    #[test]
-    fn lap_restarts() {
-        let mut t = Timer::start();
-        let first = t.lap();
-        let second = t.elapsed();
-        assert!(first >= Duration::ZERO);
-        assert!(second <= first + Duration::from_secs(5));
-    }
-
-    #[test]
-    fn phase_timer_accumulates() {
-        let mut pt = PhaseTimer::new();
-        pt.add("a", Duration::from_millis(10));
-        pt.add("a", Duration::from_millis(5));
-        pt.add("b", Duration::from_millis(1));
-        assert!((pt.seconds("a") - 0.015).abs() < 1e-9);
-        assert!((pt.seconds("b") - 0.001).abs() < 1e-9);
-        assert_eq!(pt.phases().len(), 2);
-    }
-
-    #[test]
-    fn phase_timer_missing_phase_is_zero() {
-        let pt = PhaseTimer::new();
-        assert_eq!(pt.seconds("nope"), 0.0);
-    }
-
-    #[test]
-    fn run_charges_phase_and_returns_value() {
-        let mut pt = PhaseTimer::new();
-        let v = pt.run("work", || 42);
-        assert_eq!(v, 42);
-        assert!(pt.seconds("work") >= 0.0);
-        assert!(pt.total_seconds() >= pt.seconds("work") - 1e-12);
-    }
-}
+pub use pscc_telemetry::{PhaseTimer, Timer};

@@ -44,6 +44,13 @@ use pscc_graph::{DiGraph, V};
 use snapshot::{parse_snapshot_name, read_snapshot, snapshot_file_name, sync_dir, write_snapshot};
 use wal::Wal;
 
+/// Cached handle for the `pscc_store_compaction_nanos` histogram.
+fn compaction_histogram() -> &'static std::sync::Arc<pscc_telemetry::Histogram> {
+    static HIST: std::sync::OnceLock<std::sync::Arc<pscc_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    HIST.get_or_init(|| pscc_telemetry::histogram("pscc_store_compaction_nanos"))
+}
+
 /// One durable delta batch: the effective edge insertions and deletions
 /// of an applied update, exactly as merged into the graph.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -216,6 +223,10 @@ impl Store {
             }
         })?;
         remove_stale_tmp_files(&dir);
+        // Recovery timing: the snapshot load plus the full log scan —
+        // the restart cost the compaction policy exists to bound.
+        let mut recovery_span = pscc_telemetry::span("store_recovery");
+        let recovery_timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
         let snap = newest_snapshot(&dir)?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -231,6 +242,12 @@ impl Store {
             replayed: scan.records.into_iter().map(|(_, r)| r).collect(),
             torn_bytes: scan.torn_bytes,
         };
+        recovery_span.set_attr("replayed", recovery.replayed.len());
+        recovery_span.set_attr("torn_bytes", recovery.torn_bytes);
+        if let Some(t) = recovery_timer {
+            pscc_telemetry::histogram("pscc_store_recovery_replay_nanos").record(t.elapsed());
+        }
+        drop(recovery_span);
         let store = Store {
             dir,
             inner: Mutex::new(Inner { wal, snapshot_seq: snap_seq, snapshot_bytes }),
@@ -260,6 +277,9 @@ impl Store {
         if seq == inner.snapshot_seq {
             return Ok(()); // nothing new to cover
         }
+        let mut span = pscc_telemetry::span("compaction");
+        span.set_attr("covered_seq", seq);
+        let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
         let old = self.dir.join(snapshot_file_name(inner.snapshot_seq));
         let (_, snapshot_bytes) = write_snapshot(&self.dir, seq, g, &meta)?;
         // Remove the old snapshot *before* truncating the log: were the
@@ -277,6 +297,10 @@ impl Store {
         inner.snapshot_seq = seq;
         inner.snapshot_bytes = snapshot_bytes;
         sync_dir(&self.dir);
+        if let Some(t) = timer {
+            compaction_histogram().record(t.elapsed());
+        }
+        pscc_telemetry::counter("pscc_store_compactions_total").inc();
         Ok(())
     }
 

@@ -91,11 +91,17 @@ pub(crate) fn write_snapshot(
 ) -> io::Result<(PathBuf, u64)> {
     let live = dir.join(snapshot_file_name(seq));
     let tmp = dir.join(format!("snapshot-{seq:020}.tmp"));
+    let mut span = pscc_telemetry::span("snapshot_write");
+    span.set_attr("seq", seq);
+    let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
     let result = write_snapshot_tmp(&tmp, seq, g, meta).and_then(|()| {
         std::fs::rename(&tmp, &live)?;
         sync_dir(dir);
         Ok(())
     });
+    if let Some(t) = timer {
+        pscc_telemetry::histogram("pscc_store_snapshot_write_nanos").record(t.elapsed());
+    }
     if let Err(e) = result {
         // Don't leak a graph-sized temp file on every failed attempt
         // (failures cluster exactly when disk space is short).

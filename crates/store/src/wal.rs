@@ -39,6 +39,29 @@ use pscc_graph::V;
 
 use crate::DeltaRecord;
 
+/// Cached handle for the `pscc_wal_append_nanos` histogram (whole append:
+/// truncate + write + fsync).
+fn append_histogram() -> &'static std::sync::Arc<pscc_telemetry::Histogram> {
+    static HIST: std::sync::OnceLock<std::sync::Arc<pscc_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    HIST.get_or_init(|| pscc_telemetry::histogram("pscc_wal_append_nanos"))
+}
+
+/// Cached handle for the `pscc_wal_fsync_nanos` histogram (the
+/// `sync_data` call alone — the dominant, device-bound cost).
+fn fsync_histogram() -> &'static std::sync::Arc<pscc_telemetry::Histogram> {
+    static HIST: std::sync::OnceLock<std::sync::Arc<pscc_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    HIST.get_or_init(|| pscc_telemetry::histogram("pscc_wal_fsync_nanos"))
+}
+
+/// Cached handle for the `pscc_wal_appends_total` counter.
+fn appends_counter() -> &'static std::sync::Arc<pscc_telemetry::Counter> {
+    static C: std::sync::OnceLock<std::sync::Arc<pscc_telemetry::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| pscc_telemetry::counter("pscc_wal_appends_total"))
+}
+
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"PSCCWAL1";
 /// Bytes of framing around a record payload: len (4) + seq (8) + crc (8).
 const FRAME_BYTES: u64 = 20;
@@ -237,10 +260,19 @@ impl Wal {
         frame.extend_from_slice(&crc.to_le_bytes());
         // Re-anchor at the last durable record: a previously failed
         // append may have left partial bytes and an advanced cursor.
+        let append_timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
         self.file.set_len(self.bytes)?;
         self.file.seek(SeekFrom::Start(self.bytes))?;
         self.file.write_all(&frame)?;
+        let fsync_timer = append_timer.map(|_| pscc_telemetry::Timer::start());
         self.file.sync_data()?;
+        if let Some(t) = fsync_timer {
+            fsync_histogram().record(t.elapsed());
+        }
+        if let Some(t) = append_timer {
+            append_histogram().record(t.elapsed());
+            appends_counter().inc();
+        }
         self.next_seq = seq + 1;
         self.bytes += frame.len() as u64;
         Ok(seq)

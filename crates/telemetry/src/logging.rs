@@ -1,0 +1,117 @@
+//! Leveled stderr logging, env-filtered by `PSCC_LOG`.
+//!
+//! The [`log!`](crate::log) macro prints to stderr only when its level is
+//! admitted by the `PSCC_LOG` environment variable, which is read once per
+//! process: `error`, `warn`, `info`, or `debug` (case-insensitive) admit
+//! that level and everything more severe; unset, empty, `off`, or
+//! unrecognized values disable logging entirely — so tests stay quiet by
+//! default and diagnostics never depend on being run under a harness.
+//!
+//! ```no_run
+//! pscc_telemetry::log!(Warn, "compaction of {} failed", "dir");
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and its effect is lost.
+    Error,
+    /// Degraded but continuing (e.g. maintenance skipped).
+    Warn,
+    /// Notable lifecycle events.
+    Info,
+    /// Verbose diagnostics.
+    Debug,
+}
+
+impl Level {
+    /// Lowercase name as printed in the log prefix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a `PSCC_LOG` value: a maximum admitted level, or `None` for off.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" | "trace" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The process-wide maximum admitted level (`None` = logging off), read
+/// from `PSCC_LOG` once on first use.
+pub fn max_level() -> Option<Level> {
+    static MAX: OnceLock<Option<Level>> = OnceLock::new();
+    *MAX.get_or_init(|| std::env::var("PSCC_LOG").ok().as_deref().and_then(parse_level))
+}
+
+/// Whether a message at `level` should be emitted.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    if cfg!(feature = "telemetry-off") {
+        return false;
+    }
+    matches!(max_level(), Some(max) if level <= max)
+}
+
+/// Logs a formatted message to stderr at the given level.
+///
+/// The first argument is a [`Level`] variant name (`Error`, `Warn`,
+/// `Info`, `Debug`); the rest is a `format!` argument list. Filtered by
+/// `PSCC_LOG` (see the [module docs](crate::logging)); a filtered-out call
+/// costs one relaxed load and a branch.
+#[macro_export]
+macro_rules! log {
+    ($level:ident, $($arg:tt)*) => {
+        if $crate::logging::level_enabled($crate::logging::Level::$level) {
+            eprintln!("[pscc {}] {}", $crate::logging::Level::$level.as_str(),
+                format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels_case_insensitively() {
+        assert_eq!(parse_level("error"), Some(Level::Error));
+        assert_eq!(parse_level("WARN"), Some(Level::Warn));
+        assert_eq!(parse_level(" Info "), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("trace"), Some(Level::Debug));
+    }
+
+    #[test]
+    fn parse_rejects_everything_else() {
+        for s in ["", "off", "none", "2", "verbose"] {
+            assert_eq!(parse_level(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn log_macro_compiles_with_format_args() {
+        // PSCC_LOG is unset under the test harness, so this must be silent;
+        // the point is that the macro expands and type-checks.
+        crate::log!(Debug, "value = {}, pair = {:?}", 1, (2, 3));
+    }
+}

@@ -1,0 +1,254 @@
+//! Exposition: the diffable [`TelemetrySnapshot`] plus Prometheus-style
+//! text and JSON rendering of everything in the global registry.
+//!
+//! Histograms render as Prometheus *summaries*: `{quantile="…"}` series
+//! for p50/p90/p99 plus `_max`, `_sum`, and `_count` companions, all in
+//! nanoseconds. Metric names may carry labels inline
+//! (`name{graph="g"}`); the renderer merges the `quantile` label into an
+//! existing label set and derives the `# TYPE` line from the base name.
+
+use crate::metrics::{self, HistogramSnapshot};
+use std::collections::BTreeMap;
+
+/// A point-in-time copy of every registered metric, for tests, diffing,
+/// and rendering. Capture with [`TelemetrySnapshot::capture`]; subtract a
+/// baseline with [`TelemetrySnapshot::since`] to get a window.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by full (labeled) metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by full metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by full metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the current value of every registered metric.
+    pub fn capture() -> Self {
+        let mut snap = TelemetrySnapshot::default();
+        metrics::visit(
+            |name, v| {
+                snap.counters.insert(name.to_string(), v);
+            },
+            |name, v| {
+                snap.gauges.insert(name.to_string(), v);
+            },
+            |name, h| {
+                snap.histograms.insert(name.to_string(), h);
+            },
+        );
+        snap
+    }
+
+    /// The window `self − earlier`: counters and histogram buckets are
+    /// subtracted (metrics absent from `earlier` count from zero); gauges
+    /// keep their later instantaneous value.
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| match earlier.histograms.get(k) {
+                Some(base) => (k.clone(), h.since(base)),
+                None => (k.clone(), h.clone()),
+            })
+            .collect();
+        TelemetrySnapshot { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Value of counter `name` (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of gauge `name` (zero if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram state under `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders Prometheus-style text exposition (see the [module
+    /// docs](crate::snapshot) for the histogram encoding).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = base_name(name);
+            if typed.insert(base.to_string()) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
+        };
+        for (name, v) in &self.counters {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            type_line(&mut out, name, "summary");
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                let series = with_label(name, "quantile", label);
+                out.push_str(&format!("{series} {:.0}\n", h.quantile_nanos(q)));
+            }
+            out.push_str(&format!("{} {}\n", suffixed(name, "_max"), h.max));
+            out.push_str(&format!("{} {}\n", suffixed(name, "_sum"), h.sum));
+            out.push_str(&format!("{} {}\n", suffixed(name, "_count"), h.count));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object with `counters`, `gauges`,
+    /// and `histograms` maps (histograms carry count/sum/max and
+    /// p50/p90/p99 in nanoseconds).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_json_map(&mut out, self.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\n  \"gauges\": {");
+        push_json_map(&mut out, self.gauges.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\n  \"histograms\": {");
+        push_json_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let body = format!(
+                    "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {:.0}, \
+                     \"p90\": {:.0}, \"p99\": {:.0}}}",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.quantile_nanos(0.5),
+                    h.quantile_nanos(0.9),
+                    h.quantile_nanos(0.99),
+                );
+                (k, body)
+            }),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Captures and renders the global registry as Prometheus-style text.
+pub fn render_text() -> String {
+    TelemetrySnapshot::capture().render_text()
+}
+
+/// Captures and renders the global registry as JSON.
+pub fn render_json() -> String {
+    TelemetrySnapshot::capture().render_json()
+}
+
+/// The metric name with any inline `{label="…"}` set stripped.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Merges `key="value"` into a possibly-labeled metric name.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    match name.split_once('{') {
+        Some((base, rest)) => format!("{base}{{{key}=\"{value}\",{rest}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
+}
+
+/// Appends `suffix` to the base name, keeping any inline label set.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.split_once('{') {
+        Some((base, rest)) => format!("{base}{suffix}{{{rest}"),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+/// Writes `"key": value` pairs (values pre-rendered as raw JSON).
+fn push_json_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", escape_json(k)));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[cfg(not(feature = "telemetry-off"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_helpers_merge_labels() {
+        assert_eq!(base_name("pscc_x_total{graph=\"g\"}"), "pscc_x_total");
+        assert_eq!(base_name("pscc_x_total"), "pscc_x_total");
+        assert_eq!(
+            with_label("pscc_h{graph=\"g\"}", "quantile", "0.5"),
+            "pscc_h{quantile=\"0.5\",graph=\"g\"}"
+        );
+        assert_eq!(with_label("pscc_h", "quantile", "0.9"), "pscc_h{quantile=\"0.9\"}");
+        assert_eq!(suffixed("pscc_h{graph=\"g\"}", "_count"), "pscc_h_count{graph=\"g\"}");
+        assert_eq!(suffixed("pscc_h", "_sum"), "pscc_h_sum");
+    }
+
+    #[test]
+    fn snapshot_diff_and_render_roundtrip() {
+        crate::counter("pscc_snapshot_test_total{case=\"diff\"}").add(3);
+        let h = crate::histogram("pscc_snapshot_test_nanos");
+        h.record_nanos(100);
+        let before = TelemetrySnapshot::capture();
+        crate::counter("pscc_snapshot_test_total{case=\"diff\"}").add(2);
+        h.record_nanos(200);
+        crate::gauge("pscc_snapshot_test_depth").set(4);
+        let window = TelemetrySnapshot::capture().since(&before);
+        assert_eq!(window.counter("pscc_snapshot_test_total{case=\"diff\"}"), 2);
+        assert_eq!(window.gauge("pscc_snapshot_test_depth"), 4);
+        let hs = window.histogram("pscc_snapshot_test_nanos").expect("registered");
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.sum, 200);
+
+        let text = window.render_text();
+        assert!(text.contains("# TYPE pscc_snapshot_test_total counter"), "{text}");
+        assert!(text.contains("pscc_snapshot_test_total{case=\"diff\"} 2"), "{text}");
+        assert!(text.contains("# TYPE pscc_snapshot_test_nanos summary"), "{text}");
+        assert!(text.contains("pscc_snapshot_test_nanos{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("pscc_snapshot_test_nanos_count 1"), "{text}");
+
+        let json = window.render_json();
+        assert!(json.contains("\"pscc_snapshot_test_total{case=\\\"diff\\\"}\": 2"), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+}

@@ -5,7 +5,14 @@
 //! tier each delta took (*absorbed* / *dag-spliced* /
 //! *region-recomputed* / *full-rebuild*) and the per-tier tallies.
 //!
-//! Run: `cargo run --release --example reachability_server [--data-dir DIR] [graph.txt [updates.txt]]`
+//! Run: `cargo run --release --example reachability_server [--data-dir DIR] [--metrics] [graph.txt [updates.txt]]`
+//!
+//! With `--metrics`, the full telemetry registry (counters, gauges, and
+//! latency-histogram quantiles) is dumped in Prometheus-style text
+//! exposition after each phase — index build, first batch, updates, and
+//! the final batch — so the run doubles as a live view of the engine's
+//! instrumentation. Set `PSCC_LOG=warn` (or `info`/`debug`) to also see
+//! leveled diagnostics on stderr.
 //!
 //! With a first positional argument the graph is loaded as a
 //! whitespace-separated `u v` edge list. A second positional argument is
@@ -58,13 +65,20 @@ fn main() {
         }
         None => None,
     };
+    let metrics = match args.iter().position(|a| a == "--metrics") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     let graph_path = args.first().cloned();
     let updates_path = args.get(1).cloned();
 
     // A directory that already holds a store means this run is a restart.
     if let Some(dir) = &data_dir {
         if dir.join(NAME).join("wal.log").exists() {
-            return recover_and_verify(dir, updates_path.as_deref());
+            return recover_and_verify(dir, updates_path.as_deref(), metrics);
         }
     }
 
@@ -108,10 +122,13 @@ fn main() {
     let build = t.elapsed().as_secs_f64();
     print_index_report(&index, build);
 
+    dump_metrics(metrics, "index build");
+
     // ---- Serve a 10k batch ----
     let queries = query_batch(n);
     let answers = serve_batch(&catalog, &queries);
     spot_check(&catalog, &queries, &answers);
+    dump_metrics(metrics, "first batch");
 
     // ---- Apply updates ----
     match &updates_path {
@@ -217,6 +234,7 @@ fn main() {
         }
     }
     print_repair_counts(&catalog);
+    dump_metrics(metrics, "updates");
 
     // ---- Serve the same batch against the updated graph ----
     let index = catalog.index(NAME).expect("still registered");
@@ -236,6 +254,7 @@ fn main() {
     );
     let answers = serve_batch(&catalog, &queries);
     spot_check(&catalog, &queries, &answers);
+    dump_metrics(metrics, "final batch");
 
     // ---- Persistence epilogue: save answers, explain the restart ----
     if let Some(dir) = &data_dir {
@@ -252,7 +271,7 @@ fn main() {
 
 /// The restart path: recover the catalog from disk, serve the same batch,
 /// and verify the answers match the pre-restart run byte for byte.
-fn recover_and_verify(dir: &Path, updates_path: Option<&str>) {
+fn recover_and_verify(dir: &Path, updates_path: Option<&str>, metrics: bool) {
     let t = Instant::now();
     let catalog = Catalog::open(dir).expect("recoverable data dir");
     println!(
@@ -293,6 +312,18 @@ fn recover_and_verify(dir: &Path, updates_path: Option<&str>) {
         spot_check(&catalog, &queries, &answers);
         save_answers(dir, &answers);
     }
+    dump_metrics(metrics, "recovery");
+}
+
+/// With `--metrics`, dumps the whole registry as Prometheus-style text
+/// exposition (recovery replay and WAL-fsync histograms included).
+fn dump_metrics(enabled: bool, phase: &str) {
+    if !enabled {
+        return;
+    }
+    println!("\n==== telemetry after {phase} ====");
+    print!("{}", parallel_scc::telemetry::render_text());
+    println!("====");
 }
 
 /// Prints the per-tier repair tallies of the served graph.

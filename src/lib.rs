@@ -36,6 +36,7 @@
 //! | [`apps`] | `pscc-apps` | condensation, topological sort, 2-SAT |
 //! | [`engine`] | `pscc-engine` | batched reachability queries over the condensation DAG |
 //! | [`store`] | `pscc-store` | durable snapshots + write-ahead delta log with crash recovery |
+//! | [`telemetry`] | `pscc-telemetry` | zero-dependency metrics, tracing spans, exposition, logging |
 //!
 //! ## Serving reachability queries
 //!
@@ -77,6 +78,7 @@ pub use pscc_lelists as lelists;
 pub use pscc_runtime as runtime;
 pub use pscc_store as store;
 pub use pscc_table as table;
+pub use pscc_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {

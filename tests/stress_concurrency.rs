@@ -170,14 +170,18 @@ fn queries_answered_from_old_index_during_delta_rebuild() {
     };
 
     // While the writer merges + rebuilds off-lock, queries must keep
-    // flowing. Count complete batches answered strictly before the
-    // rebuild finishes.
+    // flowing. The witness is the entry's `rebuild_in_flight` telemetry
+    // gauge (1 exactly while the off-lock `Index::build` runs): a batch
+    // that starts *and* finishes with the gauge raised was served in its
+    // entirety from the old index, with no timing heuristics involved.
+    let in_flight = parallel_scc::telemetry::gauge("pscc_catalog_rebuild_in_flight{graph=\"g\"}");
     let queries: Vec<(V, V)> = (0..256).map(|i| (i as V, (i * 7 + 1) as V)).collect();
     let mut batches_during_rebuild = 0u64;
     while !rebuild_done.load(Ordering::SeqCst) {
+        let raised_before = in_flight.get() > 0;
         let answers = cat.answer_batch("g", &queries).expect("registered");
         assert_eq!(answers.len(), queries.len());
-        if !rebuild_done.load(Ordering::SeqCst) {
+        if raised_before && in_flight.get() > 0 {
             batches_during_rebuild += 1;
         }
     }
@@ -185,8 +189,10 @@ fn queries_answered_from_old_index_during_delta_rebuild() {
     assert_eq!(report.outcome, parallel_scc::engine::DeltaOutcome::Rebuilt);
     assert!(
         batches_during_rebuild > 0,
-        "queries stalled for the whole rebuild (old behavior: merge under the entry mutex)"
+        "no batch was served while the rebuild gauge was raised \
+         (old behavior: merge under the entry mutex)"
     );
+    assert_eq!(in_flight.get(), 0, "the gauge must drop once the rebuild installs");
     // After the swap, answers reflect the deletion-rebuilt index.
     assert_eq!(
         cat.index("g").unwrap().stats().built_by,
@@ -249,6 +255,12 @@ fn racing_delta_during_off_lock_build_is_detected_not_lost() {
         // The race happened: the generation counter detected the swap and
         // the stale index was discarded instead of shadowing the delta.
         assert_eq!(cat.generation(&name), Some(1));
+        // The discard is also visible through the entry's telemetry
+        // counter, which mirrors `discarded_builds` exactly.
+        let discarded = parallel_scc::telemetry::counter(&format!(
+            "pscc_catalog_stale_builds_discarded_total{{graph=\"{name}\"}}"
+        ));
+        assert_eq!(Some(discarded.get()), cat.discarded_builds(&name));
         raced = true;
         break;
     }
