@@ -1,0 +1,455 @@
+//! The committed findings baseline: pre-existing debt, visible but frozen.
+//!
+//! `analyze-baseline.json` at the workspace root records, per `(file,
+//! rule)` pair, how many violations are grandfathered in. [`diff`]
+//! compares a fresh run against it:
+//!
+//! * **more** findings than baselined → *new* violations, check fails;
+//! * **fewer** findings than baselined → debt shrank, and the check also
+//!   fails until the baseline is regenerated (`--write-baseline`), so the
+//!   recorded debt can only ratchet downward;
+//! * equal → the findings are suppressed.
+//!
+//! Entries are keyed by file and rule — not line — so unrelated edits
+//! shifting line numbers don't churn the baseline. The JSON is written
+//! and parsed by hand (this crate takes no dependencies, crates.io or
+//! otherwise, beyond std).
+
+use crate::rules::{Finding, RuleId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Grandfathered violation counts, keyed by `(file, rule)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(workspace-relative file, rule) → frozen count`, ordered for
+    /// stable serialization.
+    pub entries: BTreeMap<(String, RuleId), u64>,
+}
+
+/// One `(file, rule)` discrepancy between a run and the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// Violations found in this run.
+    pub found: u64,
+    /// Violations the baseline freezes.
+    pub baselined: u64,
+}
+
+impl Baseline {
+    /// Aggregates findings into a fresh baseline.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            *entries.entry((f.file.clone(), f.rule)).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes to the committed JSON form (sorted, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"entries\": [");
+        let mut first = true;
+        for ((file, rule), count) in &self.entries {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"rule\": \"{}\", \"count\": {}}}",
+                json_string(file),
+                rule,
+                count
+            );
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses the JSON form. Returns a description of the first problem on
+    /// malformed input (bad JSON, unknown rule, duplicate key).
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let entries_value = value
+            .get("entries")
+            .ok_or_else(|| "missing top-level \"entries\" array".to_string())?;
+        let Json::Array(items) = entries_value else {
+            return Err("\"entries\" is not an array".to_string());
+        };
+        let mut entries = BTreeMap::new();
+        for item in items {
+            let file = item
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "entry missing string \"file\"".to_string())?;
+            let rule_name = item
+                .get("rule")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "entry missing string \"rule\"".to_string())?;
+            let rule = RuleId::parse(rule_name)
+                .ok_or_else(|| format!("unknown rule {rule_name:?} in baseline"))?;
+            let count = item
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "entry missing numeric \"count\"".to_string())?;
+            if entries.insert((file.to_string(), rule), count).is_some() {
+                return Err(format!("duplicate baseline entry for {file}:{rule}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Total frozen violations.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+}
+
+/// Compares a run's findings against the baseline; empty result means the
+/// check passes. Both directions are discrepancies (see module docs).
+pub fn diff(findings: &[Finding], baseline: &Baseline) -> Vec<Discrepancy> {
+    let actual = Baseline::from_findings(findings);
+    let mut keys: Vec<&(String, RuleId)> =
+        actual.entries.keys().chain(baseline.entries.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .filter_map(|key| {
+            let found = actual.entries.get(key).copied().unwrap_or(0);
+            let baselined = baseline.entries.get(key).copied().unwrap_or(0);
+            (found != baselined).then(|| Discrepancy {
+                file: key.0.clone(),
+                rule: key.1,
+                found,
+                baselined,
+            })
+        })
+        .collect()
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---- Minimal JSON value parser ------------------------------------------
+
+/// A parsed JSON value — just enough structure for the baseline file.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates are not expected in baseline paths;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character (1–4 bytes).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(format!("invalid UTF-8 at byte {start}")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: RuleId) -> Finding {
+        Finding { file: file.to_string(), line, rule, message: "m".to_string() }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let findings = vec![
+            finding("a/b.rs", 3, RuleId::Panic),
+            finding("a/b.rs", 9, RuleId::Panic),
+            finding("c.rs", 1, RuleId::Logging),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let json = base.to_json();
+        let back = Baseline::from_json(&json).expect("roundtrip parse");
+        assert_eq!(base, back);
+        assert_eq!(back.total(), 3);
+        assert_eq!(back.entries[&("a/b.rs".to_string(), RuleId::Panic)], 2);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrip() {
+        let base = Baseline::default();
+        let back = Baseline::from_json(&base.to_json()).expect("empty parse");
+        assert_eq!(base, back);
+    }
+
+    #[test]
+    fn diff_flags_new_and_fixed() {
+        let baselined = vec![finding("a.rs", 1, RuleId::Panic), finding("a.rs", 2, RuleId::Panic)];
+        let base = Baseline::from_findings(&baselined);
+        // Same count: clean.
+        assert!(diff(&baselined, &base).is_empty());
+        // One extra: new violation.
+        let mut more = baselined.clone();
+        more.push(finding("a.rs", 7, RuleId::Panic));
+        let d = diff(&more, &base);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].found, d[0].baselined), (3, 2));
+        // One fewer: stale baseline (debt must ratchet down).
+        let fewer = vec![finding("a.rs", 1, RuleId::Panic)];
+        let d = diff(&fewer, &base);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].found, d[0].baselined), (1, 2));
+        // Different rule in a new file.
+        let cross = vec![finding("b.rs", 1, RuleId::Logging)];
+        let d = diff(&cross, &Baseline::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].found, d[0].baselined), (1, 0));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            "{\"entries\": 3}",
+            "{\"entries\": [{\"file\": \"a\", \"rule\": \"no-such-rule\", \"count\": 1}]}",
+            "{\"entries\": [{\"file\": \"a\", \"count\": 1}]}",
+            "{\"entries\": [{\"file\": \"a\", \"rule\": \"panic\", \"count\": -2}]}",
+            "{\"entries\": [{\"file\": \"a\", \"rule\": \"panic\", \"count\": 1}, \
+              {\"file\": \"a\", \"rule\": \"panic\", \"count\": 2}]}",
+        ] {
+            assert!(Baseline::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut entries = BTreeMap::new();
+        entries.insert(("we\"ird\\path\n.rs".to_string(), RuleId::Panic), 1);
+        let base = Baseline { entries };
+        let back = Baseline::from_json(&base.to_json()).expect("escaped parse");
+        assert_eq!(base, back);
+    }
+}

@@ -1,0 +1,383 @@
+//! A small hand-rolled Rust lexer, just deep enough for rule checking.
+//!
+//! The rules in [`crate::rules`] must never be fooled by `.unwrap()` inside
+//! a string literal or `unsafe` inside a doc comment, so the lexer handles
+//! the token classes where naive text search goes wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw strings with any
+//!   number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * character literals vs. lifetimes (`'a'` vs. `'a`), including escaped
+//!   chars (`'\n'`, `'\u{1F600}'`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! It is *not* a full lexer: numbers are lexed as [`TokenKind::Word`]s,
+//! multi-character operators come out as single [`TokenKind::Punct`]
+//! tokens, and no keyword table exists — the rules match on token text.
+//! Every token carries its byte span and 1-based line, so findings point
+//! at real source locations and the proptest suite can assert the token
+//! stream reconstructs the input byte-for-byte.
+
+/// Classification of one [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier, keyword, or number literal.
+    Word,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// A character or byte literal such as `'x'` or `'\n'`.
+    CharLit,
+    /// A string or byte-string literal, quotes included.
+    Str,
+    /// A raw (byte-)string literal, `r#"…"#` guards included.
+    RawStr,
+    /// A line comment (`//…`, to end of line, newline excluded).
+    LineComment,
+    /// A block comment (`/* … */`, possibly nested), delimiters included.
+    BlockComment,
+    /// Any other single character (operators, brackets, `;`, …).
+    Punct,
+}
+
+impl TokenKind {
+    /// True for both comment kinds.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token: kind plus byte span and 1-based start line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_word_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_word_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream (comments included, whitespace
+/// dropped). Never panics: malformed input (an unterminated string or
+/// comment) produces a final token running to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                _ if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                _ if is_word_start(b) || b.is_ascii_digit() => self.word(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            self.out.push(Token { kind, start, end: self.pos, line });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump_tracking_newlines(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // "/*"
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_tracking_newlines();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A non-raw string body starting at the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1; // the backslash
+                    if self.pos < self.src.len() {
+                        self.bump_tracking_newlines(); // escaped char (or line continuation)
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump_tracking_newlines(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'` — a character literal or a lifetime.
+    fn quote(&mut self) -> TokenKind {
+        // Escaped char: '\n', '\u{…}', '\''.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2; // "'\"
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.bump_tracking_newlines();
+            }
+            self.pos = (self.pos + 1).min(self.src.len()); // closing quote
+            return TokenKind::CharLit;
+        }
+        // Count word chars after the quote (UTF-8 continuation bytes count
+        // as word chars, so a multi-byte char literal scans as one run).
+        let mut j = self.pos + 1;
+        while j < self.src.len() && is_word_continue(self.src[j]) {
+            j += 1;
+        }
+        if self.src.get(j) == Some(&b'\'') && j > self.pos + 1 {
+            // 'x' — a char literal (any word-char run closed by a quote;
+            // real Rust allows only one char, but we only need spans).
+            self.pos = j + 1;
+            TokenKind::CharLit
+        } else if j > self.pos + 1 {
+            // 'a with no closing quote — a lifetime.
+            self.pos = j;
+            TokenKind::Lifetime
+        } else {
+            // Nothing word-like follows: a literal like ' ' or '('.
+            self.pos += 1; // opening quote
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.bump_tracking_newlines();
+            }
+            self.pos = (self.pos + 1).min(self.src.len());
+            TokenKind::CharLit
+        }
+    }
+
+    /// An identifier / keyword / number — possibly a raw-string prefix.
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_word_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        // r"…" / r#"…"# / br"…" / br##"…"## — raw string ahead?
+        if matches!(text, b"r" | b"br" | b"rb") {
+            let mut j = self.pos;
+            while self.src.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            if self.src.get(j) == Some(&b'"') {
+                let hashes = j - self.pos;
+                self.pos = j + 1;
+                self.raw_string_body(hashes);
+                return TokenKind::RawStr;
+            }
+        }
+        TokenKind::Word
+    }
+
+    /// Scans past the body of a raw string until `"` followed by `hashes`
+    /// `#`s (or end of input).
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let tail = &self.src[self.pos + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_tracking_newlines();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn words_and_punct() {
+        let toks = kinds("let x = foo(1);");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Word, "let".into()),
+                (TokenKind::Word, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Word, "foo".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Word, "1".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let toks = kinds("a // c1\nb /* c2 /* nested */ end */ c");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Word, "a".into()),
+                (TokenKind::LineComment, "// c1".into()),
+                (TokenKind::Word, "b".into()),
+                (TokenKind::BlockComment, "/* c2 /* nested */ end */".into()),
+                (TokenKind::Word, "c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_hides_comment_and_unwrap() {
+        let src = r#"let s = "no // comment .unwrap() here";"#;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(toks.iter().all(|(k, _)| !k.is_comment()));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Word && t == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#""a\"b" c"#;
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Str, r#""a\"b""#.into()));
+        assert_eq!(toks[1], (TokenKind::Word, "c".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r###"r#"quote " and // fake"# x"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert_eq!(toks[1], (TokenKind::Word, "x".into()));
+        let src2 = "r\"plain\" y";
+        assert_eq!(kinds(src2)[0].0, TokenKind::RawStr);
+        let src3 = "br##\"b \"# raw\"## z";
+        let t3 = kinds(src3);
+        assert_eq!(t3[0], (TokenKind::RawStr, "br##\"b \"# raw\"##".into()));
+        assert_eq!(t3[1], (TokenKind::Word, "z".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let sp = ' '; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).cloned().collect();
+        assert_eq!(
+            lifetimes,
+            vec![(TokenKind::Lifetime, "'a".into()), (TokenKind::Lifetime, "'a".into())]
+        );
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::CharLit).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn doc_comment_hides_code() {
+        let toks = kinds("/// let x = y.unwrap();\nfn real() {}");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Word && t == "unwrap"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nbb /* x\ny */ c\n'z'";
+        let toks = lex(src);
+        let lines: Vec<(String, u32)> =
+            toks.iter().map(|t| (t.text(src).to_string(), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("bb".to_string(), 2),
+                ("/* x\ny */".to_string(), 2),
+                ("c".to_string(), 3),
+                ("'z'".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn multibyte_chars_in_strings_and_idents() {
+        let src = "let héllo = \"wörld ∀\"; // ünïcode";
+        let toks = lex(src);
+        // Spans must lie on char boundaries so text() never panics.
+        for t in &toks {
+            let _ = t.text(src);
+        }
+        assert_eq!(toks.last().unwrap().kind, TokenKind::LineComment);
+    }
+}

@@ -1,0 +1,149 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! pscc-analyze                  report every finding (baselined included)
+//! pscc-analyze --check          gate: diff findings against the baseline
+//! pscc-analyze --write-baseline regenerate analyze-baseline.json
+//! pscc-analyze --root <dir>     scan a different workspace root
+//! ```
+//!
+//! `--check` exits non-zero on *any* drift from `analyze-baseline.json`:
+//! new violations, and also formerly-baselined violations that no longer
+//! fire (the baseline must then be regenerated, so frozen debt can only
+//! shrink). This is the required CI gate.
+
+use pscc_analyze::baseline::{diff, Baseline};
+use pscc_analyze::{analyze_workspace, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    check: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), check: false, write_baseline: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root needs a directory argument".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: pscc-analyze [--check | --write-baseline] [--root <dir>]".to_string()
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if args.check && args.write_baseline {
+        return Err("--check and --write-baseline are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match analyze_workspace(&args.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pscc-analyze: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let base = Baseline::from_findings(&analysis.findings);
+        let path = args.root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, base.to_json()) {
+            eprintln!("pscc-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "pscc-analyze: wrote {} ({} finding(s) across {} file(s) scanned)",
+            path.display(),
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if !args.check {
+        // Report mode: list everything, never fail.
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        println!(
+            "pscc-analyze: {} finding(s) across {} file(s) scanned",
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // --check: diff against the committed baseline.
+    let baseline_path = args.root.join(BASELINE_FILE);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("pscc-analyze: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "pscc-analyze: reading {}: {e} (run --write-baseline to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let discrepancies = diff(&analysis.findings, &baseline);
+    if discrepancies.is_empty() {
+        println!(
+            "pscc-analyze: clean — {} file(s) scanned, {} baselined finding(s) frozen",
+            analysis.files_scanned,
+            baseline.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &discrepancies {
+        if d.found > d.baselined {
+            eprintln!(
+                "{}: [{}] {} violation(s), {} baselined — new violations:",
+                d.file, d.rule, d.found, d.baselined
+            );
+            for f in analysis.findings.iter().filter(|f| f.file == d.file && f.rule == d.rule) {
+                eprintln!("  {f}");
+            }
+        } else {
+            eprintln!(
+                "{}: [{}] {} violation(s), {} baselined — debt shrank; run \
+                 `cargo run -p pscc-analyze -- --write-baseline` to ratchet the baseline down",
+                d.file, d.rule, d.found, d.baselined
+            );
+        }
+    }
+    eprintln!(
+        "pscc-analyze: FAILED — {} (file, rule) pair(s) drifted from the baseline",
+        discrepancies.len()
+    );
+    ExitCode::FAILURE
+}

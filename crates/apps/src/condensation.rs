@@ -26,6 +26,7 @@ impl Condensation {
     /// earlier to a later position.
     pub fn topo_order(&self) -> Vec<V> {
         crate::toposort::topological_order(&self.dag)
+            // analyze: allow(panic): condensing an SCC labelling cannot leave a cycle
             .expect("condensation is a DAG by construction")
     }
 

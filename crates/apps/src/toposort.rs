@@ -38,6 +38,7 @@ pub fn topological_order(g: &DiGraph) -> Option<Vec<V>> {
 pub fn scc_topological_order(g: &DiGraph, cfg: &SccConfig) -> (Condensation, Vec<u32>) {
     let res = parallel_scc(g, cfg);
     let cond = condense(g, &res.labels);
+    // analyze: allow(panic): condensing an SCC labelling cannot leave a cycle
     let order = topological_order(&cond.dag).expect("condensation is a DAG by construction");
     let mut rank = vec![0u32; cond.num_components()];
     for (pos, &c) in order.iter().enumerate() {

@@ -180,6 +180,8 @@ fn revisit_round(
     // Visit 1: claim neighbours, count per-frontier-vertex wins.
     {
         struct P(*mut u64);
+        // SAFETY: P is only shared with the count pass below, where each
+        // frontier slot i < k has exactly one writer.
         unsafe impl Sync for P {}
         impl P {
             fn get(&self) -> *mut u64 {
@@ -198,7 +200,8 @@ fn revisit_round(
                         won += 1;
                     }
                 }
-                // Safety: one writer per index.
+                // SAFETY: i < k indexes the k+1-entry counts buffer and
+                // is visited by exactly one task.
                 unsafe { *cptr.get().add(i) = won };
             }
         });
@@ -210,6 +213,8 @@ fn revisit_round(
     let mut next: Vec<V> = vec![0; total];
     {
         struct P(*mut V);
+        // SAFETY: P is only shared with the write pass below, where each
+        // task fills its own disjoint segment of `next`.
         unsafe impl Sync for P {}
         impl P {
             fn get(&self) -> *mut V {
@@ -224,7 +229,10 @@ fn revisit_round(
                 let mut pos = counts[i] as usize;
                 for &u in csr.neighbors(v) {
                     if parent[u as usize].load(Ordering::Relaxed) == v {
-                        // Safety: segment [counts[i], counts[i+1]) owned by i.
+                        // SAFETY: pos walks [counts[i], counts[i+1]),
+                        // the segment of `next` the exclusive scan
+                        // reserved for slot i's wins; segments tile the
+                        // buffer without overlap (debug-asserted below).
                         unsafe { *nptr.get().add(pos) = u };
                         pos += 1;
                     }
@@ -295,7 +303,7 @@ fn multi_reach_revisit(
                                     let _ = round.insert(key);
                                 }
                                 Insert::Present => {}
-                                Insert::Full => overflow.lock().unwrap().push(key),
+                                Insert::Full => overflow.lock().expect("overflow lock").push(key),
                             }
                         }
                     }
@@ -305,7 +313,7 @@ fn multi_reach_revisit(
         // The revisit: pack the round table's slots into the frontier.
         let mut next = round.keys();
         loop {
-            let pending = std::mem::take(&mut *overflow.lock().unwrap());
+            let pending = std::mem::take(&mut *overflow.lock().expect("overflow lock"));
             if pending.is_empty() {
                 break;
             }
@@ -316,7 +324,7 @@ fn multi_reach_revisit(
                 match table.insert(key) {
                     Insert::Added => next.push(key),
                     Insert::Present => {}
-                    Insert::Full => overflow.lock().unwrap().push(key),
+                    Insert::Full => overflow.lock().expect("overflow lock").push(key),
                 }
             }
         }

@@ -38,6 +38,7 @@ pub fn multistep_scc(g: &DiGraph, reach: &ReachParams) -> SccResult {
         let pivot = (0..n as V)
             .filter(|&v| !state.is_done(v))
             .max_by_key(|&v| g.in_degree(v) as u64 * g.out_degree(v) as u64)
+            // analyze: allow(panic): guarded by the unfinished() > 0 check above
             .expect("unfinished vertex must exist");
         let fvis = AtomicBits::new(n);
         let bvis = AtomicBits::new(n);

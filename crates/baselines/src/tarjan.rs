@@ -56,6 +56,7 @@ pub fn tarjan_scc(g: &DiGraph) -> Vec<u32> {
                 }
                 if low[v as usize] == index[v as usize] {
                     loop {
+                        // analyze: allow(panic): v itself is on the stack, so pop cannot fail
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
                         labels[w as usize] = next_label;

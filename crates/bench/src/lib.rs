@@ -158,6 +158,7 @@ pub fn row(cells: &[String], widths: &[usize]) {
     for (c, w) in cells.iter().zip(widths) {
         line.push_str(&format!("{:>width$} ", c, width = w));
     }
+    // analyze: allow(logging): bench tables are the tool's product, not diagnostics
     println!("{}", line.trim_end());
 }
 

@@ -181,6 +181,9 @@ fn expand_revisit(
     let k = frontier.len();
     let mut counts = vec![0u64; k + 1];
     struct P<T>(*mut T);
+    // SAFETY: P is only shared with the two passes below, where each
+    // frontier slot i (and each disjoint output segment) has exactly one
+    // writer.
     unsafe impl<T> Sync for P<T> {}
     impl<T> P<T> {
         fn get(&self) -> *mut T {
@@ -201,6 +204,8 @@ fn expand_revisit(
                         won += 1;
                     }
                 }
+                // SAFETY: i < k indexes the k+1-entry counts buffer and
+                // is visited by exactly one task.
                 unsafe { *cptr.get().add(i) = won };
             }
         });
@@ -216,6 +221,10 @@ fn expand_revisit(
                 let mut pos = counts[i] as usize;
                 for &u in g.neighbors(v) {
                     if parent[u as usize].load(Ordering::Relaxed) == v {
+                        // SAFETY: pos walks [counts[i], counts[i+1]), the
+                        // segment of `next` the exclusive scan reserved
+                        // for frontier slot i's wins; segments tile the
+                        // buffer without overlap.
                         unsafe { *nptr.get().add(pos) = u };
                         pos += 1;
                     }

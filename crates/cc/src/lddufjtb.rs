@@ -54,6 +54,8 @@ pub fn connected_components(g: &UnGraph, cfg: &CcConfig) -> CcResult {
     let mut labels = vec![0u32; n];
     {
         struct P(*mut u32);
+        // SAFETY: P is only shared with the loop below, where each index
+        // v < n is written by exactly one task.
         unsafe impl Sync for P {}
         impl P {
             fn get(&self) -> *mut u32 {
@@ -64,7 +66,8 @@ pub fn connected_components(g: &UnGraph, cfg: &CcConfig) -> CcResult {
         let cluster = &cluster;
         let uf = &uf;
         par_for(n, |v| {
-            // Safety: one writer per index.
+            // SAFETY: v < n indexes the n-entry labels buffer; par_for
+            // visits each index exactly once, so writes never alias.
             unsafe { *p.get().add(v) = uf.find(cluster[v]) };
         });
     }

@@ -146,7 +146,9 @@ pub fn multi_reach(
                                     match table.insert(key) {
                                         Insert::Added => bag_ref.insert(key),
                                         Insert::Present => {}
-                                        Insert::Full => overflow.lock().unwrap().push(key),
+                                        Insert::Full => {
+                                            overflow.lock().expect("overflow lock").push(key)
+                                        }
                                     }
                                 }
                             }
@@ -154,7 +156,7 @@ pub fn multi_reach(
                     }
                 }
                 if !spill.is_empty() {
-                    overflow.lock().unwrap().append(&mut spill);
+                    overflow.lock().expect("overflow lock").append(&mut spill);
                 }
                 edges.fetch_add(scanned, Ordering::Relaxed);
             });
@@ -164,7 +166,7 @@ pub fn multi_reach(
         // Resolve overflowed inserts: grow, retry, and splice the winners
         // into the next frontier. Loops until the table absorbs everything.
         loop {
-            let pending = std::mem::take(&mut *overflow.lock().unwrap());
+            let pending = std::mem::take(&mut *overflow.lock().expect("overflow lock"));
             if pending.is_empty() {
                 break;
             }
@@ -176,7 +178,7 @@ pub fn multi_reach(
                 match table.insert(key) {
                     Insert::Added => next.push(key),
                     Insert::Present => {}
-                    Insert::Full => overflow.lock().unwrap().push(key),
+                    Insert::Full => overflow.lock().expect("overflow lock").push(key),
                 }
             }
         }

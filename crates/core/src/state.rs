@@ -71,6 +71,8 @@ impl SccState {
     pub fn labels_snapshot(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.n()];
         struct P(*mut u64);
+        // SAFETY: P is only shared with the loop below, where each index
+        // i < n is written by exactly one task.
         unsafe impl Sync for P {}
         impl P {
             fn get(&self) -> *mut u64 {
@@ -79,7 +81,8 @@ impl SccState {
         }
         let p = P(out.as_mut_ptr());
         par_for(self.n(), |i| {
-            // Safety: each index written once.
+            // SAFETY: i < n indexes the n-entry out buffer; par_for
+            // visits each index exactly once, so writes never alias.
             unsafe { *p.get().add(i) = self.labels[i].load(Ordering::Relaxed) };
         });
         out

@@ -638,12 +638,19 @@ impl Catalog {
             io::Error::new(io::ErrorKind::NotFound, format!("no graph registered as {name:?}"))
         })?;
         let _writer = entry.update.lock().expect("update lock");
-        let mut slot = entry.store.lock().expect("store lock");
-        if slot.is_some() {
-            return Err(io::Error::new(
-                io::ErrorKind::AlreadyExists,
-                format!("graph {name:?} already has a store"),
-            ));
+        // The store slot is a short-hold mutex: check emptiness and drop
+        // the guard before the slow snapshot write + fsync. The `update`
+        // writer lock held above is what serializes this against
+        // `apply_delta` and concurrent `persist_to` calls, so nobody can
+        // fill the slot between the check and the reinstall below.
+        {
+            let slot = entry.store.lock().expect("store lock");
+            if slot.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("graph {name:?} already has a store"),
+                ));
+            }
         }
         let (graph, generation) = {
             let st = entry.state.lock().expect("entry lock");
@@ -655,7 +662,7 @@ impl Catalog {
             grain: entry.batch.grain as u64,
         };
         let store = Store::create(data_dir.as_ref().join(encode_name(name)), &graph, meta)?;
-        *slot = Some(Arc::new(store));
+        *entry.store.lock().expect("store lock") = Some(Arc::new(store));
         Ok(())
     }
 
@@ -716,8 +723,7 @@ impl Catalog {
             // same name and one would silently shadow the other.
             let name = file_name
                 .to_str()
-                .and_then(decode_name)
-                .filter(|name| encode_name(name) == file_name.to_str().expect("checked above"))
+                .and_then(|fname| decode_name(fname).filter(|name| encode_name(name) == fname))
                 .ok_or_else(|| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -862,10 +868,7 @@ impl Catalog {
             if st.generation == generation {
                 // A concurrent lazy builder may have won the install race;
                 // share its instance instead of double-installing.
-                if st.index.is_none() {
-                    st.index = Some((index, memo));
-                }
-                return st.index.clone().expect("installed above");
+                return st.index.get_or_insert((index, memo)).clone();
             }
             entry.discarded_builds.fetch_add(1, Ordering::Relaxed);
             entry.metrics.stale_builds_discarded.inc();

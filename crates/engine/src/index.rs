@@ -247,6 +247,7 @@ impl Index {
     /// counters, build cause) from the caller.
     fn assemble(scc: SccLayer, dag: DiGraph, cfg: &IndexConfig, base: IndexStats) -> Index {
         let t = Instant::now();
+        // analyze: allow(panic): the dag argument is always a freshly condensed graph
         let order = topological_order(&dag).expect("condensation must be a DAG");
         let levels = LevelLayer::build(&dag, &order);
         let levels_seconds = t.elapsed().as_secs_f64();
@@ -478,6 +479,7 @@ impl Index {
         cfg: &IndexConfig,
     ) -> Index {
         let t = Instant::now();
+        // analyze: allow(panic): the planner only emits Unsplice when support exists
         let mut support = self.support_clone().expect("unsplice is planned from a support table");
         for &(u, v) in del {
             let (a, b) = (self.comp(u), self.comp(v));

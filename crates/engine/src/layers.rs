@@ -570,6 +570,7 @@ fn random_postorder(dag: &DiGraph, rng: &mut SplitMix64) -> Vec<u32> {
                 }
                 Some(_) => {}
                 None => {
+                    // analyze: allow(panic): the None arm is only reachable with a frame on the stack
                     let (c, _, _) = stack.pop().expect("non-empty stack");
                     rank[c as usize] = next_rank;
                     next_rank += 1;

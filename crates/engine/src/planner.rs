@@ -278,6 +278,7 @@ fn plan_repair_inner(
     let mut nodes: Vec<u32> = arcs.iter().flat_map(|&(s, t)| [s, t]).collect();
     nodes.sort_unstable();
     nodes.dedup();
+    // analyze: allow(panic): nodes was built from exactly these arc endpoints
     let local = |c: u32| nodes.binary_search(&c).expect("endpoint is a node") as V;
     let mut sedges: Vec<(V, V)> = arcs.iter().map(|&(s, t)| (local(s), local(t))).collect();
     for (i, &x) in nodes.iter().enumerate() {

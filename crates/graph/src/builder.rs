@@ -95,7 +95,8 @@ pub fn merge_csr(base: &Csr, insertions: &[(V, V)], deletions: &[(V, V)]) -> Csr
                 let del = slice_of(deletions, u as V);
                 let mut count = 0u64;
                 merge_adjacency(base.neighbors(u as V), ins, del, |_| count += 1);
-                // Safety: each vertex writes only its own slot.
+                // SAFETY: offsets has n+1 slots and each task writes
+                // only its own vertex slot u < n, exactly once.
                 unsafe { *off.get().add(u) = count };
             }
         });
@@ -114,8 +115,10 @@ pub fn merge_csr(base: &Csr, insertions: &[(V, V)], deletions: &[(V, V)]) -> Csr
                 let del = slice_of(deletions, u as V);
                 let mut pos = offsets[u] as usize;
                 merge_adjacency(base.neighbors(u as V), ins, del, |v| {
-                    // Safety: per-vertex segments [offsets[u], offsets[u+1])
-                    // are disjoint.
+                    // SAFETY: pos walks [offsets[u], offsets[u+1]),
+                    // vertex u's exclusive segment of `targets`; segments
+                    // tile the buffer without overlap and the scan sized
+                    // it to exactly m entries.
                     unsafe { *tgt.get().add(pos) = v };
                     pos += 1;
                 });
@@ -178,7 +181,10 @@ fn merge_adjacency(nb: &[V], ins: &[(V, V)], del: &[(V, V)], mut emit: impl FnMu
 
 /// Raw-pointer wrapper letting disjoint parallel writers share one buffer.
 struct SendPtr<T>(*mut T);
+// SAFETY: SendPtr is only handed to the two per-vertex passes above,
+// where every task writes a disjoint slot or segment.
 unsafe impl<T> Sync for SendPtr<T> {}
+// SAFETY: see Sync above — plain memory, no thread affinity.
 unsafe impl<T> Send for SendPtr<T> {}
 impl<T> SendPtr<T> {
     fn get(&self) -> *mut T {

@@ -21,7 +21,7 @@ impl Csr {
     pub fn from_parts(offsets: Vec<u64>, targets: Vec<V>) -> Self {
         assert!(!offsets.is_empty(), "offsets must have length n+1");
         assert_eq!(offsets[0], 0);
-        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        assert_eq!(offsets.last().copied(), Some(targets.len() as u64));
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
     }
@@ -115,7 +115,10 @@ impl Csr {
             for v in r {
                 let lo = offsets[v] as usize;
                 let hi = offsets[v + 1] as usize;
-                // Safety: per-vertex segments are disjoint.
+                // SAFETY: [offsets[v], offsets[v+1]) is vertex v's
+                // exclusive segment of `targets`; segments tile the
+                // buffer without overlap, so each task sorts private
+                // memory.
                 unsafe {
                     let seg = std::slice::from_raw_parts_mut(tptr.get().add(lo), hi - lo);
                     seg.sort_unstable();
@@ -127,7 +130,10 @@ impl Csr {
 }
 
 struct TargetsPtr(*mut V);
+// SAFETY: TargetsPtr is only shared with the per-vertex segment sort
+// above, where tasks mutate disjoint CSR segments.
 unsafe impl Sync for TargetsPtr {}
+// SAFETY: see Sync above — plain memory, no thread affinity.
 unsafe impl Send for TargetsPtr {}
 impl TargetsPtr {
     fn get(&self) -> *mut V {

@@ -106,7 +106,10 @@ pub fn knn_digraph(points: &[Point], k: usize) -> DiGraph {
     let mut edges: Vec<(V, V)> = vec![(0, 0); n * k];
     {
         struct EdgesPtr(*mut (V, V));
+        // SAFETY: EdgesPtr is only shared with the loop below, where
+        // point i writes exclusively to rows i*k..(i+1)*k.
         unsafe impl Sync for EdgesPtr {}
+        // SAFETY: see Sync above — plain memory, no thread affinity.
         unsafe impl Send for EdgesPtr {}
         impl EdgesPtr {
             fn get(&self) -> *mut (V, V) {
@@ -174,7 +177,9 @@ pub fn knn_digraph(points: &[Point], k: usize) -> DiGraph {
                     best.sort_by(cmp_dist);
                 }
                 for (slot, &(_, j)) in best.iter().enumerate() {
-                    // Safety: rows i*k..(i+1)*k are owned by point i.
+                    // SAFETY: slot < k, so i*k + slot stays inside rows
+                    // i*k..(i+1)*k — point i's exclusive slice of the
+                    // n*k-entry edges buffer.
                     unsafe { *eptr.get().add(i * k + slot) = (i as V, j as V) };
                 }
             }
@@ -186,7 +191,7 @@ pub fn knn_digraph(points: &[Point], k: usize) -> DiGraph {
 
 #[inline]
 fn cmp_dist(a: &(f64, u32), b: &(f64, u32)) -> std::cmp::Ordering {
-    a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
 }
 
 /// True if candidate (d, j) beats the incumbent pair.

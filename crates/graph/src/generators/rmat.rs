@@ -19,7 +19,10 @@ pub fn rmat_digraph(log_n: u32, m: usize, seed: u64) -> DiGraph {
     let mut edges: Vec<(V, V)> = vec![(0, 0); m];
     {
         struct P(*mut (V, V));
+        // SAFETY: P is only shared with the loop below, where iteration
+        // i writes exclusively to edges[i].
         unsafe impl Sync for P {}
+        // SAFETY: see Sync above — plain memory, no thread affinity.
         unsafe impl Send for P {}
         impl P {
             fn get(&self) -> *mut (V, V) {
@@ -53,6 +56,8 @@ pub fn rmat_digraph(log_n: u32, m: usize, seed: u64) -> DiGraph {
                 // Permute ids by a fixed hash so hubs are spread out.
                 let u = (pscc_runtime::hash64(u as u64 ^ 0xabcd) % n as u64) as V;
                 let v = (pscc_runtime::hash64(v as u64 ^ 0x1234) % n as u64) as V;
+                // SAFETY: i < m indexes the m-entry edges buffer and is
+                // visited by exactly one task.
                 unsafe { *ptr.get().add(i) = (u, v) };
             }
         });

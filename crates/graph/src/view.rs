@@ -101,7 +101,9 @@ impl<'g> SubgraphView<'g> {
             }
         }
         for &(u, v) in extra {
+            // analyze: allow(panic): documented precondition — extra arcs must join view vertices
             let lu = self.local_of(u).unwrap_or_else(|| panic!("extra arc source {u} not in view"));
+            // analyze: allow(panic): documented precondition — extra arcs must join view vertices
             let lv = self.local_of(v).unwrap_or_else(|| panic!("extra arc target {v} not in view"));
             edges.push((lu, lv));
         }

@@ -148,17 +148,17 @@ pub fn le_lists_with_priority(
                     let missed_ref = &missed;
                     expand(g, &frontier, &delta, &table, d, &overflow, |key| {
                         if round_ref.insert(key) == Insert::Full {
-                            missed_ref.lock().unwrap().push(key);
+                            missed_ref.lock().expect("missed lock").push(key);
                         }
                     });
                     let mut keys = round.keys();
-                    keys.append(&mut missed.lock().unwrap());
+                    keys.append(&mut missed.lock().expect("missed lock"));
                     keys
                 }
             };
             // Resolve overflowed global inserts: grow, retry, splice.
             loop {
-                let pending = std::mem::take(&mut *overflow.lock().unwrap());
+                let pending = std::mem::take(&mut *overflow.lock().expect("overflow lock"));
                 if pending.is_empty() {
                     break;
                 }
@@ -168,7 +168,7 @@ pub fn le_lists_with_priority(
                     match table.insert(key) {
                         Insert::Added => next.push(key),
                         Insert::Present => {}
-                        Insert::Full => overflow.lock().unwrap().push(key),
+                        Insert::Full => overflow.lock().expect("overflow lock").push(key),
                     }
                 }
             }
@@ -200,6 +200,9 @@ pub fn le_lists_with_priority(
         };
         {
             struct P(*mut Vec<LeEntry>);
+            // SAFETY: P is only shared with the loop below; triples are
+            // grouped by vertex and each group (hence each lists[u]) is
+            // handled by exactly one task.
             unsafe impl Sync for P {}
             impl P {
                 fn get(&self) -> *mut Vec<LeEntry> {
@@ -215,7 +218,9 @@ pub fn le_lists_with_priority(
                     // Keep a candidate iff strictly closer than everything
                     // kept before it (all of higher priority).
                     let mut run_min = u32::MAX;
-                    // Safety: one task per vertex group.
+                    // SAFETY: u is group gi's vertex and groups have
+                    // distinct vertices, so this &mut to lists[u] is the
+                    // only live reference to it.
                     let list = unsafe { &mut *lptr.get().add(u) };
                     for &(_, s, d) in &triples[lo..hi] {
                         if d < run_min {
@@ -255,7 +260,7 @@ fn expand<F>(
                     match table.insert(key) {
                         Insert::Added => emit(key),
                         Insert::Present => {}
-                        Insert::Full => overflow.lock().unwrap().push(key),
+                        Insert::Full => overflow.lock().expect("overflow lock").push(key),
                     }
                 }
             }

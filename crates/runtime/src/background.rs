@@ -71,6 +71,7 @@ impl Background {
                     }
                 }
             })
+            // analyze: allow(panic): thread-spawn failure at construction is unrecoverable
             .expect("spawn background worker thread");
         Background { tx: Some(tx), handle: Some(handle) }
     }
@@ -97,8 +98,13 @@ impl Background {
                 job_latency_histogram().record(t.elapsed());
             }
         };
-        let sent =
-            self.tx.as_ref().expect("worker alive until drop").send(Box::new(wrapped)).is_ok();
+        let sent = self
+            .tx
+            .as_ref()
+            // analyze: allow(panic): tx is Some from construction until Drop takes it
+            .expect("worker alive until drop")
+            .send(Box::new(wrapped))
+            .is_ok();
         if !sent {
             depth.dec();
         }

@@ -35,6 +35,8 @@ where
                 let lo = b * BLOCK;
                 let hi = (lo + BLOCK).min(n);
                 let c = (lo..hi).filter(|&i| keep(i)).count() as u64;
+                // SAFETY: counts has nblocks slots and each task writes
+                // only its own index b < nblocks; blocks are disjoint.
                 unsafe { *counts_ptr.get().add(b) = c };
             }
         });
@@ -52,8 +54,10 @@ where
                 let mut pos = counts[b] as usize;
                 for i in lo..hi {
                     if keep(i) {
-                        // Safety: positions [counts[b], counts[b+1]) are
-                        // owned exclusively by block b.
+                        // SAFETY: pos walks [counts[b], counts[b+1]), the
+                        // slice of `out` owned exclusively by block b; the
+                        // exclusive scan sized `out` to hold every kept
+                        // index, so pos < total <= capacity.
                         unsafe { *out_ptr.get().add(pos) = i };
                         pos += 1;
                     }
@@ -61,7 +65,8 @@ where
             }
         });
     }
-    // Safety: exactly `total` slots were initialized above.
+    // SAFETY: the block writes above initialized exactly the first
+    // `total` slots (the scan's grand total), with no gaps.
     unsafe { out.set_len(total) };
     out
 }
@@ -85,6 +90,8 @@ where
                 let lo = b * BLOCK;
                 let hi = (lo + BLOCK).min(n);
                 let c = data[lo..hi].iter().filter(|x| f(x).is_some()).count() as u64;
+                // SAFETY: counts has nblocks slots and each task writes
+                // only its own index b < nblocks; blocks are disjoint.
                 unsafe { *counts_ptr.get().add(b) = c };
             }
         });
@@ -102,6 +109,9 @@ where
                 let mut pos = counts[b] as usize;
                 for x in &data[lo..hi] {
                     if let Some(v) = f(x) {
+                        // SAFETY: pos walks [counts[b], counts[b+1]), the
+                        // slice of `out` owned exclusively by block b; the
+                        // exclusive scan sized `out` for every Some result.
                         unsafe { *out_ptr.get().add(pos) = v };
                         pos += 1;
                     }
@@ -109,12 +119,19 @@ where
             }
         });
     }
+    // SAFETY: the block writes above initialized exactly the first
+    // `total` slots (the scan's grand total), with no gaps.
     unsafe { out.set_len(total) };
     out
 }
 
 struct SyncPtr<T>(*mut T);
+// SAFETY: SyncPtr is a raw-pointer capability handed to disjoint-write
+// parallel loops; every use site guarantees its own non-overlapping
+// index range, so sharing the pointer across threads is sound.
 unsafe impl<T> Sync for SyncPtr<T> {}
+// SAFETY: see Sync above — the wrapped pointer targets plain memory and
+// carries no thread affinity.
 unsafe impl<T> Send for SyncPtr<T> {}
 impl<T> SyncPtr<T> {
     #[inline(always)]

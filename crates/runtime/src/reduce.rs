@@ -81,6 +81,7 @@ where
             .collect();
         let mut acc = fold(0, seg.min(n));
         for h in handles {
+            // analyze: allow(panic): deliberately propagates a worker panic to the caller
             acc = combine(acc, h.join().expect("reduce worker panicked"));
         }
         acc

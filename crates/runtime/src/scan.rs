@@ -38,7 +38,8 @@ pub fn scan_exclusive(data: &mut [u64]) -> u64 {
                 let lo = b * BLOCK;
                 let hi = (lo + BLOCK).min(n);
                 let s: u64 = data_ref[lo..hi].iter().sum();
-                // Safety: each block index is visited by exactly one task.
+                // SAFETY: block_sums has nblocks slots and each task
+                // writes only its own index b < nblocks, exactly once.
                 unsafe { *sums_ptr.get().add(b) = s };
             }
         });
@@ -63,7 +64,8 @@ pub fn scan_exclusive(data: &mut [u64]) -> u64 {
                 let hi = (lo + BLOCK).min(n);
                 let mut acc = sums[b];
                 for i in lo..hi {
-                    // Safety: blocks are disjoint index ranges.
+                    // SAFETY: i stays inside [lo, hi) ⊆ [0, n), block b's
+                    // exclusive slice of data; blocks never overlap.
                     unsafe {
                         let p = data_ptr.get().add(i);
                         let v = *p;
@@ -80,7 +82,12 @@ pub fn scan_exclusive(data: &mut [u64]) -> u64 {
 /// A raw pointer wrapper asserting cross-thread use is safe because tasks
 /// write disjoint indices.
 struct SyncPtr<T>(*mut T);
+// SAFETY: SyncPtr is only handed to parallel loops whose tasks touch
+// disjoint index ranges (documented at each use), so aliased mutation
+// never occurs.
 unsafe impl<T> Sync for SyncPtr<T> {}
+// SAFETY: see Sync above — the pointer targets plain memory with no
+// thread affinity.
 unsafe impl<T> Send for SyncPtr<T> {}
 impl<T> SyncPtr<T> {
     #[inline(always)]

@@ -87,7 +87,9 @@ fn decode_payload(payload: &[u8]) -> io::Result<DeltaRecord> {
     if payload.len() < 8 {
         return invalid("wal payload shorter than its counts");
     }
+    // analyze: allow(panic): fixed-width slice, try_into is infallible
     let ins_count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    // analyze: allow(panic): fixed-width slice, try_into is infallible
     let del_count = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
     let want = 8 + 8 * (ins_count + del_count);
     if payload.len() != want {
@@ -98,7 +100,9 @@ fn decode_payload(payload: &[u8]) -> io::Result<DeltaRecord> {
     }
     let mut edges = payload[8..].chunks_exact(8).map(|c| {
         (
+            // analyze: allow(panic): chunks_exact(8) guarantees the width
             V::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+            // analyze: allow(panic): chunks_exact(8) guarantees the width
             V::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
         )
     });
@@ -172,6 +176,7 @@ impl Wal {
             if seq != expect_seq.unwrap_or(seq) {
                 return invalid(format!(
                     "wal sequence break: record {seq} follows {}",
+                    // analyze: allow(panic): the != above can only fire when expect_seq is Some
                     expect_seq.expect("a predecessor exists") - 1
                 ));
             }
@@ -209,7 +214,9 @@ impl Wal {
         file.seek(SeekFrom::Start(at)).ok()?;
         let mut head = [0u8; 12];
         file.read_exact(&mut head).ok()?;
+        // analyze: allow(panic): fixed-width slice, try_into is infallible
         let len = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as u64;
+        // analyze: allow(panic): fixed-width slice, try_into is infallible
         let seq = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes"));
         if len > file_len - at - FRAME_BYTES {
             return None; // length outruns the file: torn or corrupt

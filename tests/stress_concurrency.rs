@@ -164,7 +164,7 @@ fn queries_answered_from_old_index_during_delta_rebuild() {
             let mut d = Delta::new();
             d.delete(doomed_edge.0, doomed_edge.1).insert(absent_edge.0, absent_edge.1);
             let report = cat.apply_delta("g", &d).expect("valid delta");
-            done.store(true, Ordering::SeqCst);
+            done.store(true, Ordering::Release);
             report
         })
     };
@@ -177,7 +177,7 @@ fn queries_answered_from_old_index_during_delta_rebuild() {
     let in_flight = parallel_scc::telemetry::gauge("pscc_catalog_rebuild_in_flight{graph=\"g\"}");
     let queries: Vec<(V, V)> = (0..256).map(|i| (i as V, (i * 7 + 1) as V)).collect();
     let mut batches_during_rebuild = 0u64;
-    while !rebuild_done.load(Ordering::SeqCst) {
+    while !rebuild_done.load(Ordering::Acquire) {
         let raised_before = in_flight.get() > 0;
         let answers = cat.answer_batch("g", &queries).expect("registered");
         assert_eq!(answers.len(), queries.len());
