@@ -23,7 +23,11 @@
 //!   and the **telemetry overhead gate**: warm-batch throughput with the
 //!   runtime kill-switch on vs off must stay within 3% (the off state
 //!   skips every clock read and span, the same work the `telemetry-off`
-//!   feature compiles out).
+//!   feature compiles out),
+//! * the **flight-recorder overhead gate**: warm-batch throughput with
+//!   the post-mortem flight recorder installed vs not must stay within
+//!   5% (recording only appends to a bounded in-memory ring; segment
+//!   I/O happens on background flushes).
 //!
 //! Run: `cargo run --release -p pscc-bench --bin bench_engine [out.json]`
 
@@ -133,6 +137,42 @@ fn main() {
     let enabled_warm_qps = QUERIES as f64 / enabled_best;
     let disabled_warm_qps = QUERIES as f64 / disabled_best;
     let overhead_ratio = enabled_warm_qps / disabled_warm_qps;
+
+    // ---- Flight-recorder overhead gate ----
+    // Same interleave, but toggling the flight recorder: with it
+    // installed the span sink also journals into the in-memory ring, so
+    // this measures the full always-on post-mortem cost on the hot
+    // query path (the ring is bounded; no I/O happens until a flush).
+    let mut recorder_dir = std::env::temp_dir();
+    recorder_dir.push(format!("pscc_bench_engine_fdr_{}", std::process::id()));
+    std::fs::remove_dir_all(&recorder_dir).ok();
+    std::fs::create_dir_all(&recorder_dir).expect("recorder scratch dir");
+    let mut recorder_on_best = f64::INFINITY;
+    let mut recorder_off_best = f64::INFINITY;
+    for round in 0..14 {
+        let on = round % 2 == 0;
+        if on {
+            pscc_telemetry::recorder::install(&recorder_dir).expect("install recorder");
+        } else {
+            pscc_telemetry::recorder::uninstall();
+        }
+        let t = Instant::now();
+        let _ = catalog.answer_batch(NAME, &queries).expect("registered");
+        let secs = t.elapsed().as_secs_f64();
+        if round < 2 {
+            continue; // one warmup pair before either side scores
+        }
+        if on {
+            recorder_on_best = recorder_on_best.min(secs);
+        } else {
+            recorder_off_best = recorder_off_best.min(secs);
+        }
+    }
+    pscc_telemetry::recorder::uninstall();
+    std::fs::remove_dir_all(&recorder_dir).ok();
+    let recorder_on_warm_qps = QUERIES as f64 / recorder_on_best;
+    let recorder_off_warm_qps = QUERIES as f64 / recorder_off_best;
+    let recorder_ratio = recorder_on_warm_qps / recorder_off_warm_qps;
 
     // ---- Absorbed-delta latency: insert already-reachable pairs ----
     let reachable: Vec<(V, V)> = queries
@@ -432,6 +472,11 @@ fn main() {
     "enabled_warm_qps": {enabled_warm_qps:.0},
     "disabled_warm_qps": {disabled_warm_qps:.0},
     "ratio": {overhead_ratio:.4}
+  }},
+  "recorder_overhead": {{
+    "recorder_on_warm_qps": {recorder_on_warm_qps:.0},
+    "recorder_off_warm_qps": {recorder_off_warm_qps:.0},
+    "ratio": {recorder_ratio:.4}
   }}
 }}
 "#,
@@ -515,5 +560,11 @@ fn main() {
         "always-on telemetry must cost under 3% of warm-batch throughput \
          (enabled {enabled_warm_qps:.0} qps vs disabled {disabled_warm_qps:.0} qps, \
           ratio {overhead_ratio:.4})"
+    );
+    assert!(
+        recorder_ratio >= 0.95,
+        "the flight recorder must cost under 5% of warm-batch throughput \
+         (on {recorder_on_warm_qps:.0} qps vs off {recorder_off_warm_qps:.0} qps, \
+          ratio {recorder_ratio:.4})"
     );
 }

@@ -1,0 +1,125 @@
+//! `pscc-doctor` — read-only post-mortem diagnostics for a catalog data
+//! dir.
+//!
+//! ```text
+//! pscc-doctor <data-dir> [--timeline N] [--explain <queries-file>]
+//! ```
+//!
+//! Exit codes: 0 healthy, 1 corruption detected (or an I/O failure
+//! reading the dir), 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    data_dir: PathBuf,
+    timeline: usize,
+    explain: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pscc-doctor <data-dir> [--timeline N] [--explain <queries-file>]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut data_dir: Option<PathBuf> = None;
+    let mut timeline = 20usize;
+    let mut explain: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--timeline" => {
+                let Some(n) = argv.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--timeline expects a number");
+                    return Err(usage());
+                };
+                timeline = n;
+            }
+            "--explain" => {
+                let Some(path) = argv.next() else {
+                    eprintln!("--explain expects a file path");
+                    return Err(usage());
+                };
+                explain = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag {arg:?}");
+                return Err(usage());
+            }
+            _ if data_dir.is_none() => data_dir = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("unexpected extra argument {arg:?}");
+                return Err(usage());
+            }
+        }
+    }
+    let Some(data_dir) = data_dir else {
+        return Err(usage());
+    };
+    Ok(Args { data_dir, timeline, explain })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    let diag = match pscc_doctor::diagnose(&args.data_dir, args.timeline) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pscc-doctor: cannot read {}: {e}", args.data_dir.display());
+            return ExitCode::from(1);
+        }
+    };
+    print!("{}", diag.report);
+
+    let mut explain_failed = false;
+    if let Some(path) = &args.explain {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pscc-doctor: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let queries = match pscc_doctor::parse_queries(&text) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("pscc-doctor: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!("\n== explain ==");
+        // Group consecutive queries by graph so each graph is replayed
+        // and indexed once.
+        let mut idx = 0;
+        while idx < queries.len() {
+            let graph = queries[idx].0.clone();
+            let mut batch = Vec::new();
+            while idx < queries.len() && queries[idx].0 == graph {
+                batch.push((queries[idx].1, queries[idx].2));
+                idx += 1;
+            }
+            match pscc_doctor::explain_queries(&args.data_dir, &graph, &batch) {
+                Ok(lines) => {
+                    for line in lines {
+                        println!("  [{graph}] {line}");
+                    }
+                }
+                Err(e) => {
+                    println!("  [{graph}] replay failed: {e}");
+                    explain_failed = true;
+                }
+            }
+        }
+    }
+
+    if diag.healthy() && !explain_failed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -115,6 +115,46 @@ impl<'a> QueryBatch<'a> {
         ans
     }
 
+    /// Answers every query *with provenance*: the verdict plus the
+    /// [`QueryTier`](crate::QueryTier) that decided it and the work done.
+    /// Runs sequentially (EXPLAIN is a diagnostic path, not a serving
+    /// path) but goes through the same memo and the same tier cascade as
+    /// [`Self::answer`], so `explain(q)[i].reaches == answer(q)[i]`
+    /// always — the only divergence possible is `Memo` appearing where a
+    /// cold run would have consulted the summary.
+    pub fn explain(&self, queries: &[(V, V)]) -> Vec<crate::explain::QueryExplain> {
+        use crate::explain::{QueryExplain, QueryTier};
+        queries
+            .iter()
+            .map(|&(u, v)| {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                let (cu, cv) = (self.index.comp(u) as usize, self.index.comp(v) as usize);
+                if cu == cv {
+                    return QueryExplain {
+                        u,
+                        v,
+                        reaches: true,
+                        tier: QueryTier::SameComponent,
+                        dfs_visited: 0,
+                    };
+                }
+                if let Some(hit) = self.memo.get(cu, cv) {
+                    self.memo.record_hit();
+                    return QueryExplain {
+                        u,
+                        v,
+                        reaches: hit,
+                        tier: QueryTier::Memo,
+                        dfs_visited: 0,
+                    };
+                }
+                let (ans, tier, visited) = self.index.comp_reaches_explained(cu, cv);
+                self.memo.put(cu, cv, ans);
+                QueryExplain { u, v, reaches: ans, tier, dfs_visited: visited }
+            })
+            .collect()
+    }
+
     /// Answers every query in parallel; `out[i]` corresponds to
     /// `queries[i]`.
     pub fn answer(&self, queries: &[(V, V)]) -> Vec<bool> {
@@ -341,6 +381,67 @@ mod tests {
         let idx = Index::build(&g);
         let batch = QueryBatch::new(&idx);
         assert!(batch.answer(&[]).is_empty());
+    }
+
+    #[test]
+    fn explain_agrees_with_answer_and_reports_tiers() {
+        use crate::explain::QueryTier;
+        let g = gnm_digraph(150, 350, 2);
+        // Interval tier: exercises exception lists, refutes, and the DFS.
+        let cfg = IndexConfig { bitset_budget_bytes: 0, ..IndexConfig::default() };
+        let idx = Index::build_with_config(&g, &cfg);
+        let batch = QueryBatch::new(&idx);
+        let queries = random_queries(150, 2000, 13);
+        let answers = batch.answer_sequential(&queries);
+        // Fresh executor so no memo entries mask the real tiers.
+        let cold = QueryBatch::new(&idx);
+        let explains = cold.explain(&queries);
+        assert_eq!(explains.len(), answers.len());
+        let mut tiers = std::collections::HashSet::new();
+        for (ex, &ans) in explains.iter().zip(&answers) {
+            assert_eq!(ex.reaches, ans, "explain({}, {}) disagrees with answer", ex.u, ex.v);
+            if ex.tier != QueryTier::PrunedDfs {
+                assert_eq!(ex.dfs_visited, 0);
+            }
+            tiers.insert(ex.tier.name());
+        }
+        assert!(tiers.contains("same_component"), "tiers seen: {tiers:?}");
+        assert!(tiers.contains("level_prune"), "tiers seen: {tiers:?}");
+        // Re-explaining the same queries on the same executor hits the memo.
+        let warm = cold.explain(&queries);
+        assert!(
+            warm.iter().any(|ex| ex.tier == QueryTier::Memo),
+            "repeated cross-component queries must report memo provenance"
+        );
+        for (w, ex) in warm.iter().zip(&explains) {
+            assert_eq!(w.reaches, ex.reaches);
+        }
+    }
+
+    #[test]
+    fn explain_reports_bitset_rows_on_the_bitset_tier() {
+        use crate::explain::QueryTier;
+        let g = gnm_digraph(100, 220, 3);
+        let idx = Index::build(&g);
+        assert_eq!(idx.tier(), crate::SummaryTier::Bitset);
+        let batch = QueryBatch::new(&idx);
+        let explains = batch.explain(&random_queries(100, 500, 17));
+        assert!(
+            explains.iter().any(|ex| ex.tier == QueryTier::BitsetRow),
+            "bitset-tier index must answer some queries via its rows"
+        );
+        assert!(explains.iter().all(|ex| ex.tier != QueryTier::PrunedDfs));
+    }
+
+    #[test]
+    fn explain_describe_mentions_the_tier() {
+        let g = gnm_digraph(50, 120, 4);
+        let idx = Index::build(&g);
+        let batch = QueryBatch::new(&idx);
+        let ex = &batch.explain(&[(0, 1)])[0];
+        let line = ex.describe();
+        assert!(line.contains("0 -> 1"), "{line}");
+        assert!(line.contains(ex.tier.name()), "{line}");
     }
 
     #[test]

@@ -40,11 +40,13 @@
 
 use crate::batch::{BatchOptions, MemoCache, QueryBatch};
 use crate::delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
+use crate::explain::{PlanExplain, QueryExplain};
 use crate::index::{BuildCause, Index, IndexConfig};
-use crate::planner::{plan_repair, RepairPlan};
+use crate::planner::{plan_repair_explained, RepairPlan};
 use pscc_graph::{DiGraph, V};
 use pscc_runtime::Background;
 use pscc_store::{DeltaRecord, Store, StoreMeta};
+use pscc_telemetry::recorder::{self, FlightEvent};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
@@ -136,19 +138,11 @@ struct EntryMetrics {
     rebuild_nanos: Arc<pscc_telemetry::Histogram>,
 }
 
-/// `base{graph="<name>"}` with quotes and backslashes in `name` escaped,
-/// so arbitrary graph names stay well-formed exposition labels.
+/// `base{graph="<name>"}` with quotes, backslashes, and newlines in
+/// `name` escaped ([`pscc_telemetry::escape_label_value`]), so arbitrary
+/// graph names stay well-formed exposition labels.
 fn graph_metric(base: &str, name: &str) -> String {
-    let mut value = String::with_capacity(name.len());
-    for c in name.chars() {
-        match c {
-            '"' => value.push_str("\\\""),
-            '\\' => value.push_str("\\\\"),
-            '\n' => value.push_str("\\n"),
-            _ => value.push(c),
-        }
-    }
-    format!("{base}{{graph=\"{value}\"}}")
+    format!("{base}{{graph=\"{}\"}}", pscc_telemetry::escape_label_value(name))
 }
 
 /// Stable telemetry name of a delta outcome (the `outcome` attribute of
@@ -227,6 +221,9 @@ struct Entry {
     repairs: TierTallies,
     /// True while a compaction job for this entry is queued or running.
     compaction_queued: AtomicBool,
+    /// The planner explain of the most recent planned (non-noop,
+    /// non-deferred) delta, surfaced by [`Catalog::last_plan_explain`].
+    last_plan: Mutex<Option<PlanExplain>>,
 }
 
 impl Entry {
@@ -249,6 +246,7 @@ impl Entry {
             discarded_builds: AtomicU64::new(0),
             repairs: TierTallies::default(),
             compaction_queued: AtomicBool::new(false),
+            last_plan: Mutex::new(None),
         })
     }
 
@@ -266,6 +264,10 @@ pub struct Catalog {
     /// Lazily spawned worker running store compactions; dropped (and
     /// joined, finishing queued jobs) with the catalog.
     maintenance: Mutex<Option<Background>>,
+    /// True while a flight-recorder flush job is queued on the
+    /// maintenance worker — per-delta flushes debounce on it, so a burst
+    /// of deltas costs one background flush, not one per delta.
+    flight_flush_queued: Arc<AtomicBool>,
 }
 
 impl Default for Catalog {
@@ -282,7 +284,23 @@ impl Catalog {
 
     /// An empty catalog with an explicit compaction policy.
     pub fn with_compaction(policy: CompactionPolicy) -> Self {
-        Catalog { entries: RwLock::new(HashMap::new()), policy, maintenance: Mutex::new(None) }
+        Catalog {
+            entries: RwLock::new(HashMap::new()),
+            policy,
+            maintenance: Mutex::new(None),
+            flight_flush_queued: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Installs the process-global flight recorder under `dir` (see
+    /// [`pscc_telemetry::recorder`]): from then on this process's deltas,
+    /// rebuilds, compactions, spans, and histogram snapshots are journaled
+    /// to bounded `flight-<seq>.fdr` segments for post-mortem analysis by
+    /// `pscc-doctor`. An associated function so it can run *before*
+    /// [`Catalog::open`] — recovery replay is then captured too.
+    /// Idempotent for the same directory.
+    pub fn enable_flight_recorder(dir: impl AsRef<Path>) -> io::Result<()> {
+        recorder::install(dir.as_ref())
     }
 
     /// Registers (or replaces) a graph under `name` with the default index
@@ -442,8 +460,37 @@ impl Catalog {
         let report = Self::apply_delta_entry(&entry, delta, true)?;
         if report.outcome != DeltaOutcome::NoOp {
             self.maybe_schedule_compaction(&entry);
+            self.schedule_flight_flush();
         }
         Ok(report)
+    }
+
+    /// [`Catalog::answer_batch`] with per-query provenance: each verdict
+    /// comes back with the [`crate::QueryTier`] that decided it and the
+    /// work done ([`QueryExplain`]). Runs sequentially — EXPLAIN is a
+    /// diagnostic path — but through the same shared memo and tier
+    /// cascade, so verdicts always match [`Catalog::answer_batch`].
+    pub fn answer_batch_explained(
+        &self,
+        name: &str,
+        queries: &[(V, V)],
+    ) -> Option<Vec<QueryExplain>> {
+        let entry = self.entry(name)?;
+        let mut span = pscc_telemetry::span("answer_batch_explained");
+        span.set_attr("graph", &entry.name);
+        span.set_attr("queries", queries.len());
+        entry.metrics.queries.add(queries.len() as u64);
+        let (index, memo) = Self::entry_index_and_memo(&entry);
+        let batch = QueryBatch::with_shared_memo(&index, memo, entry.batch.grain);
+        Some(batch.explain(queries))
+    }
+
+    /// The planner's [`PlanExplain`] for the most recent delta applied to
+    /// `name` that actually reached the planner (noops and pre-index
+    /// deferred deltas plan nothing). `None` for an unknown graph or
+    /// before the first planned delta.
+    pub fn last_plan_explain(&self, name: &str) -> Option<PlanExplain> {
+        self.entry(name)?.last_plan.lock().expect("plan explain lock").clone()
     }
 
     /// The delta-application machinery, shared by the serving path
@@ -514,43 +561,48 @@ impl Catalog {
             let memo = MemoCache::new(entry.batch.memo_bits, index.num_components());
             Exec::Install(Arc::new(index), Arc::new(memo), outcome)
         };
+        let mut plan_ex: Option<PlanExplain> = None;
         let exec = match &index_pair {
             None => Exec::Deferred,
-            Some((index, _)) => match plan_repair(index, &ins, &del, &entry.config.repair) {
-                RepairPlan::Absorb => Exec::Keep,
-                RepairPlan::DagSplice { arcs } => install(
-                    index.splice_dag_arcs(&arcs, &ins, &del, &entry.config),
-                    DeltaOutcome::DagSpliced,
-                ),
-                RepairPlan::RegionRecompute { region, arcs } => install(
-                    index.recompute_region(&region, &arcs, &ins, &del, &entry.config),
-                    DeltaOutcome::RegionRecomputed,
-                ),
-                RepairPlan::ArcUnsplice { arcs } => install(
-                    index.unsplice_dag_arcs(&arcs, &del, &entry.config),
-                    DeltaOutcome::ArcUnspliced,
-                ),
-                RepairPlan::SccSplit { comps, dead_arcs } => {
-                    match index.split_sccs(&merged, &comps, &dead_arcs, &del, &entry.config) {
-                        Some(patched) => install(patched, DeltaOutcome::SccSplit),
-                        // Every checked component held together and no
-                        // arc died: reachability is unchanged — keep the
-                        // index like any other metadata-only delta.
-                        None => Exec::Keep,
+            Some((index, _)) => {
+                let (plan, ex) = plan_repair_explained(index, &ins, &del, &entry.config.repair);
+                plan_ex = Some(ex);
+                match plan {
+                    RepairPlan::Absorb => Exec::Keep,
+                    RepairPlan::DagSplice { arcs } => install(
+                        index.splice_dag_arcs(&arcs, &ins, &del, &entry.config),
+                        DeltaOutcome::DagSpliced,
+                    ),
+                    RepairPlan::RegionRecompute { region, arcs } => install(
+                        index.recompute_region(&region, &arcs, &ins, &del, &entry.config),
+                        DeltaOutcome::RegionRecomputed,
+                    ),
+                    RepairPlan::ArcUnsplice { arcs } => install(
+                        index.unsplice_dag_arcs(&arcs, &del, &entry.config),
+                        DeltaOutcome::ArcUnspliced,
+                    ),
+                    RepairPlan::SccSplit { comps, dead_arcs } => {
+                        match index.split_sccs(&merged, &comps, &dead_arcs, &del, &entry.config) {
+                            Some(patched) => install(patched, DeltaOutcome::SccSplit),
+                            // Every checked component held together and no
+                            // arc died: reachability is unchanged — keep the
+                            // index like any other metadata-only delta.
+                            None => Exec::Keep,
+                        }
+                    }
+                    RepairPlan::FullRebuild { .. } => {
+                        let _in_flight = entry.metrics.rebuild_in_flight.inc_scoped();
+                        let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
+                        let mut index = Index::build_with_config(&merged, &entry.config);
+                        index.set_built_by(BuildCause::DeltaRebuild);
+                        if let Some(t) = timer {
+                            entry.metrics.rebuild_nanos.record(t.elapsed());
+                        }
+                        entry.metrics.rebuilds.inc();
+                        install(index, DeltaOutcome::Rebuilt)
                     }
                 }
-                RepairPlan::FullRebuild { .. } => {
-                    let _in_flight = entry.metrics.rebuild_in_flight.inc_scoped();
-                    let timer = pscc_telemetry::enabled().then(pscc_telemetry::Timer::start);
-                    let mut index = Index::build_with_config(&merged, &entry.config);
-                    index.set_built_by(BuildCause::DeltaRebuild);
-                    if let Some(t) = timer {
-                        entry.metrics.rebuild_nanos.record(t.elapsed());
-                    }
-                    entry.metrics.rebuilds.inc();
-                    install(index, DeltaOutcome::Rebuilt)
-                }
-            },
+            }
         };
         drop(execute_span);
 
@@ -591,8 +643,31 @@ impl Catalog {
         };
         st.graph = merged;
         st.generation += 1;
+        let generation_now = st.generation;
         drop(st);
         drop(swap_span);
+        // Journal the delta — outside the state lock, so a slow flush can
+        // never stall queries. The plan explain rides along in full: the
+        // post-mortem trace shows not just which tier repaired the index
+        // but which cheaper tiers were priced out and why.
+        if recorder::is_active() {
+            let mut ev = FlightEvent::new("apply_delta")
+                .field("graph", &entry.name)
+                .field("outcome", outcome_name(outcome))
+                .field("generation", generation_now)
+                .field("inserted", ins.len())
+                .field("deleted", del.len())
+                .field("replay", !log);
+            if let Some(ex) = &plan_ex {
+                for (key, value) in ex.journal_fields() {
+                    ev = ev.field(key, value);
+                }
+            }
+            recorder::record(ev);
+        }
+        if let Some(ex) = plan_ex {
+            *entry.last_plan.lock().expect("plan explain lock") = Some(ex);
+        }
         root.set_attr("outcome", outcome_name(outcome));
         entry.metrics.deltas.inc();
         if let Some(t) = delta_timer {
@@ -747,6 +822,15 @@ impl Catalog {
                 recovery.meta.generation,
                 Some(Arc::new(store)),
             );
+            let replayed = recovery.replayed.len();
+            if recorder::is_active() {
+                recorder::record(
+                    FlightEvent::new("recovery_replay")
+                        .field("graph", &name)
+                        .field("snapshot_generation", recovery.meta.generation)
+                        .field("replayed_records", replayed),
+                );
+            }
             for record in recovery.replayed {
                 let delta = Delta::from_parts(record.insertions, record.deletions);
                 // `log = false`: the record came *from* the log.
@@ -821,9 +905,48 @@ impl Catalog {
             memo_bits: entry.batch.memo_bits,
             grain: entry.batch.grain as u64,
         };
-        if let Err(e) = store.compact(&graph, meta) {
+        let result = store.compact(&graph, meta);
+        if recorder::is_active() {
+            recorder::record(
+                FlightEvent::new("compaction")
+                    .field("graph", &entry.name)
+                    .field("generation", generation)
+                    .field("ok", result.is_ok()),
+            );
+        }
+        if let Err(e) = result {
             pscc_telemetry::counter("pscc_maintenance_failures_total").inc();
             pscc_telemetry::log!(Error, "compaction of {} failed: {e}", store.dir().display());
+        }
+    }
+
+    /// Queues one background flush of the flight recorder, debounced: a
+    /// burst of deltas lands in the ring immediately and reaches disk on
+    /// the next maintenance-worker turn. Durability stays best-effort by
+    /// design — the WAL is the source of truth; the journal is evidence.
+    fn schedule_flight_flush(&self) {
+        if !recorder::is_active() {
+            return;
+        }
+        if self.flight_flush_queued.swap(true, Ordering::AcqRel) {
+            return; // a queued flush will pick this delta's events up
+        }
+        let queued = self.flight_flush_queued.clone();
+        let mut guard = self.maintenance.lock().expect("maintenance lock");
+        let worker = guard.get_or_insert_with(|| Background::spawn("pscc-catalog-maintenance"));
+        let submitted = worker.submit(move || {
+            // Clear before flushing: events recorded mid-flush get the
+            // *next* flush instead of being silently skipped.
+            queued.store(false, Ordering::Release);
+            if let Err(e) = recorder::flush_active() {
+                pscc_telemetry::counter("pscc_flight_flush_failures_total").inc();
+                pscc_telemetry::log!(Error, "flight recorder flush failed: {e}");
+            }
+        });
+        if !submitted {
+            // Worker died: the closure (and its flag reset) never ran.
+            self.flight_flush_queued.store(false, Ordering::Release);
+            pscc_telemetry::counter("pscc_flight_flush_failures_total").inc();
         }
     }
 
@@ -849,6 +972,13 @@ impl Catalog {
                 }
                 (st.graph.clone(), st.generation)
             };
+            if recorder::is_active() {
+                recorder::record(
+                    FlightEvent::new("rebuild_start")
+                        .field("graph", &entry.name)
+                        .field("generation", generation),
+                );
+            }
             let index = {
                 // The gauge is the observable witness (used by the
                 // concurrency stress suite) that queries keep serving
@@ -868,15 +998,42 @@ impl Catalog {
             if st.generation == generation {
                 // A concurrent lazy builder may have won the install race;
                 // share its instance instead of double-installing.
-                return st.index.get_or_insert((index, memo)).clone();
+                let pair = st.index.get_or_insert((index, memo)).clone();
+                drop(st);
+                if recorder::is_active() {
+                    recorder::record(
+                        FlightEvent::new("rebuild_swap")
+                            .field("graph", &entry.name)
+                            .field("generation", generation)
+                            .field("components", pair.0.num_components()),
+                    );
+                }
+                return pair;
             }
+            drop(st);
             entry.discarded_builds.fetch_add(1, Ordering::Relaxed);
             entry.metrics.stale_builds_discarded.inc();
+            if recorder::is_active() {
+                recorder::record(
+                    FlightEvent::new("rebuild_discard")
+                        .field("graph", &entry.name)
+                        .field("generation", generation),
+                );
+            }
         }
     }
 
     fn entry(&self, name: &str) -> Option<Arc<Entry>> {
         self.entries.read().expect("catalog lock").get(name).cloned()
+    }
+}
+
+impl Drop for Catalog {
+    fn drop(&mut self) {
+        // Orderly shutdown completes the journal: whatever the ring still
+        // holds (the maintenance worker's debounced flush may not have
+        // run) reaches disk before the process's evidence goes quiet.
+        recorder::force_dump_active();
     }
 }
 
@@ -900,8 +1057,9 @@ fn looks_like_store(dir: &Path) -> bool {
 
 /// Encodes a graph name as a filesystem-safe directory name: ASCII
 /// alphanumerics, `-`, and `_` pass through; every other byte becomes
-/// `%XX`. Reversible via [`decode_name`].
-fn encode_name(name: &str) -> String {
+/// `%XX`. Reversible via [`decode_name`]. Public so `pscc-doctor` can
+/// map a catalog data dir's subdirectories back to graph names.
+pub fn encode_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for &b in name.as_bytes() {
         match b {
@@ -913,7 +1071,7 @@ fn encode_name(name: &str) -> String {
 }
 
 /// Inverts [`encode_name`]; `None` if `encoded` is not a valid encoding.
-fn decode_name(encoded: &str) -> Option<String> {
+pub fn decode_name(encoded: &str) -> Option<String> {
     let bytes = encoded.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -1330,6 +1488,28 @@ mod tests {
         let report = cat.apply_delta("g", &d).unwrap();
         assert_eq!(report.outcome, DeltaOutcome::NoOp);
         assert_eq!(cat.reaches("g", 0, 1), Some(true));
+    }
+
+    #[test]
+    fn explained_batch_and_last_plan_are_exposed() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(5));
+        let ex = cat.answer_batch_explained("g", &[(0, 4), (4, 0), (2, 2)]).unwrap();
+        assert_eq!(ex.len(), 3);
+        assert!(ex[0].reaches && !ex[1].reaches && ex[2].reaches);
+        assert_eq!(ex[2].tier, crate::QueryTier::SameComponent);
+        // Verdicts must match the plain batch path exactly.
+        let plain = cat.answer_batch("g", &[(0, 4), (4, 0), (2, 2)]).unwrap();
+        assert_eq!(ex.iter().map(|e| e.reaches).collect::<Vec<_>>(), plain);
+        assert!(cat.last_plan_explain("g").is_none(), "no delta planned yet");
+        let mut d = Delta::new();
+        d.insert(4, 0); // closes the path into one cycle
+        cat.apply_delta("g", &d).unwrap();
+        let plan = cat.last_plan_explain("g").unwrap();
+        assert_eq!(plan.chosen, "region_recompute");
+        assert!(plan.rejected.iter().any(|&(t, _)| t == "dag_splice"));
+        assert!(cat.answer_batch_explained("missing", &[]).is_none());
+        assert!(cat.last_plan_explain("missing").is_none());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! a DAG region) — each of which reuses every layer a delta provably
 //! cannot have touched.
 
+use crate::explain::QueryTier;
 use crate::layers::{
     ancestors_of, LevelLayer, SccLayer, SummaryConfig, SummaryLayer, SupportLayer,
 };
@@ -791,6 +792,19 @@ impl Index {
             return false;
         }
         self.summary.comp_reaches(cu, cv, &self.dag, &self.levels.levels)
+    }
+
+    /// [`Self::comp_reaches`] with provenance: the verdict, the
+    /// [`QueryTier`] that decided it, and the components visited when the
+    /// pruned-DFS fallback ran (0 otherwise).
+    pub fn comp_reaches_explained(&self, cu: usize, cv: usize) -> (bool, QueryTier, usize) {
+        if cu == cv {
+            return (true, QueryTier::SameComponent, 0);
+        }
+        if self.levels.levels[cu] >= self.levels.levels[cv] {
+            return (false, QueryTier::LevelPrune, 0);
+        }
+        self.summary.comp_reaches_explained(cu, cv, &self.dag, &self.levels.levels)
     }
 }
 

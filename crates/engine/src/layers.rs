@@ -16,6 +16,7 @@
 //! partial updates the repair tiers need (arc splicing via `with_delta`,
 //! and contraction by edge remapping, which is plain iterator code).
 
+use crate::explain::QueryTier;
 use pscc_graph::{DiGraph, V};
 use pscc_runtime::SplitMix64;
 use std::collections::{BTreeSet, HashMap};
@@ -362,18 +363,36 @@ impl SummaryLayer {
     /// Summary verdict for `cu ⇝ cv` (`cu != cv`, level prune already
     /// passed). `dag` and `levels` back the interval tier's pruned DFS.
     pub fn comp_reaches(&self, cu: usize, cv: usize, dag: &DiGraph, levels: &[u32]) -> bool {
+        self.comp_reaches_explained(cu, cv, dag, levels).0
+    }
+
+    /// [`Self::comp_reaches`] with provenance: the verdict, which tier of
+    /// the summary decided it, and how many components the pruned DFS
+    /// visited (0 on every short-circuit path). Backs the EXPLAIN API;
+    /// the boolean query path calls through it, so the two can never
+    /// disagree.
+    pub fn comp_reaches_explained(
+        &self,
+        cu: usize,
+        cv: usize,
+        dag: &DiGraph,
+        levels: &[u32],
+    ) -> (bool, QueryTier, usize) {
         match self {
             SummaryLayer::Bitset { words_per_row, rows } => {
-                rows[cu * words_per_row + cv / 64] >> (cv % 64) & 1 == 1
+                let hit = rows[cu * words_per_row + cv / 64] >> (cv % 64) & 1 == 1;
+                (hit, QueryTier::BitsetRow, 0)
             }
             SummaryLayer::Intervals { labelings, exceptions } => {
                 if let Some(desc) = &exceptions[cu] {
-                    return desc.binary_search(&(cv as V)).is_ok();
+                    let hit = desc.binary_search(&(cv as V)).is_ok();
+                    return (hit, QueryTier::ExceptionList, 0);
                 }
                 if !labelings.iter().all(|l| l.may_reach(cu, cv)) {
-                    return false;
+                    return (false, QueryTier::IntervalRefute, 0);
                 }
-                pruned_dfs(cu, cv, dag, levels, labelings, exceptions)
+                let (hit, visited) = pruned_dfs(cu, cv, dag, levels, labelings, exceptions);
+                (hit, QueryTier::PrunedDfs, visited)
             }
         }
     }
@@ -435,6 +454,8 @@ impl SummaryLayer {
 
 /// Interval- and level-pruned DFS over the condensation DAG; the slow
 /// path of the interval tier for queries every prune lets through.
+/// Returns the verdict and the number of components visited — the "work
+/// done" figure EXPLAIN reports for fallback-path queries.
 fn pruned_dfs(
     cu: usize,
     cv: usize,
@@ -442,7 +463,7 @@ fn pruned_dfs(
     levels: &[u32],
     labelings: &[IntervalLabeling],
     exceptions: &[Option<Box<[V]>>],
-) -> bool {
+) -> (bool, usize) {
     let mut visited = std::collections::HashSet::new();
     let mut stack = vec![cu];
     visited.insert(cu);
@@ -450,7 +471,7 @@ fn pruned_dfs(
         for &d in dag.out_neighbors(c as V) {
             let d = d as usize;
             if d == cv {
-                return true;
+                return (true, visited.len());
             }
             if levels[d] >= levels[cv] || !visited.insert(d) {
                 continue;
@@ -458,7 +479,7 @@ fn pruned_dfs(
             if let Some(desc) = &exceptions[d] {
                 // Exact list: membership decides this whole subtree.
                 if desc.binary_search(&(cv as V)).is_ok() {
-                    return true;
+                    return (true, visited.len());
                 }
                 continue;
             }
@@ -467,7 +488,7 @@ fn pruned_dfs(
             }
         }
     }
-    false
+    (false, visited.len())
 }
 
 /// Full descendant bitsets, one row per component, built in reverse

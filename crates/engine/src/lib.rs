@@ -68,6 +68,7 @@
 pub mod batch;
 pub mod catalog;
 pub mod delta;
+pub mod explain;
 pub mod index;
 mod layers;
 pub mod planner;
@@ -75,6 +76,7 @@ pub mod planner;
 pub use batch::{BatchOptions, BatchStats, QueryBatch};
 pub use catalog::{Catalog, CompactionPolicy, RepairCounts};
 pub use delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
+pub use explain::{PlanExplain, QueryExplain, QueryTier};
 pub use index::{BuildCause, Index, IndexConfig, IndexStats, SummaryTier};
-pub use planner::{RebuildReason, RepairBudget, RepairPlan};
+pub use planner::{plan_repair_explained, RebuildReason, RepairBudget, RepairPlan};
 pub use pscc_telemetry as telemetry;

@@ -85,6 +85,7 @@
 //! `2·|A| ≤ 2·`[`RepairBudget::max_planned_arcs`] nodes, so running the
 //! workspace SCC algorithm on it is trivially cheap.
 
+use crate::explain::PlanExplain;
 use crate::index::Index;
 use pscc_core::{parallel_scc, SccConfig};
 use pscc_graph::{DiGraph, V};
@@ -218,10 +219,34 @@ pub fn plan_repair(
     del: &[(V, V)],
     budget: &RepairBudget,
 ) -> RepairPlan {
+    plan_repair_explained(index, ins, del, budget).0
+}
+
+/// [`plan_repair`] with provenance: the plan plus a [`PlanExplain`]
+/// recording the cost-model inputs the planner measured and every
+/// cheaper tier it priced out on the way to its decision. The boolean
+/// entry point calls through here, so plan and explain can never
+/// diverge.
+pub fn plan_repair_explained(
+    index: &Index,
+    ins: &[(V, V)],
+    del: &[(V, V)],
+    budget: &RepairBudget,
+) -> (RepairPlan, PlanExplain) {
     let mut span = pscc_telemetry::span("plan");
-    let plan = plan_repair_inner(index, ins, del, budget);
+    let mut ex = PlanExplain {
+        insertions: ins.len(),
+        deletions: del.len(),
+        deletion_class: "none",
+        max_planned_arcs: budget.max_planned_arcs,
+        max_region: budget.max_region(index.num_components()),
+        ..PlanExplain::default()
+    };
+    ex.has_support_table = index.support_table().is_some();
+    let plan = plan_repair_inner(index, ins, del, budget, &mut ex);
+    ex.chosen = plan.tier_name();
     span.set_attr("tier", plan.tier_name());
-    plan
+    (plan, ex)
 }
 
 fn plan_repair_inner(
@@ -229,6 +254,7 @@ fn plan_repair_inner(
     ins: &[(V, V)],
     del: &[(V, V)],
     budget: &RepairBudget,
+    ex: &mut PlanExplain,
 ) -> RepairPlan {
     if !del.is_empty() {
         match classify_deletions(index, del) {
@@ -236,24 +262,42 @@ fn plan_repair_inner(
             // reachability relation is untouched, so the remaining
             // insertions are planned against the unchanged index exactly
             // as if the delta held no deletions.
-            DeletionClass::Metadata => {}
+            DeletionClass::Metadata => {
+                ex.deletion_class = "metadata";
+            }
             DeletionClass::Unplannable => {
+                ex.deletion_class = "unplannable";
+                ex.reject("absorb", "no arc-support table to classify deletions against");
                 return RepairPlan::FullRebuild { reason: RebuildReason::Deletion };
             }
             DeletionClass::Structural { dead_arcs, splits } => {
+                ex.deletion_class = "structural";
+                ex.dead_arcs = dead_arcs.len();
+                ex.split_comps = splits.len();
+                ex.reject("absorb", "deletions are structural, not metadata-only");
                 if !ins.is_empty() {
                     // The deletion tiers are proven for pure-deletion
                     // deltas; mixing in insertions prices out.
+                    ex.reject("arc_unsplice", "structural deletions mixed with insertions");
+                    ex.reject("scc_split", "structural deletions mixed with insertions");
                     return RepairPlan::FullRebuild { reason: RebuildReason::Deletion };
                 }
                 if dead_arcs.len() > budget.max_planned_arcs {
+                    ex.reject("arc_unsplice", "more dead arcs than max_planned_arcs");
                     return RepairPlan::FullRebuild { reason: RebuildReason::PlannerOverflow };
                 }
                 if !splits.is_empty() {
                     let vertices: usize = splits.iter().map(|&c| index.component_size(c)).sum();
+                    ex.split_vertices = vertices;
+                    ex.max_region = budget.max_region(index.n());
                     if vertices > budget.max_region(index.n()) {
+                        ex.reject(
+                            "scc_split",
+                            "split components hold more vertices than the region budget",
+                        );
                         return RepairPlan::FullRebuild { reason: RebuildReason::SplitOverBudget };
                     }
+                    ex.reject("arc_unsplice", "an intra-component deletion may split its SCC");
                     return RepairPlan::SccSplit { comps: splits, dead_arcs };
                 }
                 return RepairPlan::ArcUnsplice { arcs: dead_arcs };
@@ -267,10 +311,13 @@ fn plan_repair_inner(
         .filter(|&(cu, cv)| cu != cv && !index.comp_reaches(cu as usize, cv as usize))
         .collect();
     pscc_graph::dedup_edges(&mut arcs);
+    ex.new_arcs = arcs.len();
     if arcs.is_empty() {
         return RepairPlan::Absorb;
     }
+    ex.reject("absorb", "insertions contract to new condensation arcs");
     if arcs.len() > budget.max_planned_arcs {
+        ex.reject("dag_splice", "more new arcs than max_planned_arcs");
         return RepairPlan::FullRebuild { reason: RebuildReason::PlannerOverflow };
     }
 
@@ -295,9 +342,11 @@ fn plan_repair_inner(
         .copied()
         .filter(|&(s, t)| labels[local(s) as usize] == labels[local(t) as usize])
         .collect();
+    ex.cyclic_arcs = cyclic.len();
     if cyclic.is_empty() {
         return RepairPlan::DagSplice { arcs };
     }
+    ex.reject("dag_splice", "some new arcs close a cycle among components");
 
     // Merge region: descendants(cycle targets) ∩ ancestors(cycle
     // sources), estimated with early exit once it cannot fit the budget.
@@ -309,8 +358,10 @@ fn plan_repair_inner(
     sources.sort_unstable();
     sources.dedup();
     let Some(region) = bounded_region(index.dag(), &targets, &sources, cap) else {
+        ex.reject("region_recompute", "merge region exceeds the budget");
         return RepairPlan::FullRebuild { reason: RebuildReason::RegionOverBudget };
     };
+    ex.region_size = region.len();
     RepairPlan::RegionRecompute { region, arcs }
 }
 
@@ -608,6 +659,52 @@ mod tests {
         assert!(
             matches!(plan, RepairPlan::RegionRecompute { ref region, .. } if region.len() == 100)
         );
+    }
+
+    #[test]
+    fn explain_records_inputs_and_rejections() {
+        // 0 -> 1 -> 2 -> 3 -> 4; the back edge 3 -> 1 merges {1, 2, 3},
+        // so the planner must reject absorb and dag_splice on the way to
+        // region_recompute.
+        let idx = index_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (plan, ex) = plan_repair_explained(&idx, &[(3, 1)], &[], &RepairBudget::default());
+        assert_eq!(ex.chosen, plan.tier_name());
+        assert_eq!(ex.chosen, "region_recompute");
+        assert_eq!(ex.insertions, 1);
+        assert_eq!(ex.deletions, 0);
+        assert_eq!(ex.deletion_class, "none");
+        assert_eq!(ex.new_arcs, 1);
+        assert_eq!(ex.cyclic_arcs, 1);
+        assert_eq!(ex.region_size, 3);
+        assert!(ex.rejected.iter().any(|&(t, _)| t == "absorb"), "{:?}", ex.rejected);
+        assert!(ex.rejected.iter().any(|&(t, _)| t == "dag_splice"), "{:?}", ex.rejected);
+        let text = ex.describe();
+        assert!(text.contains("region_recompute"), "{text}");
+        assert!(text.contains("rejected dag_splice"), "{text}");
+        let fields = ex.journal_fields();
+        assert!(fields.iter().any(|(k, v)| *k == "chosen" && v == "region_recompute"));
+        assert!(fields.iter().any(|(k, v)| *k == "region_size" && v == "3"));
+    }
+
+    #[test]
+    fn explain_classifies_deletions_and_budget_price_outs() {
+        // A structural deletion (last support of the 1 -> 2 arc).
+        let idx = index_of(3, &[(0, 1), (1, 2)]);
+        let (plan, ex) = plan_repair_explained(&idx, &[], &[(1, 2)], &RepairBudget::default());
+        assert_eq!(plan, RepairPlan::ArcUnsplice { arcs: vec![(idx.comp(1), idx.comp(2))] });
+        assert!(ex.has_support_table);
+        assert_eq!(ex.deletion_class, "structural");
+        assert_eq!(ex.dead_arcs, 1);
+        assert_eq!(ex.split_comps, 0);
+        // An over-budget merge region prices region_recompute out.
+        let edges: Vec<(V, V)> = (0..99).map(|i| (i, i + 1)).collect();
+        let long = index_of(100, &edges);
+        let tight = RepairBudget { region_frac: 0.1, min_region: 4, ..RepairBudget::default() };
+        let (plan, ex) = plan_repair_explained(&long, &[(99, 0)], &[], &tight);
+        assert_eq!(plan, RepairPlan::FullRebuild { reason: RebuildReason::RegionOverBudget });
+        assert_eq!(ex.chosen, "full_rebuild");
+        assert_eq!(ex.region_size, 0);
+        assert!(ex.rejected.iter().any(|&(t, _)| t == "region_recompute"), "{:?}", ex.rejected);
     }
 
     #[test]

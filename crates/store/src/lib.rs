@@ -32,6 +32,7 @@
 //!
 //! [`Catalog`]: https://docs.rs/pscc-engine
 
+pub mod inspect;
 pub(crate) mod snapshot;
 pub(crate) mod wal;
 

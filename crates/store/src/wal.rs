@@ -206,8 +206,14 @@ impl Wal {
 
     /// Reads one record starting at `at`; `None` on any violation (short
     /// frame, implausible length, checksum mismatch). On success returns
-    /// `(seq, record, end_offset)`.
-    fn read_record(file: &mut File, at: u64, file_len: u64) -> Option<(u64, DeltaRecord, u64)> {
+    /// `(seq, record, end_offset)`. Shared with the read-only
+    /// [`inspect`](crate::inspect) scan, so the doctor and recovery agree
+    /// byte-for-byte on what a valid record is.
+    pub(crate) fn read_record(
+        file: &mut File,
+        at: u64,
+        file_len: u64,
+    ) -> Option<(u64, DeltaRecord, u64)> {
         if file_len - at < FRAME_BYTES {
             return None;
         }

@@ -17,6 +17,11 @@
 //!   benches.
 //! * **Logging** ([`logging`]): the leveled [`log!`](crate::log) macro,
 //!   env-filtered by `PSCC_LOG` (off when unset, so tests stay quiet).
+//! * **Flight recorder** ([`recorder`]): a bounded, segment-rotated,
+//!   crash-surviving on-disk event journal fed by structured events and
+//!   the span sink, read back by `pscc-doctor` for post-mortem timeline
+//!   reconstruction. Live telemetry dies with the process; the recorder
+//!   is what survives it.
 //!
 //! Everything is hand-rolled on `std` — the workspace builds with no
 //! network access, so no crates.io observability stack is available.
@@ -34,6 +39,7 @@
 
 pub mod logging;
 pub mod metrics;
+pub mod recorder;
 pub mod snapshot;
 pub mod time;
 pub mod trace;
@@ -43,7 +49,8 @@ pub use metrics::{
     counter, gauge, histogram, Counter, Gauge, GaugeGuard, Histogram, HistogramSnapshot,
     HISTOGRAM_BUCKETS,
 };
-pub use snapshot::{render_json, render_text, TelemetrySnapshot};
+pub use recorder::FlightEvent;
+pub use snapshot::{escape_label_value, render_json, render_text, TelemetrySnapshot};
 pub use time::{PhaseTimer, Timer};
 pub use trace::{
     current_context, drain_spans, snapshot_spans, span, with_context, SpanGuard, SpanRecord,

@@ -86,26 +86,34 @@ impl TelemetrySnapshot {
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             let base = base_name(name);
             if typed.insert(base.to_string()) {
-                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                out.push_str(&format!("# TYPE {} {kind}\n", sanitize_text_name(base)));
             }
         };
         for (name, v) in &self.counters {
             type_line(&mut out, name, "counter");
-            out.push_str(&format!("{name} {v}\n"));
+            out.push_str(&format!("{} {v}\n", sanitize_text_name(name)));
         }
         for (name, v) in &self.gauges {
             type_line(&mut out, name, "gauge");
-            out.push_str(&format!("{name} {v}\n"));
+            out.push_str(&format!("{} {v}\n", sanitize_text_name(name)));
         }
         for (name, h) in &self.histograms {
             type_line(&mut out, name, "summary");
             for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
                 let series = with_label(name, "quantile", label);
-                out.push_str(&format!("{series} {:.0}\n", h.quantile_nanos(q)));
+                out.push_str(&format!(
+                    "{} {:.0}\n",
+                    sanitize_text_name(&series),
+                    h.quantile_nanos(q)
+                ));
             }
-            out.push_str(&format!("{} {}\n", suffixed(name, "_max"), h.max));
-            out.push_str(&format!("{} {}\n", suffixed(name, "_sum"), h.sum));
-            out.push_str(&format!("{} {}\n", suffixed(name, "_count"), h.count));
+            out.push_str(&format!("{} {}\n", sanitize_text_name(&suffixed(name, "_max")), h.max));
+            out.push_str(&format!("{} {}\n", sanitize_text_name(&suffixed(name, "_sum")), h.sum));
+            out.push_str(&format!(
+                "{} {}\n",
+                sanitize_text_name(&suffixed(name, "_count")),
+                h.count
+            ));
         }
         out
     }
@@ -153,6 +161,38 @@ pub fn render_json() -> String {
 /// The metric name with any inline `{label="…"}` set stripped.
 fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
+}
+
+/// Escapes a label *value* for inline inclusion in a labeled metric name
+/// (`name{key="value"}`): `\` → `\\`, `"` → `\"`, and newlines/carriage
+/// returns to the two-character sequences `\n`/`\r`, keeping both the
+/// text and JSON expositions parseable. Callers building labeled names
+/// from runtime strings (graph names, span attributes) must route the
+/// value through this before registering the metric.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Last-resort defense for [`TelemetrySnapshot::render_text`]: a raw
+/// newline inside a registered name (a caller that skipped
+/// [`escape_label_value`]) would break the one-metric-per-line format, so
+/// it is escaped at render time.
+fn sanitize_text_name(name: &str) -> std::borrow::Cow<'_, str> {
+    if name.contains(['\n', '\r']) {
+        std::borrow::Cow::Owned(name.replace('\n', "\\n").replace('\r', "\\r"))
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
 }
 
 /// Merges `key="value"` into a possibly-labeled metric name.
@@ -250,5 +290,45 @@ mod tests {
     fn json_escaping_handles_quotes_and_controls() {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn label_value_escaping_keeps_adversarial_names_parseable() {
+        assert_eq!(escape_label_value(r#"g"1"#), r#"g\"1"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("x\ny\r"), r"x\ny\r");
+        // An adversarial graph name routed through the helper renders as
+        // exactly one text line and valid JSON.
+        let name = format!(
+            "pscc_snapshot_adversarial_total{{graph=\"{}\"}}",
+            escape_label_value("a\"\\\nb")
+        );
+        crate::counter(&name).add(1);
+        let snap = TelemetrySnapshot::capture();
+        let text = snap.render_text();
+        let line = text
+            .lines()
+            .find(|l| l.contains("pscc_snapshot_adversarial_total{"))
+            .expect("metric rendered");
+        assert!(line.ends_with(" 1"), "{line}");
+        let json = snap.render_json();
+        assert!(json.contains("pscc_snapshot_adversarial_total"), "{json}");
+    }
+
+    #[test]
+    fn raw_newlines_in_names_are_sanitized_at_render_time() {
+        // A caller that skipped escape_label_value must still not be able
+        // to break the line-oriented exposition.
+        crate::counter("pscc_snapshot_rawnl_total{graph=\"a\nb\"}").add(2);
+        crate::gauge("pscc_snapshot_rawnl_depth{graph=\"c\rd\"}").set(1);
+        let h = crate::histogram("pscc_snapshot_rawnl\nnanos");
+        h.record_nanos(5);
+        let text = TelemetrySnapshot::capture().render_text();
+        assert!(!text.contains("a\nb"), "raw newline leaked into text exposition");
+        assert!(!text.contains("c\rd"), "raw carriage return leaked into text exposition");
+        // Each adversarial metric still renders as one complete line.
+        assert!(text.lines().any(|l| l.contains("rawnl_total") && l.ends_with(" 2")), "{text}");
+        assert!(text.lines().any(|l| l.contains("rawnl_depth") && l.ends_with(" 1")), "{text}");
+        assert!(text.lines().any(|l| l.contains("rawnl\\nnanos_count") && l.ends_with(" 1")));
     }
 }

@@ -14,8 +14,10 @@
 //! workers and deferred compactions.
 //!
 //! The sink holds the most recent [`SPAN_SINK_CAPACITY`] records; older
-//! ones are dropped silently (tracing must never grow unbounded in a
-//! server). Tests read it with [`snapshot_spans`] or [`drain_spans`].
+//! ones are dropped (tracing must never grow unbounded in a server), and
+//! every eviction increments the `pscc_trace_spans_dropped_total` counter
+//! so the loss is visible in exposition dumps. Tests read the sink with
+//! [`snapshot_spans`] or [`drain_spans`].
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -99,6 +101,15 @@ fn sink() -> &'static Mutex<VecDeque<SpanRecord>> {
     SINK.get_or_init(|| Mutex::new(VecDeque::new()))
 }
 
+/// Cached handle for the `pscc_trace_spans_dropped_total` counter: spans
+/// evicted unread because the sink was full. A nonzero value in an
+/// exposition dump means the trace window is shorter than the retention
+/// the reader assumed.
+fn spans_dropped_counter() -> &'static std::sync::Arc<crate::metrics::Counter> {
+    static C: OnceLock<std::sync::Arc<crate::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| crate::metrics::counter("pscc_trace_spans_dropped_total"))
+}
+
 /// Starts a span named `name` on this thread and returns the guard that
 /// ends it on drop.
 ///
@@ -179,6 +190,7 @@ impl Drop for SpanGuard {
             let mut q = sink().lock().expect("span sink poisoned");
             if q.len() >= SPAN_SINK_CAPACITY {
                 q.pop_front();
+                spans_dropped_counter().inc();
             }
             q.push_back(record);
         }
@@ -228,8 +240,34 @@ pub fn drain_spans() -> Vec<SpanRecord> {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that read or flood the global sink: the
+    /// overflow test evicts everything, so it must not interleave with a
+    /// test that snapshots its own freshly finished spans.
+    fn sink_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn sink_overflow_is_counted_and_surfaced() {
+        let _serial = sink_test_lock();
+        let before = crate::TelemetrySnapshot::capture().counter("pscc_trace_spans_dropped_total");
+        // One more span than the capacity guarantees at least one
+        // eviction even against an empty sink.
+        for _ in 0..=SPAN_SINK_CAPACITY {
+            let _s = span("test_overflow_filler");
+        }
+        let snap = crate::TelemetrySnapshot::capture();
+        let dropped = snap.counter("pscc_trace_spans_dropped_total");
+        assert!(dropped > before, "evictions must be counted ({dropped} <= {before})");
+        assert_eq!(snapshot_spans().len(), SPAN_SINK_CAPACITY, "sink stays bounded");
+        assert!(snap.render_text().contains("pscc_trace_spans_dropped_total"));
+        assert!(snap.render_json().contains("pscc_trace_spans_dropped_total"));
+    }
+
     #[test]
     fn nested_spans_share_a_trace_and_parent_correctly() {
+        let _serial = sink_test_lock();
         let (root_id, root_trace) = {
             let mut root = span("test_trace_root");
             root.set_attr("graph", "t1");
@@ -262,6 +300,7 @@ mod tests {
 
     #[test]
     fn context_propagates_across_threads() {
+        let _serial = sink_test_lock();
         let (ctx, root_id) = {
             let _root = span("test_ctx_root");
             let ctx = current_context().expect("root open");

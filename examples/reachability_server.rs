@@ -5,7 +5,7 @@
 //! tier each delta took (*absorbed* / *dag-spliced* /
 //! *region-recomputed* / *full-rebuild*) and the per-tier tallies.
 //!
-//! Run: `cargo run --release --example reachability_server [--data-dir DIR] [--metrics] [graph.txt [updates.txt]]`
+//! Run: `cargo run --release --example reachability_server [--data-dir DIR] [--flight-dir DIR] [--metrics] [graph.txt [updates.txt]]`
 //!
 //! With `--metrics`, the full telemetry registry (counters, gauges, and
 //! latency-histogram quantiles) is dumped in Prometheus-style text
@@ -13,6 +13,14 @@
 //! the final batch — so the run doubles as a live view of the engine's
 //! instrumentation. Set `PSCC_LOG=warn` (or `info`/`debug`) to also see
 //! leveled diagnostics on stderr.
+//!
+//! With `--flight-dir DIR`, the flight recorder journals every delta,
+//! rebuild, and latency snapshot to `flight-*.fdr` segments under DIR —
+//! after the run (or after a crash), `pscc-doctor DIR` reconstructs the
+//! timeline. The run also ends with an **EXPLAIN demo**: the batch is
+//! re-answered with provenance (which tier answered each query), and the
+//! last delta's repair-plan decision — chosen tier plus every rejected
+//! cheaper tier and why — is printed.
 //!
 //! With a first positional argument the graph is loaded as a
 //! whitespace-separated `u v` edge list. A second positional argument is
@@ -65,6 +73,17 @@ fn main() {
         }
         None => None,
     };
+    let flight_dir: Option<PathBuf> = match args.iter().position(|a| a == "--flight-dir") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--flight-dir needs a directory argument");
+                std::process::exit(2);
+            }
+            Some(PathBuf::from(args.remove(i)))
+        }
+        None => None,
+    };
     let metrics = match args.iter().position(|a| a == "--metrics") {
         Some(i) => {
             args.remove(i);
@@ -74,6 +93,16 @@ fn main() {
     };
     let graph_path = args.first().cloned();
     let updates_path = args.get(1).cloned();
+
+    // ---- Flight recorder: journal deltas/rebuilds for pscc-doctor ----
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir).expect("creatable flight dir");
+        Catalog::enable_flight_recorder(dir).expect("writable flight dir");
+        println!(
+            "flight recorder on: journaling to {} (read it back with pscc-doctor)\n",
+            dir.display()
+        );
+    }
 
     // A directory that already holds a store means this run is a restart.
     if let Some(dir) = &data_dir {
@@ -256,6 +285,15 @@ fn main() {
     spot_check(&catalog, &queries, &answers);
     dump_metrics(metrics, "final batch");
 
+    // ---- EXPLAIN demo: provenance per query, decision per repair ----
+    explain_demo(&catalog, &queries);
+    if let Some(dir) = &flight_dir {
+        println!(
+            "\nflight journal written — `pscc-doctor {}` reconstructs this run's timeline",
+            dir.display()
+        );
+    }
+
     // ---- Persistence epilogue: save answers, explain the restart ----
     if let Some(dir) = &data_dir {
         let (wal, snap) = catalog.store_bytes(NAME).expect("durable");
@@ -312,7 +350,48 @@ fn recover_and_verify(dir: &Path, updates_path: Option<&str>, metrics: bool) {
         spot_check(&catalog, &queries, &answers);
         save_answers(dir, &answers);
     }
+    explain_demo(&catalog, &queries);
     dump_metrics(metrics, "recovery");
+}
+
+/// The EXPLAIN demo: re-answer a slice of the batch *with provenance* —
+/// which tier (memo, bitset row, interval refutation, pruned DFS, …)
+/// produced each verdict — then print the last repair plan's full
+/// decision trace: the chosen tier and every cheaper tier the planner
+/// rejected, with the reason.
+fn explain_demo(catalog: &Catalog, queries: &[(V, V)]) {
+    let sample = &queries[..queries.len().min(2_000)];
+    let t = Instant::now();
+    let explained = catalog.answer_batch_explained(NAME, sample).expect("graph registered");
+    let secs = t.elapsed().as_secs_f64();
+    let mut tiers: Vec<(&'static str, usize)> = Vec::new();
+    for e in &explained {
+        let name = e.tier.name();
+        match tiers.iter_mut().find(|(t, _)| *t == name) {
+            Some((_, n)) => *n += 1,
+            None => tiers.push((name, 1)),
+        }
+    }
+    tiers.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let mix = tiers.iter().map(|(t, n)| format!("{t}: {n}")).collect::<Vec<_>>().join(", ");
+    println!("\n==== EXPLAIN ====");
+    println!(
+        "{} queries re-answered with provenance in {:.2}ms  ({mix})",
+        sample.len(),
+        secs * 1e3
+    );
+    for e in explained.iter().take(5) {
+        println!("  {}", e.describe());
+    }
+    match catalog.last_plan_explain(NAME) {
+        Some(plan) => {
+            println!("last repair plan:");
+            for line in plan.describe().lines() {
+                println!("  {line}");
+            }
+        }
+        None => println!("no repair planned yet (no delta has reached a live index)"),
+    }
 }
 
 /// With `--metrics`, dumps the whole registry as Prometheus-style text
