@@ -421,6 +421,19 @@ pub fn replay_graph(data_dir: &Path, name: &str) -> io::Result<Option<DiGraph>> 
 /// line per query. Out-of-range endpoints produce an explanatory line
 /// instead of a panic.
 pub fn explain_queries(data_dir: &Path, name: &str, queries: &[(V, V)]) -> io::Result<Vec<String>> {
+    explain_queries_with_config(data_dir, name, queries, &pscc_engine::IndexConfig::default())
+}
+
+/// [`explain_queries`] with an explicit [`pscc_engine::IndexConfig`], so
+/// the replayed index lands on the same summary tier the live process
+/// used (e.g. a label-tier deployment replays with `label_intersect`
+/// provenance rather than the default tier cascade).
+pub fn explain_queries_with_config(
+    data_dir: &Path,
+    name: &str,
+    queries: &[(V, V)],
+    config: &pscc_engine::IndexConfig,
+) -> io::Result<Vec<String>> {
     let Some(graph) = replay_graph(data_dir, name)? else {
         return Err(io::Error::new(
             io::ErrorKind::NotFound,
@@ -428,7 +441,7 @@ pub fn explain_queries(data_dir: &Path, name: &str, queries: &[(V, V)]) -> io::R
         ));
     };
     let n = graph.n();
-    let index = Index::build(&graph);
+    let index = Index::build_with_config(&graph, config);
     let batch = QueryBatch::new(&index);
     let mut out = Vec::with_capacity(queries.len());
     for &(u, v) in queries {
@@ -516,6 +529,40 @@ mod tests {
         assert!(lines[0].contains("= true"), "{}", lines[0]);
         assert!(lines[1].contains("invalid"), "{}", lines[1]);
         assert!(replay_graph(&dir, "missing").unwrap().is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn label_tier_explain_survives_snapshot_and_wal() {
+        use pscc_engine::{BatchOptions, IndexConfig};
+        let dir = tmpdir("label_replay");
+        let cfg = IndexConfig {
+            bitset_budget_bytes: 0,
+            label_min_components: 0,
+            ..IndexConfig::default()
+        };
+        // Sources 0..=2 feed hub 3, which fans out to sinks 4..=6; the
+        // WAL carries one extra spoke applied after the snapshot.
+        let g = DiGraph::from_edges(7, &[(0, 3), (1, 3), (2, 3), (3, 4), (3, 5)]);
+        let cat = Catalog::new();
+        cat.insert_with_config("g", g, cfg.clone(), BatchOptions::default());
+        cat.persist_to("g", &dir).unwrap();
+        let mut d = Delta::new();
+        d.insert(3, 6);
+        cat.apply_delta("g", &d).unwrap();
+        drop(cat);
+
+        // The replayed index must land on the label tier and attribute
+        // the hub-witnessed verdicts — including one only the WAL suffix
+        // makes true — to `label_intersect`.
+        let lines =
+            explain_queries_with_config(&dir, "g", &[(0, 5), (1, 6), (5, 0)], &cfg).unwrap();
+        assert!(lines[0].contains("= true via label_intersect"), "{}", lines[0]);
+        assert!(lines[1].contains("= true via label_intersect"), "{}", lines[1]);
+        assert!(lines[2].contains("= false"), "{}", lines[2]);
+        for line in &lines {
+            assert!(!line.contains("pruned_dfs"), "label tier has no DFS fallback: {line}");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

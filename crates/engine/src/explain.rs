@@ -1,8 +1,9 @@
 //! Query and planner provenance: *which* path answered, and *why*.
 //!
-//! The engine can answer a reachability query six different ways (same
-//! SCC, level prune, memo, bitset row, exception list, interval labels
-//! with a pruned-DFS fallback) and repair an index six different ways
+//! The engine can answer a reachability query seven different ways (same
+//! SCC, level prune, memo, bitset row, 2-hop label intersection, exception
+//! list, interval labels with a pruned-DFS fallback) and repair an index
+//! six different ways
 //! (absorb through full rebuild). The serving API only returns booleans
 //! and tallies — fine for throughput, useless for "why was *this* query
 //! slow" or "why did *that* delta fall to a full rebuild". This module
@@ -34,6 +35,10 @@ pub enum QueryTier {
     Memo,
     /// One bit test in the bitset tier's descendant row.
     BitsetRow,
+    /// One merge-intersection of the 2-hop label tier's sorted hub arrays
+    /// (`label_out(u)` against `label_in(v)`) — the label path never falls
+    /// back to a DFS.
+    LabelIntersect,
     /// The source component carries an exact exception list; binary
     /// search decided.
     ExceptionList,
@@ -54,6 +59,7 @@ impl QueryTier {
             QueryTier::LevelPrune => "level_prune",
             QueryTier::Memo => "memo",
             QueryTier::BitsetRow => "bitset_row",
+            QueryTier::LabelIntersect => "label_intersect",
             QueryTier::ExceptionList => "exception_list",
             QueryTier::IntervalRefute => "interval_refute",
             QueryTier::PrunedDfs => "pruned_dfs",
@@ -72,8 +78,10 @@ pub struct QueryExplain {
     pub reaches: bool,
     /// The tier that decided it.
     pub tier: QueryTier,
-    /// Condensation components visited by the pruned DFS (0 unless
-    /// `tier` is [`QueryTier::PrunedDfs`]).
+    /// Work done on the summary's slow-ish paths: condensation components
+    /// visited by the pruned DFS when `tier` is [`QueryTier::PrunedDfs`],
+    /// or merge steps taken by the sorted-hub intersection when `tier` is
+    /// [`QueryTier::LabelIntersect`]; 0 everywhere else.
     pub dfs_visited: usize,
 }
 

@@ -17,7 +17,13 @@
 //!    time, see [`SummaryTier`]):
 //!    * *Bitset tier* (small DAGs): one descendant bitset row per
 //!      component; the answer is a single bit test. O(1).
-//!    * *Interval tier* (large DAGs): GRAIL-style pruned-DFS interval
+//!    * *Label tier* (large DAGs whose pruned 2-hop labeling fits the
+//!      label budget): sorted hub arrays per component, built by pruned
+//!      landmark labeling over the condensation DAG; the answer is one
+//!      merge-intersection of `label_out(cu)` and `label_in(cv)` — no
+//!      DFS fallback, O(label length).
+//!    * *Interval tier* (large DAGs past the label budget): GRAIL-style
+//!      pruned-DFS interval
 //!      labels (d independent randomized post-order labelings; reachable ⇒
 //!      the target's interval nests inside the source's in *every*
 //!      labeling), plus exact *exception lists* — components whose strict
@@ -57,8 +63,17 @@ pub struct IndexConfig {
     /// Configuration of the underlying parallel SCC run.
     pub scc: SccConfig,
     /// Ceiling (in bytes) on the bitset tier; DAGs whose full descendant
-    /// bitsets would exceed it use the interval tier instead.
+    /// bitsets would exceed it use the label or interval tier instead.
     pub bitset_budget_bytes: usize,
+    /// Ceiling (in bytes) on the pruned 2-hop label tier: when the bitset
+    /// budget overflows, labels are built as long as their total footprint
+    /// stays under this; past it (or at 0, which disables the tier) the
+    /// interval tier takes over.
+    pub label_budget_bytes: usize,
+    /// Minimum DAG size (in components) before the label tier is
+    /// considered, so small graphs keep the exact bitset/interval
+    /// behavior unchanged.
+    pub label_min_components: usize,
     /// Number of independent interval labelings in the interval tier
     /// (more labelings prune more, cost more memory).
     pub labelings: usize,
@@ -77,6 +92,8 @@ impl Default for IndexConfig {
         IndexConfig {
             scc: SccConfig::default(),
             bitset_budget_bytes: 64 << 20,
+            label_budget_bytes: 64 << 20,
+            label_min_components: 4096,
             labelings: 2,
             exception_cap: 16,
             seed: 0x5cc_1dec5,
@@ -89,6 +106,8 @@ impl IndexConfig {
     fn summary(&self) -> SummaryConfig {
         SummaryConfig {
             bitset_budget_bytes: self.bitset_budget_bytes,
+            label_budget_bytes: self.label_budget_bytes,
+            label_min_components: self.label_min_components,
             labelings: self.labelings,
             exception_cap: self.exception_cap,
             seed: self.seed,
@@ -144,6 +163,9 @@ pub struct IndexStats {
     pub summary_bytes: usize,
     /// Components carrying an exact exception list (interval tier only).
     pub exception_components: usize,
+    /// Hub entries across both label sides (label tier only, else 0);
+    /// `summary_bytes` is the byte form of the same footprint.
+    pub label_entries: usize,
     /// How this index came to be (fresh build, incremental repair tier,
     /// or delta-forced rebuild).
     pub built_by: BuildCause,
@@ -182,6 +204,16 @@ impl IndexStats {
     /// server report.
     pub fn total_build_seconds(&self) -> f64 {
         self.scc_seconds + self.condense_seconds + self.levels_seconds + self.summary_seconds
+    }
+
+    /// Mean hub-array length of the label tier (`label_entries` spread
+    /// over the `2k` per-component arrays); 0 for the other tiers.
+    pub fn mean_label_len(&self) -> f64 {
+        if self.label_entries == 0 || self.num_components == 0 {
+            0.0
+        } else {
+            self.label_entries as f64 / (2.0 * self.num_components as f64)
+        }
     }
 }
 
@@ -257,6 +289,14 @@ impl Index {
         let (summary, summary_bytes, exception_components) =
             SummaryLayer::build(&dag, &order, &cfg.summary());
         let summary_seconds = t.elapsed().as_secs_f64();
+        if summary.tier() == SummaryTier::Labels {
+            // Build-time label telemetry: footprint gauges plus the
+            // construction-cost histogram the bench gates on.
+            pscc_telemetry::gauge("pscc_label_bytes").set(summary_bytes as i64);
+            pscc_telemetry::gauge("pscc_label_entries").set(summary.label_entries() as i64);
+            pscc_telemetry::histogram("pscc_label_build_nanos")
+                .record(std::time::Duration::from_secs_f64(summary_seconds));
+        }
 
         let stats = IndexStats {
             levels_seconds,
@@ -265,6 +305,7 @@ impl Index {
             dag_arcs: dag.m(),
             summary_bytes,
             exception_components,
+            label_entries: summary.label_entries(),
             ..base
         };
         Index {
@@ -350,7 +391,7 @@ impl Index {
         let mut affected = ancestors_of(&dag, &sources);
         affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
         let mut summary = self.summary.clone();
-        summary.splice(&dag, &affected, cfg.exception_cap);
+        summary.splice_arcs(&dag, &arcs, &affected, cfg.exception_cap);
 
         let mut support = self.support_clone();
         if let Some(sup) = support.as_mut() {
@@ -361,6 +402,7 @@ impl Index {
         stats.dag_arcs = dag.m();
         stats.summary_bytes = summary.bytes(dag.n());
         stats.exception_components = summary.exception_count();
+        stats.label_entries = summary.label_entries();
         stats.built_by = BuildCause::DagSplice;
         stats.dag_splices += 1;
         stats.repair_seconds += t.elapsed().as_secs_f64();
@@ -509,12 +551,17 @@ impl Index {
         affected.dedup();
         affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
         let mut summary = self.summary.clone();
-        summary.splice(&dag, &affected, cfg.exception_cap);
+        // Bitset/interval tiers repair the affected ancestors in place;
+        // the label tier invalidates and relabels against the new DAG
+        // (exact certificates cannot be narrowed locally) — see
+        // `SummaryLayer::unsplice_arcs`.
+        summary.unsplice_arcs(&dag, &affected, &cfg.summary());
 
         let mut stats = self.stats.clone();
         stats.dag_arcs = dag.m();
         stats.summary_bytes = summary.bytes(dag.n());
         stats.exception_components = summary.exception_count();
+        stats.label_entries = summary.label_entries();
         stats.built_by = BuildCause::ArcUnsplice;
         stats.arc_unsplices += 1;
         stats.repair_seconds += t.elapsed().as_secs_f64();
@@ -848,15 +895,27 @@ mod tests {
     }
 
     fn tiny_budget() -> IndexConfig {
-        // Forces the interval tier even on tiny DAGs.
+        // Forces the interval tier even on tiny DAGs (the label tier needs
+        // an explicit opt-in via `label_min_components`, so it stays off).
         IndexConfig { bitset_budget_bytes: 0, ..IndexConfig::default() }
     }
 
+    fn label_forcing() -> IndexConfig {
+        // Forces the 2-hop label tier even on tiny DAGs.
+        IndexConfig { bitset_budget_bytes: 0, label_min_components: 0, ..IndexConfig::default() }
+    }
+
+    /// One config per summary tier, for the per-tier repair test loops.
+    fn tier_configs() -> [IndexConfig; 3] {
+        [IndexConfig::default(), label_forcing(), tiny_budget()]
+    }
+
     #[test]
-    fn path_reachability_both_tiers() {
+    fn path_reachability_all_tiers() {
         let g = path_digraph(40);
-        check_all_pairs(&g, &IndexConfig::default());
-        check_all_pairs(&g, &tiny_budget());
+        for cfg in tier_configs() {
+            check_all_pairs(&g, &cfg);
+        }
     }
 
     #[test]
@@ -884,6 +943,16 @@ mod tests {
     }
 
     #[test]
+    fn random_graphs_match_oracle_label_tier() {
+        for seed in 0..4u64 {
+            let g = gnm_digraph(60, 150, seed + 300);
+            let cfg = label_forcing();
+            assert_eq!(Index::build_with_config(&g, &cfg).tier(), SummaryTier::Labels);
+            check_all_pairs(&g, &cfg);
+        }
+    }
+
+    #[test]
     fn interval_tier_without_exceptions_matches_oracle() {
         let cfg = IndexConfig { exception_cap: 0, ..tiny_budget() };
         for seed in 0..3u64 {
@@ -896,6 +965,25 @@ mod tests {
         let g = gnm_digraph(100, 200, 7);
         assert_eq!(Index::build(&g).tier(), SummaryTier::Bitset);
         assert_eq!(Index::build_with_config(&g, &tiny_budget()).tier(), SummaryTier::Intervals);
+        assert_eq!(Index::build_with_config(&g, &label_forcing()).tier(), SummaryTier::Labels);
+        // Label tier declined when the labeling cannot fit its budget.
+        let starved = IndexConfig { label_budget_bytes: 64, ..label_forcing() };
+        assert_eq!(Index::build_with_config(&g, &starved).tier(), SummaryTier::Intervals);
+        // ... and when the DAG is below the size floor.
+        let floor = IndexConfig { label_min_components: 1 << 20, ..label_forcing() };
+        assert_eq!(Index::build_with_config(&g, &floor).tier(), SummaryTier::Intervals);
+    }
+
+    #[test]
+    fn label_tier_stats_are_populated() {
+        let g = gnm_digraph(80, 160, 11);
+        let idx = Index::build_with_config(&g, &label_forcing());
+        assert_eq!(idx.tier(), SummaryTier::Labels);
+        let s = idx.stats();
+        assert!(s.label_entries >= 2 * s.num_components, "every component self-labels twice");
+        assert!(s.mean_label_len() >= 1.0);
+        assert!(s.summary_bytes >= s.label_entries * 4);
+        assert_eq!(s.exception_components, 0);
     }
 
     #[test]
@@ -940,8 +1028,8 @@ mod tests {
     /// `splice_dag_arcs` on a path's condensation must answer exactly
     /// like a from-scratch build on the spliced graph.
     #[test]
-    fn splice_matches_scratch_build_both_tiers() {
-        for cfg in [IndexConfig::default(), tiny_budget()] {
+    fn splice_matches_scratch_build_all_tiers() {
+        for cfg in tier_configs() {
             // Two parallel paths sharing nothing: 0->1->2, 3->4->5.
             let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
             let idx = Index::build_with_config(&g, &cfg);
@@ -964,8 +1052,8 @@ mod tests {
     /// from-scratch build on the post-deletion graph — including when a
     /// previously absorbed (latent) pair is the only surviving witness.
     #[test]
-    fn unsplice_matches_scratch_build_both_tiers() {
-        for cfg in [IndexConfig::default(), tiny_budget()] {
+    fn unsplice_matches_scratch_build_all_tiers() {
+        for cfg in tier_configs() {
             // 0 -> 1 -> 2 with a shortcut 0 -> 2 absorbed post-build.
             let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
             let idx = Index::build_with_config(&g, &cfg);
@@ -993,8 +1081,8 @@ mod tests {
     /// `split_sccs` must detect a component that stays whole (`None`) and
     /// otherwise answer like a from-scratch build on the split graph.
     #[test]
-    fn split_sccs_matches_scratch_build_both_tiers() {
-        for cfg in [IndexConfig::default(), tiny_budget()] {
+    fn split_sccs_matches_scratch_build_all_tiers() {
+        for cfg in tier_configs() {
             // A 4-cycle {1,2,3,4} with a chord 1 -> 3, entered from 0 and
             // leaving to 5.
             let g =
@@ -1027,8 +1115,8 @@ mod tests {
     /// `recompute_region` must merge exactly the components on the cycle
     /// and answer like a from-scratch build.
     #[test]
-    fn region_recompute_matches_scratch_build_both_tiers() {
-        for cfg in [IndexConfig::default(), tiny_budget()] {
+    fn region_recompute_matches_scratch_build_all_tiers() {
+        for cfg in tier_configs() {
             // A path 0->1->2->3->4 plus an off-path sibling 1->5.
             let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]);
             let idx = Index::build_with_config(&g, &cfg);

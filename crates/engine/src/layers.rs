@@ -9,7 +9,7 @@
 //! | [`SccLayer`] | BGSS SCC over the graph | [`SccLayer::remapped`] — merge components through an old→new id map |
 //! | condensation DAG | `condense` over all edges | `DiGraph::with_delta` arc splice/unsplice, or contraction of the *old DAG* (never the graph) |
 //! | [`LevelLayer`] | sweep in topological order | [`LevelLayer::splice`] — worklist relaxation from new arcs; [`LevelLayer::unsplice`] — exact recompute from changed-arc targets |
-//! | [`SummaryLayer`] | bitsets or interval labels | [`SummaryLayer::splice`] — recompute/widen only the affected ancestors (sound for arc removal too) |
+//! | [`SummaryLayer`] | bitsets, 2-hop hub labels, or interval labels | [`SummaryLayer::splice_arcs`] — recompute/widen only the affected ancestors (hub labels: extend coverage over each new arc's `anc × desc` region); [`SummaryLayer::unsplice_arcs`] — same for bitsets/intervals (sound for arc removal), hub labels relabel from scratch (exact certificates are not over-approximations) |
 //! | [`SupportLayer`] | `contracted_support` over the graph | per-edge increments/decrements, id remap after merges |
 //!
 //! The DAG itself has no wrapper type: `DiGraph` already supports the two
@@ -27,7 +27,12 @@ use std::collections::{BTreeSet, HashMap};
 pub enum SummaryTier {
     /// Full per-component descendant bitsets (small DAGs).
     Bitset,
-    /// Interval labels + exception lists + pruned DFS (large DAGs).
+    /// Pruned landmark (2-hop) hub labels: a point query is one sorted-set
+    /// merge-intersection, no DFS fallback (large DAGs whose total label
+    /// size fits the label budget).
+    Labels,
+    /// Interval labels + exception lists + pruned DFS (large DAGs where
+    /// the label budget overflowed or the tier is disabled).
     Intervals,
 }
 
@@ -285,12 +290,234 @@ impl IntervalLabeling {
     }
 }
 
+/// Pruned landmark (2-hop) hub labels over the condensation DAG.
+///
+/// Components are processed as hubs in degree-descending order; hub `h`'s
+/// forward traversal adds `h` to `label_in(v)` for every component it can
+/// reach (backward symmetric into `label_out`), *pruning* any visit whose
+/// pair is already answered by earlier hubs' labels — the classic pruned
+/// landmark labeling, which yields exactly the same query results as the
+/// unpruned 2-hop cover. A point query `cu ⇝ cv` is then one
+/// merge-intersection of two sorted hub arrays: non-empty iff some hub
+/// `h` has `cu ⇝ h` and `h ⇝ cv`. Entries are stored as hub *ranks*
+/// (position in the processing order), so every array is sorted and the
+/// highest-coverage hubs sit first — intersections hit early.
+#[derive(Clone)]
+pub(crate) struct LabelLayer {
+    /// Hub rank of each component (inverse of the degree-descending
+    /// processing order); needed when a splice introduces a new hub entry.
+    rank_of: Vec<u32>,
+    /// CSR offsets into `out_hubs`: `label_out(c)` = hubs `h` with `c ⇝ h`.
+    out_offsets: Vec<u32>,
+    out_hubs: Vec<u32>,
+    /// CSR offsets into `in_hubs`: `label_in(c)` = hubs `h` with `h ⇝ c`.
+    in_offsets: Vec<u32>,
+    in_hubs: Vec<u32>,
+}
+
+impl LabelLayer {
+    /// Full pruned-landmark build. Returns `None` when the total label
+    /// footprint would exceed `budget_bytes` — the caller falls back to
+    /// the interval tier.
+    pub fn build(dag: &DiGraph, budget_bytes: usize) -> Option<LabelLayer> {
+        let k = dag.n();
+        // Fixed overhead: rank_of + both offset arrays, 4 bytes each.
+        let fixed = (k + 2 * (k + 1)) * 4;
+        if fixed > budget_bytes {
+            return None;
+        }
+        let max_entries = (budget_bytes - fixed) / 4;
+        // Hubs in degree-descending order (stable sort: ties by id).
+        let mut order: Vec<V> = (0..k as V).collect();
+        order.sort_by_key(|&c| {
+            std::cmp::Reverse(dag.out_neighbors(c).len() + dag.in_neighbors(c).len())
+        });
+        let mut rank_of = vec![0u32; k];
+        for (rank, &c) in order.iter().enumerate() {
+            rank_of[c as usize] = rank as u32;
+        }
+        // Build-time labels: per-component hub-rank vectors, appended in
+        // processing order, so they stay sorted ascending throughout and
+        // the pruning intersections below work on sorted input.
+        let mut label_out: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut label_in: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut entries = 0usize;
+        let mut seen = vec![u64::MAX; k];
+        let mut work: Vec<V> = Vec::new();
+        for (rank, &h) in order.iter().enumerate() {
+            let rank = rank as u32;
+            let hc = h as usize;
+            // Forward sweep: h into label_in of everything h still covers.
+            let epoch = 2 * rank as u64;
+            seen[hc] = epoch;
+            work.push(h);
+            while let Some(t) = work.pop() {
+                let t = t as usize;
+                if t != hc && sorted_intersect(&label_out[hc], &label_in[t]).0 {
+                    continue; // pair already covered by an earlier hub
+                }
+                label_in[t].push(rank);
+                entries += 1;
+                for &d in dag.out_neighbors(t as V) {
+                    if seen[d as usize] != epoch {
+                        seen[d as usize] = epoch;
+                        work.push(d);
+                    }
+                }
+            }
+            // Backward sweep: h into label_out of everything still reaching h.
+            let epoch = epoch + 1;
+            seen[hc] = epoch;
+            work.push(h);
+            while let Some(s) = work.pop() {
+                let s = s as usize;
+                if s != hc && sorted_intersect(&label_out[s], &label_in[hc]).0 {
+                    continue;
+                }
+                label_out[s].push(rank);
+                entries += 1;
+                for &p in dag.in_neighbors(s as V) {
+                    if seen[p as usize] != epoch {
+                        seen[p as usize] = epoch;
+                        work.push(p);
+                    }
+                }
+            }
+            if entries > max_entries {
+                return None;
+            }
+        }
+        let (out_offsets, out_hubs) = flatten_labels(&label_out);
+        let (in_offsets, in_hubs) = flatten_labels(&label_in);
+        Some(LabelLayer { rank_of, out_offsets, out_hubs, in_offsets, in_hubs })
+    }
+
+    /// The merge-intersection point query: true iff `label_out(cu)` and
+    /// `label_in(cv)` share a hub. Also returns the number of merge steps
+    /// taken — the "work done" figure EXPLAIN and the intersection-length
+    /// histogram report.
+    #[inline]
+    pub fn intersects(&self, cu: usize, cv: usize) -> (bool, usize) {
+        let a = &self.out_hubs[self.out_offsets[cu] as usize..self.out_offsets[cu + 1] as usize];
+        let b = &self.in_hubs[self.in_offsets[cv] as usize..self.in_offsets[cv + 1] as usize];
+        sorted_intersect(a, b)
+    }
+
+    /// Total hub entries across both label sides.
+    pub fn entries(&self) -> usize {
+        self.out_hubs.len() + self.in_hubs.len()
+    }
+
+    /// Byte footprint (hub entries, CSR offsets, and the rank map).
+    pub fn bytes(&self) -> usize {
+        (self.entries() + self.out_offsets.len() + self.in_offsets.len() + self.rank_of.len()) * 4
+    }
+
+    /// Exact patch after an arc **splice** (insertions only). For each new
+    /// arc `a → b`, every ancestor of `a` now reaches every descendant of
+    /// `b`, and `b` itself witnesses all of those pairs: adding hub `b` to
+    /// `label_out` across `anc(a)` and to `label_in` across `desc(b)`
+    /// covers exactly the `anc × desc` region the arc opened. Every added
+    /// entry is a true reachability fact in the post-splice DAG, and any
+    /// newly reachable pair routes through some new arc, so soundness and
+    /// completeness both hold; pre-existing entries remain true because
+    /// insertion only grows reachability. `dag` must be the post-splice
+    /// DAG.
+    pub fn splice(&mut self, dag: &DiGraph, new_arcs: &[(V, V)]) {
+        let mut add_out: Vec<(V, u32)> = Vec::new();
+        let mut add_in: Vec<(V, u32)> = Vec::new();
+        for &(a, b) in new_arcs {
+            let hub = self.rank_of[b as usize];
+            for u in ancestors_of(dag, &[a]) {
+                add_out.push((u, hub));
+            }
+            for v in descendants_of(dag, &[b]) {
+                add_in.push((v, hub));
+            }
+        }
+        merge_into_csr(&mut self.out_offsets, &mut self.out_hubs, add_out);
+        merge_into_csr(&mut self.in_offsets, &mut self.in_hubs, add_in);
+    }
+}
+
+/// Merge-intersection of two sorted rank arrays: whether they share an
+/// element, plus the number of merge steps taken. This is the label tier's
+/// entire query path, so it stays branch-light and allocation-free.
+#[inline]
+fn sorted_intersect(a: &[u32], b: &[u32]) -> (bool, usize) {
+    let (mut i, mut j, mut steps) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        steps += 1;
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            return (true, steps);
+        }
+        if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (false, steps)
+}
+
+/// Flattens per-component hub vectors into a CSR (offsets, values) pair.
+fn flatten_labels(labels: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(labels.len() + 1);
+    let total = labels.iter().map(Vec::len).sum();
+    let mut hubs = Vec::with_capacity(total);
+    offsets.push(0u32);
+    for l in labels {
+        hubs.extend_from_slice(l);
+        offsets.push(hubs.len() as u32);
+    }
+    (offsets, hubs)
+}
+
+/// Rebuilds a label CSR with `adds` = `(component, hub rank)` entries
+/// merged in (duplicates of existing entries are dropped, so the arrays
+/// stay sorted and strictly deduplicated).
+fn merge_into_csr(offsets: &mut Vec<u32>, hubs: &mut Vec<u32>, mut adds: Vec<(V, u32)>) {
+    if adds.is_empty() {
+        return;
+    }
+    adds.sort_unstable();
+    adds.dedup();
+    let k = offsets.len() - 1;
+    let mut new_offsets = Vec::with_capacity(offsets.len());
+    let mut new_hubs = Vec::with_capacity(hubs.len() + adds.len());
+    new_offsets.push(0u32);
+    let mut a = 0usize;
+    for c in 0..k {
+        let old = &hubs[offsets[c] as usize..offsets[c + 1] as usize];
+        let mut i = 0usize;
+        while a < adds.len() && adds[a].0 as usize == c {
+            let hub = adds[a].1;
+            while i < old.len() && old[i] < hub {
+                new_hubs.push(old[i]);
+                i += 1;
+            }
+            if i < old.len() && old[i] == hub {
+                i += 1; // already present
+            }
+            new_hubs.push(hub);
+            a += 1;
+        }
+        new_hubs.extend_from_slice(&old[i..]);
+        new_offsets.push(new_hubs.len() as u32);
+    }
+    *offsets = new_offsets;
+    *hubs = new_hubs;
+}
+
 /// The descendant-summary layer: answers `cu ⇝ cv` for component pairs
 /// that survive the same-component and level prunes.
 #[derive(Clone)]
 pub(crate) enum SummaryLayer {
     /// Flat row-major bitset: row `c` holds one bit per component.
     Bitset { words_per_row: usize, rows: Vec<u64> },
+    /// Pruned landmark (2-hop) hub labels — see [`LabelLayer`].
+    Labels(LabelLayer),
     Intervals {
         labelings: Vec<IntervalLabeling>,
         /// Strict descendants, sorted, for components under the cap.
@@ -303,6 +530,11 @@ pub(crate) enum SummaryLayer {
 /// index module).
 pub(crate) struct SummaryConfig {
     pub bitset_budget_bytes: usize,
+    /// Byte ceiling for the 2-hop label tier; `0` disables it.
+    pub label_budget_bytes: usize,
+    /// Minimum DAG size (components) before the label tier is considered —
+    /// small DAGs keep the bitset/interval behavior unchanged.
+    pub label_min_components: usize,
     pub labelings: usize,
     pub exception_cap: usize,
     pub seed: u64,
@@ -311,27 +543,38 @@ pub(crate) struct SummaryConfig {
 impl SummaryLayer {
     /// Full build over a condensation DAG. Returns the layer plus its
     /// byte footprint and exception-list count (for stats).
+    ///
+    /// Tier selection: bitsets whenever they fit the bitset budget (small
+    /// DAGs are unchanged); otherwise 2-hop hub labels when the DAG has at
+    /// least `label_min_components` components and the pruned labeling
+    /// fits the label budget; interval labels as the final fallback.
     pub fn build(dag: &DiGraph, order: &[V], cfg: &SummaryConfig) -> (SummaryLayer, usize, usize) {
         let k = dag.n();
         let words_per_row = k.div_ceil(64);
         let bitset_bytes = k.saturating_mul(words_per_row).saturating_mul(8);
         if bitset_bytes <= cfg.bitset_budget_bytes {
             let rows = build_bitsets(dag, order, words_per_row);
-            (SummaryLayer::Bitset { words_per_row, rows }, bitset_bytes, 0)
-        } else {
-            let labelings = build_labelings(dag, order, cfg.labelings.max(1), cfg.seed);
-            let exceptions = build_exceptions(dag, order, cfg.exception_cap);
-            let layer = SummaryLayer::Intervals { labelings, exceptions };
-            let bytes = layer.bytes(k);
-            let exc = layer.exception_count();
-            (layer, bytes, exc)
+            return (SummaryLayer::Bitset { words_per_row, rows }, bitset_bytes, 0);
         }
+        if k >= cfg.label_min_components && cfg.label_budget_bytes > 0 {
+            if let Some(labels) = LabelLayer::build(dag, cfg.label_budget_bytes) {
+                let bytes = labels.bytes();
+                return (SummaryLayer::Labels(labels), bytes, 0);
+            }
+        }
+        let labelings = build_labelings(dag, order, cfg.labelings.max(1), cfg.seed);
+        let exceptions = build_exceptions(dag, order, cfg.exception_cap);
+        let layer = SummaryLayer::Intervals { labelings, exceptions };
+        let bytes = layer.bytes(k);
+        let exc = layer.exception_count();
+        (layer, bytes, exc)
     }
 
     /// Which representation this layer holds.
     pub fn tier(&self) -> SummaryTier {
         match self {
             SummaryLayer::Bitset { .. } => SummaryTier::Bitset,
+            SummaryLayer::Labels(_) => SummaryTier::Labels,
             SummaryLayer::Intervals { .. } => SummaryTier::Intervals,
         }
     }
@@ -340,6 +583,7 @@ impl SummaryLayer {
     pub fn bytes(&self, k: usize) -> usize {
         match self {
             SummaryLayer::Bitset { words_per_row, .. } => k * words_per_row * 8,
+            SummaryLayer::Labels(labels) => labels.bytes(),
             SummaryLayer::Intervals { labelings, exceptions } => {
                 labelings.len() * k * 8
                     + exceptions
@@ -350,10 +594,18 @@ impl SummaryLayer {
         }
     }
 
+    /// The label tier's hub-entry count (0 for the other tiers).
+    pub fn label_entries(&self) -> usize {
+        match self {
+            SummaryLayer::Labels(labels) => labels.entries(),
+            _ => 0,
+        }
+    }
+
     /// Number of components carrying an exact exception list.
     pub fn exception_count(&self) -> usize {
         match self {
-            SummaryLayer::Bitset { .. } => 0,
+            SummaryLayer::Bitset { .. } | SummaryLayer::Labels(_) => 0,
             SummaryLayer::Intervals { exceptions, .. } => {
                 exceptions.iter().filter(|e| e.is_some()).count()
             }
@@ -383,6 +635,10 @@ impl SummaryLayer {
                 let hit = rows[cu * words_per_row + cv / 64] >> (cv % 64) & 1 == 1;
                 (hit, QueryTier::BitsetRow, 0)
             }
+            SummaryLayer::Labels(labels) => {
+                let (hit, steps) = labels.intersects(cu, cv);
+                (hit, QueryTier::LabelIntersect, steps)
+            }
             SummaryLayer::Intervals { labelings, exceptions } => {
                 if let Some(desc) = &exceptions[cu] {
                     let hit = desc.binary_search(&(cv as V)).is_ok();
@@ -397,20 +653,18 @@ impl SummaryLayer {
         }
     }
 
-    /// Partial invalidation after an arc splice **or unsplice**.
+    /// Partial invalidation after an arc **splice** (insertions only).
+    /// `new_arcs` are the spliced arcs and `dag` the post-splice DAG;
     /// `affected` must hold every component whose descendant set changed
-    /// — the ancestors (in the relevant DAG, sources included) of the
-    /// changed arcs' sources — ordered children-first (descending new
-    /// level), so every component is repaired after all of its affected
-    /// out-neighbors. Each affected row/list is recomputed from its
-    /// (final) children against `dag` as passed, so the same pass is
-    /// exact whether the arcs were added or removed; only the interval
-    /// *labels* are widen-only (see below), which stays sound under arc
-    /// removal because reachability shrinking makes an over-approximation
-    /// strictly looser, never wrong.
+    /// — the ancestors (sources included) of the new arcs' sources —
+    /// ordered children-first (descending new level), so every component
+    /// is repaired after all of its affected out-neighbors.
     ///
     /// * Bitset tier: the affected rows are recomputed from their
     ///   (final) child rows; unaffected rows are untouched.
+    /// * Label tier: exact hub-coverage extension over each new arc's
+    ///   `anc × desc` region — see [`LabelLayer::splice`] (`affected` is
+    ///   not needed; the arcs themselves drive the patch).
     /// * Interval tier: the affected intervals are *widened* over their
     ///   children (`low` down, `rank` up), which keeps nesting a
     ///   necessary condition for reachability while never touching
@@ -418,8 +672,66 @@ impl SummaryLayer {
     ///   the child lists and dropped to `None` when they overflow the cap
     ///   (the pruned DFS then simply descends — exactness is preserved
     ///   because a present list is always recomputed, never stale).
-    pub fn splice(&mut self, dag: &DiGraph, affected: &[V], exception_cap: usize) {
+    pub fn splice_arcs(
+        &mut self,
+        dag: &DiGraph,
+        new_arcs: &[(V, V)],
+        affected: &[V],
+        exception_cap: usize,
+    ) {
+        if let SummaryLayer::Labels(labels) = self {
+            labels.splice(dag, new_arcs);
+            return;
+        }
+        self.recompute_affected(dag, affected, exception_cap);
+    }
+
+    /// Partial invalidation after arcs were **removed** (and possibly
+    /// others added in the same repair). For bitsets the affected rows are
+    /// recomputed from final children, which is exact under removal too;
+    /// for intervals the widen-only pass stays *sound* because shrinking
+    /// reachability makes an over-approximation strictly looser, never
+    /// wrong. The 2-hop label tier has no such slack — its entries are
+    /// exact reachability certificates, and a removed arc can falsify
+    /// them — so it invalidates and relabels from scratch against the new
+    /// DAG (still far cheaper than a full index rebuild: SCCs, the DAG,
+    /// and levels are all kept). If the relabel overflows the label
+    /// budget, the layer downgrades to the interval tier.
+    pub fn unsplice_arcs(&mut self, dag: &DiGraph, affected: &[V], cfg: &SummaryConfig) {
+        if matches!(self, SummaryLayer::Labels(_)) {
+            if let Some(labels) = LabelLayer::build(dag, cfg.label_budget_bytes) {
+                *self = SummaryLayer::Labels(labels);
+                return;
+            }
+            // Relabel overflowed the budget (possible when the repair also
+            // spliced latent arcs in): downgrade to the interval tier. An
+            // index DAG is acyclic by construction, so the order exists;
+            // the unbounded relabel is the (unreachable) sound fallback.
+            *self = match pscc_apps::topological_order(dag) {
+                Some(order) => SummaryLayer::Intervals {
+                    labelings: build_labelings(dag, &order, cfg.labelings.max(1), cfg.seed),
+                    exceptions: build_exceptions(dag, &order, cfg.exception_cap),
+                },
+                None => {
+                    debug_assert!(false, "index DAG must stay acyclic");
+                    match LabelLayer::build(dag, usize::MAX) {
+                        Some(labels) => SummaryLayer::Labels(labels),
+                        None => return,
+                    }
+                }
+            };
+            return;
+        }
+        self.recompute_affected(dag, affected, cfg.exception_cap);
+    }
+
+    /// The shared bitset/interval repair pass over `affected` (see
+    /// [`Self::splice_arcs`]); the label tier never reaches it.
+    fn recompute_affected(&mut self, dag: &DiGraph, affected: &[V], exception_cap: usize) {
         match self {
+            SummaryLayer::Labels(_) => {
+                debug_assert!(false, "label tier uses splice/relabel, not affected recompute");
+            }
             SummaryLayer::Bitset { words_per_row, rows } => {
                 let words = *words_per_row;
                 for &c in affected {
@@ -684,6 +996,31 @@ pub(crate) fn ancestors_of(dag: &DiGraph, sources: &[V]) -> Vec<V> {
     out
 }
 
+/// Descendants of `sources` (sources included) by forward traversal — the
+/// label tier's `label_in` patch region for a spliced arc.
+pub(crate) fn descendants_of(dag: &DiGraph, sources: &[V]) -> Vec<V> {
+    let mut seen = vec![false; dag.n()];
+    let mut out: Vec<V> = Vec::new();
+    let mut stack: Vec<V> = Vec::new();
+    for &s in sources {
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            stack.push(s);
+            out.push(s);
+        }
+    }
+    while let Some(c) = stack.pop() {
+        for &d in dag.out_neighbors(c) {
+            if !seen[d as usize] {
+                seen[d as usize] = true;
+                stack.push(d);
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,18 +1065,67 @@ mod tests {
         assert_eq!(merged.sizes, vec![2, 2, 1]);
     }
 
-    /// Splicing arcs into a random DAG and repairing only the affected
-    /// ancestors must answer exactly like a from-scratch summary build,
-    /// in both tiers.
+    /// One forcing config per summary tier, for the three-way test loops.
+    fn tier_configs() -> [(SummaryTier, SummaryConfig); 3] {
+        let base = |bitset, label| SummaryConfig {
+            bitset_budget_bytes: bitset,
+            label_budget_bytes: label,
+            label_min_components: 0,
+            labelings: 2,
+            exception_cap: 4,
+            seed: 7,
+        };
+        [
+            (SummaryTier::Bitset, base(usize::MAX, 0)),
+            (SummaryTier::Labels, base(0, usize::MAX)),
+            (SummaryTier::Intervals, base(0, 0)),
+        ]
+    }
+
+    /// A 40-node random DAG: random edges oriented low -> high.
+    fn random_dag(seed: u64) -> DiGraph {
+        let g = gnm_digraph(40, 120, seed);
+        let arcs: Vec<(V, V)> =
+            g.out_csr().edges().map(|(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
+        let arcs: Vec<(V, V)> = arcs.into_iter().filter(|&(a, b)| a != b).collect();
+        dag_of(&arcs, 40)
+    }
+
+    /// The pruned 2-hop labeling must answer every pair exactly like the
+    /// full descendant bitsets.
     #[test]
-    fn summary_splice_matches_full_rebuild_both_tiers() {
+    fn label_build_matches_bitset_oracle() {
+        for seed in 0..8u64 {
+            let dag = random_dag(seed);
+            let order = topological_order(&dag).unwrap();
+            let labels = LabelLayer::build(&dag, usize::MAX).unwrap();
+            let rows = build_bitsets(&dag, &order, 1);
+            for (cu, row) in rows.iter().enumerate() {
+                for cv in 0..40usize {
+                    if cu == cv {
+                        continue;
+                    }
+                    let want = row >> cv & 1 == 1;
+                    assert_eq!(labels.intersects(cu, cv).0, want, "seed {seed} pair ({cu}, {cv})");
+                }
+            }
+        }
+    }
+
+    /// An impossible budget must refuse the label tier instead of building
+    /// a truncated (unsound) labeling.
+    #[test]
+    fn label_build_respects_budget() {
+        let dag = random_dag(1);
+        assert!(LabelLayer::build(&dag, 64).is_none());
+    }
+
+    /// Splicing arcs into a random DAG and patching in place must answer
+    /// exactly like a from-scratch summary build, in all three tiers.
+    #[test]
+    fn summary_splice_matches_full_rebuild_all_tiers() {
         for seed in 0..6u64 {
-            // A random DAG: orient random edges low -> high.
-            let g = gnm_digraph(40, 120, seed);
-            let arcs: Vec<(V, V)> =
-                g.out_csr().edges().map(|(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
-            let arcs: Vec<(V, V)> = arcs.into_iter().filter(|&(a, b)| a != b).collect();
-            let dag = dag_of(&arcs, 40);
+            let dag = random_dag(seed);
             let order = topological_order(&dag).unwrap();
             // New forward arcs (low -> high keeps it acyclic).
             let new_arcs: Vec<(V, V)> = vec![(seed as V, 30 + seed as V), (2, 39)];
@@ -752,18 +1138,13 @@ mod tests {
             let mut levels = LevelLayer::build(&dag, &order);
             levels.splice(&spliced, &new_arcs);
 
-            for budget in [usize::MAX, 0] {
-                let cfg = SummaryConfig {
-                    bitset_budget_bytes: budget,
-                    labelings: 2,
-                    exception_cap: 4,
-                    seed: 7,
-                };
+            for (tier, cfg) in tier_configs() {
                 let (mut summary, _, _) = SummaryLayer::build(&dag, &order, &cfg);
+                assert_eq!(summary.tier(), tier, "seed {seed}: forcing config picked wrong tier");
                 let sources: Vec<V> = new_arcs.iter().map(|&(s, _)| s).collect();
                 let mut affected = ancestors_of(&spliced, &sources);
                 affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
-                summary.splice(&spliced, &affected, cfg.exception_cap);
+                summary.splice_arcs(&spliced, &new_arcs, &affected, cfg.exception_cap);
 
                 let (want, _, _) = SummaryLayer::build(&spliced, &sorder, &cfg);
                 for cu in 0..40usize {
@@ -774,7 +1155,51 @@ mod tests {
                         assert_eq!(
                             summary.comp_reaches(cu, cv, &spliced, &levels.levels),
                             want.comp_reaches(cu, cv, &spliced, &levels.levels),
-                            "seed {seed} budget {budget} pair ({cu}, {cv})"
+                            "seed {seed} tier {tier:?} pair ({cu}, {cv})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removing arcs and running the unsplice repair must answer exactly
+    /// like a from-scratch summary build, in all three tiers (the label
+    /// tier relabels; the others recompute affected ancestors).
+    #[test]
+    fn summary_unsplice_matches_full_rebuild_all_tiers() {
+        for seed in 0..6u64 {
+            let dag = random_dag(seed);
+            let order = topological_order(&dag).unwrap();
+            let all: Vec<(V, V)> = dag.out_csr().edges().collect();
+            if all.len() < 4 {
+                continue;
+            }
+            let dead: Vec<(V, V)> = vec![all[seed as usize % all.len()], all[all.len() / 2]];
+            let shrunk = dag.with_delta(&[], &dead);
+            let sorder = topological_order(&shrunk).unwrap();
+            let seeds: Vec<V> = dead.iter().map(|&(_, b)| b).collect();
+            let mut levels = LevelLayer::build(&dag, &order);
+            levels.unsplice(&shrunk, &seeds);
+
+            for (tier, cfg) in tier_configs() {
+                let (mut summary, _, _) = SummaryLayer::build(&dag, &order, &cfg);
+                assert_eq!(summary.tier(), tier);
+                let sources: Vec<V> = dead.iter().map(|&(s, _)| s).collect();
+                let mut affected = ancestors_of(&dag, &sources);
+                affected.sort_unstable_by_key(|&c| std::cmp::Reverse(levels.levels[c as usize]));
+                summary.unsplice_arcs(&shrunk, &affected, &cfg);
+
+                let (want, _, _) = SummaryLayer::build(&shrunk, &sorder, &cfg);
+                for cu in 0..40usize {
+                    for cv in 0..40usize {
+                        if cu == cv || levels.levels[cu] >= levels.levels[cv] {
+                            continue;
+                        }
+                        assert_eq!(
+                            summary.comp_reaches(cu, cv, &shrunk, &levels.levels),
+                            want.comp_reaches(cu, cv, &shrunk, &levels.levels),
+                            "seed {seed} tier {tier:?} pair ({cu}, {cv})"
                         );
                     }
                 }

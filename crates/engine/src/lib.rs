@@ -10,11 +10,13 @@
 //!   runs the paper's BGSS SCC, contracts to the condensation DAG, assigns
 //!   longest-path topological levels, and precomputes a descendant summary
 //!   whose representation adapts to the DAG size ([`SummaryTier`]):
-//!   full per-component **bitsets** when they fit a memory budget, and
-//!   GRAIL-style randomized **DFS interval labels with exception lists**
-//!   (exact small descendant sets) plus a pruned-DFS fallback when they
-//!   don't. Queries short-circuit in order: same SCC → level prune →
-//!   summary.
+//!   full per-component **bitsets** when they fit a memory budget,
+//!   **pruned 2-hop labels** (sorted hub arrays; a point query is one
+//!   merge-intersection, no DFS fallback) when the DAG is large but the
+//!   labeling fits its own byte budget, and GRAIL-style randomized
+//!   **DFS interval labels with exception lists** (exact small
+//!   descendant sets) plus a pruned-DFS fallback otherwise. Queries
+//!   short-circuit in order: same SCC → level prune → summary.
 //! * [`QueryBatch`] — answers query batches in parallel via the runtime's
 //!   blocked `par_for`, with a concurrent fixed-capacity memo for hot
 //!   component-pair verdicts.

@@ -26,7 +26,10 @@
 //!    preserved; the condensation gains precisely the new arcs; levels
 //!    and the descendant summary are repaired only where the splice
 //!    invalidated them (descendant sets grow exactly for ancestors of the
-//!    new arcs' sources — see the engine's `layers` module).
+//!    new arcs' sources — see the engine's `layers` module). On the
+//!    2-hop label tier the splice is an exact label patch: each new arc
+//!    `a → b` extends hub `b`'s coverage over `anc(a) × desc(b)`, which
+//!    is precisely the region the arc opened.
 //! 3. **Region recompute** ([`RepairPlan::RegionRecompute`]) — some new
 //!    arcs close a cycle. Every component that merges lies on a DAG path
 //!    `t ⇝ C ⇝ s` for cycle-forming arcs `(s, t)` (a cycle alternates
@@ -55,7 +58,12 @@
 //!    delta takes some DAG arcs' support to zero and splits nothing:
 //!    the dead arcs are removed (latent pairs spliced in first), levels
 //!    are worklist-relaxed exactly, and summaries are narrowed for the
-//!    affected ancestors only.
+//!    affected ancestors only. Label entries are exact reachability
+//!    certificates that a removed arc can falsify, and a partial
+//!    re-prune is order-dependent, so the label tier prices deletion as
+//!    rebuild-this-layer: the labeling is reconstructed from scratch
+//!    over the post-unsplice DAG (SCCs, DAG, and levels are still
+//!    repaired incrementally — only the summary layer pays).
 //! 6. **Deletion: SCC split check** ([`RepairPlan::SccSplit`]) — an
 //!    intra-SCC deletion can split its component: SCC re-runs on **only
 //!    that component's members** in the post-deletion graph and the

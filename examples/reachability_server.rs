@@ -52,7 +52,7 @@
 //! against the previous run's — kill the process between the two
 //! invocations and nothing is lost.
 
-use parallel_scc::engine::{Delta, DeltaReport};
+use parallel_scc::engine::{Delta, DeltaReport, QueryTier, SummaryTier};
 use parallel_scc::prelude::*;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -355,10 +355,11 @@ fn recover_and_verify(dir: &Path, updates_path: Option<&str>, metrics: bool) {
 }
 
 /// The EXPLAIN demo: re-answer a slice of the batch *with provenance* —
-/// which tier (memo, bitset row, interval refutation, pruned DFS, …)
-/// produced each verdict — then print the last repair plan's full
-/// decision trace: the chosen tier and every cheaper tier the planner
-/// rejected, with the reason.
+/// which tier (memo, bitset row, label intersection, interval
+/// refutation, pruned DFS, …) produced each verdict — then print the
+/// last repair plan's full decision trace: the chosen tier and every
+/// cheaper tier the planner rejected, with the reason. On a label-tier
+/// index a few `label_intersect` verdicts are sampled explicitly.
 fn explain_demo(catalog: &Catalog, queries: &[(V, V)]) {
     let sample = &queries[..queries.len().min(2_000)];
     let t = Instant::now();
@@ -382,6 +383,14 @@ fn explain_demo(catalog: &Catalog, queries: &[(V, V)]) {
     );
     for e in explained.iter().take(5) {
         println!("  {}", e.describe());
+    }
+    let label_samples: Vec<_> =
+        explained.iter().filter(|e| e.tier == QueryTier::LabelIntersect).take(3).collect();
+    if !label_samples.is_empty() {
+        println!("label-tier samples (one sorted-hub intersection per verdict):");
+        for e in label_samples {
+            println!("  {}  [{} merge steps]", e.describe(), e.dfs_visited);
+        }
     }
     match catalog.last_plan_explain(NAME) {
         Some(plan) => {
@@ -477,12 +486,21 @@ fn print_index_report(index: &ReachIndex, build_seconds: f64) {
     println!("  levels     {:>8.1}ms", s.levels_seconds * 1e3);
     println!("  summary    {:>8.1}ms", s.summary_seconds * 1e3);
     println!(
-        "  components {:>8}  dag arcs {:>8}  summary {:.1} MiB  exceptions {}\n",
+        "  components {:>8}  dag arcs {:>8}  summary {:.1} MiB  exceptions {}",
         s.num_components,
         s.dag_arcs,
         s.summary_bytes as f64 / (1 << 20) as f64,
         s.exception_components,
     );
+    if index.tier() == SummaryTier::Labels {
+        println!(
+            "  labels: {} hub entries, mean length {:.2} — a point query is one \
+             sorted-hub intersection, no DFS fallback",
+            s.label_entries,
+            s.mean_label_len(),
+        );
+    }
+    println!();
 }
 
 fn print_delta_report(report: &DeltaReport) {

@@ -177,6 +177,66 @@ pub fn scenario_suite(seed: u64) -> Vec<Scenario> {
     ]
 }
 
+/// Hub-heavy scenarios for the 2-hop label tier: graphs whose
+/// reachability concentrates through a few high-degree vertices, so the
+/// degree-descending labeling picks real hubs and the label arrays carry
+/// genuine coverage (rather than degenerating to self-labels). Replayed
+/// under a label-forcing config by `tests/engine_label_oracle.rs`.
+pub fn label_scenario_suite(seed: u64) -> Vec<Scenario> {
+    vec![
+        hub_fanout(4, 3, 4),
+        hub_fanout(3, 2, 6),
+        star_hubs(4, 3),
+        layered_dag(6, 4),
+        random_mixed(40, 110, 10, seed ^ 0x1ab),
+    ]
+}
+
+/// A three-rank fanout DAG: `sources` × `hubs` × `sinks`, every source
+/// feeding every hub and every hub feeding every sink. The hubs carry
+/// degree `sources + sinks` — far above everything else — so the pruned
+/// labeling processes them first and one or two hub entries per vertex
+/// cover the whole reachability relation. Steps exercise every repair
+/// tier against that labeling: absorb (hub-witnessed shortcut), arc
+/// unsplice + re-splice of a spoke, a sink→source back edge (region
+/// merge) and the split that prices through the merged component, a
+/// mixed structural rebuild, and a no-op.
+pub fn hub_fanout(sources: usize, hubs: usize, sinks: usize) -> Scenario {
+    let n = sources + hubs + sinks;
+    let src = |i: usize| i as V;
+    let hub = |j: usize| (sources + j) as V;
+    let sink = |k: usize| (sources + hubs + k) as V;
+    let mut edges: Vec<(V, V)> = Vec::new();
+    for i in 0..sources {
+        for j in 0..hubs {
+            edges.push((src(i), hub(j)));
+        }
+    }
+    for j in 0..hubs {
+        for k in 0..sinks {
+            edges.push((hub(j), sink(k)));
+        }
+    }
+    let steps = vec![
+        // Source-to-sink shortcut: already witnessed by every hub.
+        Step::new(&[(src(0), sink(0))], &[], DeltaOutcome::Absorbed),
+        // A single spoke is one support of its condensation arc.
+        Step::new(&[], &[(src(0), hub(0))], DeltaOutcome::ArcUnspliced),
+        // Neither endpoint reaches the other now: a pure re-splice.
+        Step::new(&[(src(0), hub(0))], &[], DeltaOutcome::DagSpliced),
+        // Sink-to-source back edge closes a cycle through the hubs.
+        Step::new(&[(sink(0), src(0))], &[], DeltaOutcome::RegionRecomputed),
+        // An intra-SCC spoke of the merged component: the split check.
+        Step::new(&[], &[(src(0), hub(1))], DeltaOutcome::SccSplit),
+        // A structural deletion (the sole spoke from src 1 to hub 1)
+        // mixed with an insertion: priced out.
+        Step::new(&[(sink(1), sink(2))], &[(src(1), hub(1))], DeltaOutcome::Rebuilt),
+        // Redundant operations only.
+        Step::new(&[(src(2), hub(0))], &[(sink(2), sink(0))], DeltaOutcome::NoOp),
+    ];
+    Scenario { name: format!("hub_fanout_{sources}x{hubs}x{sinks}"), n, edges, steps }
+}
+
 /// `cycles` directed cycles of length `len` linked in a chain, each link
 /// carried by **two parallel edges** (two direct supports of one
 /// condensation arc). Exercises: support decrement, arc unsplice,

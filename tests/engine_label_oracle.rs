@@ -1,0 +1,249 @@
+//! The 2-hop label tier's end-to-end oracle: under a label-forcing
+//! config (`bitset_budget_bytes: 0`, `label_min_components: 0`), every
+//! answer the engine serves — across the shared scenario suite, the
+//! hub-heavy label scenarios, random delta sequences, proptest fuzz, and
+//! a snapshot+WAL recovery — must equal a from-scratch BFS oracle, and
+//! `QueryTier::LabelIntersect` must demonstrably decide queries (the
+//! label path has no DFS fallback to hide behind).
+
+use parallel_scc::engine::{
+    BatchOptions, Delta, IndexConfig as EngineIndexConfig, QueryTier, SummaryTier,
+};
+use parallel_scc::prelude::*;
+use pscc_runtime::SplitMix64;
+use std::collections::BTreeSet;
+
+mod common;
+use common::bfs_reaches;
+use common::scenarios::{label_scenario_suite, replay_against_oracle, scenario_suite};
+
+/// The label-forcing config: no bitset budget, no component floor, so
+/// any DAG with at least one component gets the 2-hop labeling.
+fn label_config() -> EngineIndexConfig {
+    EngineIndexConfig {
+        bitset_budget_bytes: 0,
+        label_min_components: 0,
+        ..EngineIndexConfig::default()
+    }
+}
+
+/// Every scenario of the shared suite *and* the hub-heavy label suite,
+/// replayed under the label tier with per-step tier expectations and the
+/// all-pairs from-scratch oracle after every step. The scripted repair
+/// tiers are summary-agnostic, so the same expectations must hold here.
+#[test]
+fn scenario_suites_match_oracle_on_the_label_tier() {
+    for scenario in scenario_suite(0x1abe1).into_iter().chain(label_scenario_suite(0x1abe1)) {
+        let _ = replay_against_oracle(&scenario, label_config(), true, true);
+    }
+}
+
+/// Coverage: on a hub-heavy graph the label tier must actually decide
+/// queries — `LabelIntersect` fires, and none of the other summary
+/// tiers' provenance (bitset rows, exception lists, interval refutes,
+/// pruned DFS) can appear under a label-tier index.
+#[test]
+fn label_intersect_provenance_fires_and_excludes_other_summaries() {
+    let scenario = &label_scenario_suite(0x77)[0];
+    let g = DiGraph::from_edges(scenario.n, &scenario.edges);
+    let n = scenario.n;
+    let catalog = Catalog::new();
+    catalog.insert_with_config("g", g, label_config(), BatchOptions::default());
+    let idx = catalog.index("g").expect("registered");
+    assert_eq!(idx.tier(), SummaryTier::Labels, "config must force the label tier");
+    let queries: Vec<(V, V)> = (0..n as V).flat_map(|u| (0..n as V).map(move |v| (u, v))).collect();
+    let explains = catalog.answer_batch_explained("g", &queries).expect("registered");
+    let intersections = explains.iter().filter(|ex| ex.tier == QueryTier::LabelIntersect).count();
+    assert!(intersections > 0, "no query was decided by a label intersection");
+    for ex in &explains {
+        assert!(
+            !matches!(
+                ex.tier,
+                QueryTier::BitsetRow
+                    | QueryTier::ExceptionList
+                    | QueryTier::IntervalRefute
+                    | QueryTier::PrunedDfs
+            ),
+            "query ({}, {}) leaked {} provenance through a label-tier index",
+            ex.u,
+            ex.v,
+            ex.tier.name()
+        );
+    }
+}
+
+/// Random delta sequences against the all-pairs oracle: the label tier
+/// must survive splice patches and relabels across arbitrary mixed
+/// workloads, mirroring `engine_repair_planner.rs` but pinned to labels.
+#[test]
+fn random_delta_sequences_match_oracle_on_the_label_tier() {
+    for seed in 0..12u64 {
+        let mut rng = SplitMix64::new(0x1abe1ed ^ seed);
+        let n = 24 + (seed as usize % 3) * 12;
+        let g = parallel_scc::graph::generators::random::gnm_digraph(n, n * 3, seed);
+        let mut edges: BTreeSet<(V, V)> = g.out_csr().edges().collect();
+        let catalog = Catalog::new();
+        catalog.insert_with_config("g", g, label_config(), BatchOptions::default());
+        let idx = catalog.index("g").expect("registered");
+        assert_eq!(idx.tier(), SummaryTier::Labels);
+        for step in 0..10u64 {
+            let mut ins: Vec<(V, V)> = Vec::new();
+            let mut del: Vec<(V, V)> = Vec::new();
+            if step % 3 != 1 && !edges.is_empty() {
+                let doomed =
+                    *edges.iter().nth(rng.next_below(edges.len() as u64) as usize).unwrap();
+                del.push(doomed);
+            }
+            if step % 3 != 0 {
+                for _ in 0..1 + rng.next_below(3) {
+                    ins.push((rng.next_below(n as u64) as V, rng.next_below(n as u64) as V));
+                }
+            }
+            let delta = Delta::from_parts(ins.clone(), del.clone());
+            catalog.apply_delta("g", &delta).expect("valid delta");
+            for e in &del {
+                if !ins.contains(e) {
+                    edges.remove(e);
+                }
+            }
+            edges.extend(ins.iter().copied());
+            let edge_list: Vec<(V, V)> = edges.iter().copied().collect();
+            let oracle = DiGraph::from_edges(n, &edge_list);
+            for u in 0..n as V {
+                for v in 0..n as V {
+                    assert_eq!(
+                        catalog.reaches("g", u, v),
+                        Some(bfs_reaches(&oracle, u, v)),
+                        "seed {seed} step {step}: ({u}, {v}) diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Label-tier provenance must survive the snapshot+WAL round trip: a
+/// persisted catalog re-opened with the label config serves identical
+/// answers, still on the label tier, with `LabelIntersect` verdicts.
+#[test]
+fn label_tier_survives_snapshot_and_wal_recovery() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("pscc_label_oracle_wal_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let scenario = &label_scenario_suite(0x9a)[1];
+    let n = scenario.n;
+    let g = DiGraph::from_edges(n, &scenario.edges);
+    let mut edges: BTreeSet<(V, V)> = g.out_csr().edges().collect();
+    let catalog = Catalog::new();
+    catalog.insert_with_config("g", g, label_config(), BatchOptions::default());
+    catalog.persist_to("g", &dir).expect("persist");
+    let _ = catalog.index("g").expect("registered");
+    for step in &scenario.steps {
+        let delta = Delta::from_parts(step.insertions.clone(), step.deletions.clone());
+        catalog.apply_delta("g", &delta).expect("valid delta");
+        for e in &step.deletions {
+            if !step.insertions.contains(e) {
+                edges.remove(e);
+            }
+        }
+        edges.extend(step.insertions.iter().copied());
+    }
+    drop(catalog);
+
+    let recovered = Catalog::open_with_config(&dir, label_config()).expect("recover");
+    let idx = recovered.index("g").expect("recovered entry");
+    assert_eq!(idx.tier(), SummaryTier::Labels, "recovery must rebuild onto the label tier");
+    let edge_list: Vec<(V, V)> = edges.iter().copied().collect();
+    let oracle = DiGraph::from_edges(n, &edge_list);
+    let queries: Vec<(V, V)> = (0..n as V).flat_map(|u| (0..n as V).map(move |v| (u, v))).collect();
+    let explains = recovered.answer_batch_explained("g", &queries).expect("recovered entry");
+    let mut intersections = 0usize;
+    for ex in &explains {
+        assert_eq!(
+            ex.reaches,
+            bfs_reaches(&oracle, ex.u, ex.v),
+            "recovered answer ({}, {}) diverged from the oracle",
+            ex.u,
+            ex.v
+        );
+        if ex.tier == QueryTier::LabelIntersect {
+            intersections += 1;
+        }
+        assert_ne!(ex.tier, QueryTier::PrunedDfs, "label tier has no DFS fallback");
+    }
+    assert!(intersections > 0, "recovery must preserve label-intersection provenance");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same oracle under unconstrained fuzz, pinned to the label tier:
+/// arbitrary base graphs and delta sequences, all-pairs BFS checks after
+/// every step (mirrors `engine_repair_planner.rs::fuzz`).
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    type EdgeList = Vec<(V, V)>;
+
+    fn arb_graph() -> impl Strategy<Value = (usize, Vec<(V, V)>)> {
+        (4usize..40).prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32);
+            proptest::collection::vec(edge, 0..(n * 3)).prop_map(move |edges| (n, edges))
+        })
+    }
+
+    fn arb_deltas(n: usize) -> impl Strategy<Value = Vec<(EdgeList, EdgeList)>> {
+        let edge = (0..n as u32, 0..n as u32);
+        let one =
+            (proptest::collection::vec(edge.clone(), 0..8), proptest::collection::vec(edge, 0..6));
+        proptest::collection::vec(one, 1..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn label_delta_sequences_match_bfs_after_every_step(
+            graph_spec in arb_graph(),
+            seq in (4usize..40).prop_flat_map(arb_deltas),
+            build_first in any::<bool>(),
+        ) {
+            let (n, base) = graph_spec;
+            let base: Vec<(V, V)> = base.into_iter()
+                .map(|(u, v)| (u % n as V, v % n as V)).collect();
+            let g = DiGraph::from_edges(n, &base);
+            let mut edges: BTreeSet<(V, V)> = g.out_csr().edges().collect();
+            let catalog = Catalog::new();
+            catalog.insert_with_config("g", g, label_config(), BatchOptions::default());
+            if build_first {
+                let _ = catalog.index("g").unwrap();
+            }
+            for (ins, del) in seq {
+                let ins: Vec<(V, V)> = ins.into_iter()
+                    .map(|(u, v)| (u % n as V, v % n as V)).collect();
+                let del: Vec<(V, V)> = del.into_iter()
+                    .map(|(u, v)| (u % n as V, v % n as V)).collect();
+                let delta = Delta::from_parts(ins.clone(), del.clone());
+                catalog.apply_delta("g", &delta).unwrap();
+                let del_effective: Vec<(V, V)> =
+                    del.iter().filter(|e| !ins.contains(e)).copied().collect();
+                for e in &del_effective {
+                    edges.remove(e);
+                }
+                edges.extend(ins.iter().copied());
+                let edge_list: Vec<(V, V)> = edges.iter().copied().collect();
+                let oracle = DiGraph::from_edges(n, &edge_list);
+                for u in 0..n as V {
+                    for v in 0..n as V {
+                        prop_assert_eq!(
+                            catalog.reaches("g", u, v),
+                            Some(bfs_reaches(&oracle, u, v)),
+                            "({}, {})", u, v
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
