@@ -493,6 +493,16 @@ impl Catalog {
         self.entry(name)?.last_plan.lock().expect("plan explain lock").clone()
     }
 
+    /// A reusable submission handle for `name`, for front ends that
+    /// assemble query batches *themselves* at high frequency (the
+    /// `pscc-server` admission queue coalesces concurrent point queries
+    /// into batches and pushes each one through this). See
+    /// [`BatchSubmitter`] for what the handle does — and does not — pay
+    /// for per call.
+    pub fn submitter(&self, name: &str) -> Option<BatchSubmitter> {
+        Some(BatchSubmitter { entry: self.entry(name)? })
+    }
+
     /// The delta-application machinery, shared by the serving path
     /// (`log = true`: write-ahead through the entry's store) and recovery
     /// replay (`log = false`: the record is already durable).
@@ -1037,6 +1047,51 @@ impl Drop for Catalog {
     }
 }
 
+/// A pinned, reusable submission handle for one catalog entry, made by
+/// [`Catalog::submitter`]. This is the lean path for front ends that
+/// assemble [`QueryBatch`]-sized batches themselves at high frequency —
+/// the per-call name lookup (catalog read-lock + hash probe) and the
+/// tracing span of [`Catalog::answer_batch`] are paid once at creation
+/// instead of per batch.
+///
+/// What [`submit`](BatchSubmitter::submit) still does per call: resolve
+/// the entry's current index + memo (so the handle **follows deltas** —
+/// an [`apply_delta`](Catalog::apply_delta) that swaps or invalidates
+/// the index is picked up by the next submit, including triggering the
+/// off-lock rebuild) and bump the entry's query counter.
+///
+/// What it does **not** follow: re-registration. The handle pins the
+/// `Arc` of the entry it was created from; if the name is replaced via
+/// [`Catalog::insert`] or removed, the handle keeps answering against
+/// the graph it pinned. Create a fresh submitter after re-registering.
+pub struct BatchSubmitter {
+    entry: Arc<Entry>,
+}
+
+impl BatchSubmitter {
+    /// Answer `queries[i] = (u, v)` as "is `v` reachable from `u`?",
+    /// against the entry's current index (building it off-lock on first
+    /// use, exactly like [`Catalog::answer_batch`]).
+    pub fn submit(&self, queries: &[(V, V)]) -> Vec<bool> {
+        self.entry.metrics.queries.add(queries.len() as u64);
+        let (index, memo) = Catalog::entry_index_and_memo(&self.entry);
+        let batch = QueryBatch::with_shared_memo(&index, memo, self.entry.batch.grain);
+        batch.answer(queries)
+    }
+
+    /// The registered name of the pinned graph.
+    pub fn graph_name(&self) -> &str {
+        &self.entry.name
+    }
+
+    /// Current vertex count of the pinned graph. Deltas never change a
+    /// graph's vertex set, so front ends can validate query endpoints
+    /// against this once and cache it.
+    pub fn vertex_count(&self) -> usize {
+        self.entry.state.lock().expect("entry lock").graph.n()
+    }
+}
+
 /// True if `dir` holds store files (a write-ahead log or snapshots) —
 /// the recovery scan's "is this ours?" test, so unrelated directories in
 /// a data dir never block [`Catalog::open`].
@@ -1167,6 +1222,27 @@ mod tests {
         let a = cat.index("g").unwrap();
         let b = cat.index("g").unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn submitter_matches_answer_batch_and_follows_deltas() {
+        let cat = Catalog::new();
+        cat.insert("g", path_digraph(10));
+        assert!(cat.submitter("missing").is_none());
+        let sub = cat.submitter("g").unwrap();
+        assert_eq!(sub.graph_name(), "g");
+        assert_eq!(sub.vertex_count(), 10);
+        let queries: Vec<(V, V)> = (0..10).map(|i| (0, i as V)).collect();
+        assert_eq!(sub.submit(&queries), cat.answer_batch("g", &queries).unwrap());
+        // Both paths share the same index instance.
+        let before = cat.index("g").unwrap();
+        sub.submit(&queries);
+        assert!(Arc::ptr_eq(&before, &cat.index("g").unwrap()));
+        // A delta through the catalog is visible to the pinned handle.
+        let mut d = Delta::new();
+        d.insert(9, 0); // close the path into a cycle
+        cat.apply_delta("g", &d).unwrap();
+        assert!(sub.submit(&[(9, 0)])[0]);
     }
 
     #[test]

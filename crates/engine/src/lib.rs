@@ -76,7 +76,7 @@ mod layers;
 pub mod planner;
 
 pub use batch::{BatchOptions, BatchStats, QueryBatch};
-pub use catalog::{Catalog, CompactionPolicy, RepairCounts};
+pub use catalog::{BatchSubmitter, Catalog, CompactionPolicy, RepairCounts};
 pub use delta::{Delta, DeltaError, DeltaOutcome, DeltaReport};
 pub use explain::{PlanExplain, QueryExplain, QueryTier};
 pub use index::{BuildCause, Index, IndexConfig, IndexStats, SummaryTier};

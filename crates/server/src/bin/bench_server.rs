@@ -1,0 +1,330 @@
+//! Saturating in-process load generator for the serving stack: sweeps
+//! client-concurrency levels against **two** live servers over the same
+//! warm catalog — one coalescing (the admission queue) and one direct
+//! (one engine dispatch per request) — and emits qps-vs-latency curves
+//! into `BENCH_server.json`. The headline number is
+//! `coalescing_speedup_at_64`: how much throughput the admission queue
+//! buys at 64 concurrent connections, CI-gated at ≥ 5×.
+//!
+//! Clients are pipelined (a window of single-query GETs per write, all
+//! responses read back before the next window), which is both how a
+//! throughput-serious client behaves and what lets the server's run
+//! collection feed the coalescer whole groups. Latency is reported as
+//! client-observed window round-trip time (p50/p99 per level) — the
+//! real time-to-last-answer for a pipelined group of `WINDOW` queries.
+//!
+//! Run: `cargo run --release -p pscc-server --bin bench_server [OUT.json] [--measure-ms N]`
+
+use pscc_server::args::Args;
+use pscc_server::{start, CoalesceConfig, DispatchMode, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GRAPH: &str = "bench";
+const SCALE: u32 = 16;
+const EDGES: usize = 400_000;
+const SEED: u64 = 0xbe7c4;
+/// Pipelined single-query GETs per client write.
+const WINDOW: usize = 1024;
+/// Distinct queries cycled through (matches the memo capacity, so the
+/// sweep measures warm dispatch, not memo misses).
+const POOL: usize = 1 << 13;
+const LEVELS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn main() {
+    let mut args = Args::from_env();
+    let measure_ms =
+        args.parsed::<u64>("--measure-ms", "milliseconds per level").unwrap_or_else(|e| {
+            eprintln!("bench_server: {e}");
+            std::process::exit(2);
+        });
+    let measure = Duration::from_millis(measure_ms.unwrap_or(700));
+    let rest = args.finish();
+    let out_path = rest.first().map(String::as_str).unwrap_or("BENCH_server.json");
+
+    // ---- Shared warm catalog ----
+    let t = Instant::now();
+    let g = pscc_graph::generators::rmat::rmat_digraph(SCALE, EDGES, SEED);
+    let (n, m) = (g.n(), g.m());
+    println!("graph: rmat n={n} m={m} in {:.1}ms", t.elapsed().as_secs_f64() * 1e3);
+    let catalog = Arc::new(pscc_engine::Catalog::new());
+    catalog.insert(GRAPH, g);
+    let t = Instant::now();
+    catalog.index(GRAPH).unwrap();
+    println!("index built in {:.1}ms", t.elapsed().as_secs_f64() * 1e3);
+    let pool = query_pool(n);
+    // Warm the shared memo once; both servers serve from this index.
+    let submitter = catalog.submitter(GRAPH).unwrap();
+    submitter.submit(&pool);
+    println!("memo warmed over {POOL} pooled queries\n");
+
+    // ---- Two servers, one catalog ----
+    let coalesce = CoalesceConfig { queue_cap: 128 * 1024, ..CoalesceConfig::default() };
+    let coalesced = start(
+        catalog.clone(),
+        ServerConfig { mode: DispatchMode::Coalesced(coalesce), ..ServerConfig::default() },
+    )
+    .expect("bind coalesced server");
+    let direct = start(
+        catalog.clone(),
+        ServerConfig { mode: DispatchMode::Direct, ..ServerConfig::default() },
+    )
+    .expect("bind direct server");
+
+    let mut levels_json = Vec::new();
+    let mut speedup_at_64 = 0.0;
+    let mut mean_batch_at_64 = 0.0;
+    let mut overloads_total = 0u64;
+    for &conns in &LEVELS {
+        // Direct first, then coalesced, at every level: both run on the
+        // same warmed index, and alternating per level keeps any slow
+        // drift (cache state, clock) from systematically favoring one.
+        let d = drive(&direct, conns, measure, &pool);
+        let before = coalesced.port_stats(GRAPH);
+        let c = drive(&coalesced, conns, measure, &pool);
+        let stats = coalesced.port_stats(GRAPH).expect("lane exists after traffic");
+        let (batches, queries) = match before {
+            Some(b) => (
+                stats.batches_formed - b.batches_formed,
+                stats.queries_coalesced - b.queries_coalesced,
+            ),
+            None => (stats.batches_formed, stats.queries_coalesced),
+        };
+        let mean_batch = queries as f64 / (batches.max(1)) as f64;
+        overloads_total = stats.overloads;
+        println!(
+            "conns {conns:>3}: direct {:>9.0} qps   coalesced {:>10.0} qps ({:.1}x, \
+             mean batch {mean_batch:.0}, window p50 {:.2}ms)",
+            d.qps,
+            c.qps,
+            c.qps / d.qps,
+            c.p50_window_seconds * 1e3,
+        );
+        if conns == 64 {
+            speedup_at_64 = c.qps / d.qps;
+            mean_batch_at_64 = mean_batch;
+        }
+        levels_json.push(format!(
+            "    {{\"connections\": {conns},\n     \"coalesced\": {{\"qps\": {:.0}, \
+             \"p50_window_seconds\": {:.9}, \"p99_window_seconds\": {:.9}, \
+             \"batches_formed\": {batches}, \"queries\": {queries}, \
+             \"mean_batch\": {mean_batch:.1}}},\n     \"direct\": {{\"qps\": {:.0}, \
+             \"p50_window_seconds\": {:.9}, \"p99_window_seconds\": {:.9}}}}}",
+            c.qps,
+            c.p50_window_seconds,
+            c.p99_window_seconds,
+            d.qps,
+            d.p50_window_seconds,
+            d.p99_window_seconds,
+        ));
+    }
+    coalesced.shutdown();
+    direct.shutdown();
+
+    let json = format!(
+        "{{\n  \"graph\": {{\"family\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \
+         \"config\": {{\"batch_target\": {}, \"deadline_us\": {}, \"queue_cap\": {}, \
+         \"window\": {WINDOW}, \"measure_seconds\": {:.3}}},\n  \
+         \"levels\": [\n{}\n  ],\n  \
+         \"coalescing_speedup_at_64\": {speedup_at_64:.2},\n  \
+         \"mean_batch_at_64\": {mean_batch_at_64:.1},\n  \
+         \"overloads_total\": {overloads_total}\n}}\n",
+        coalesce.batch_target,
+        coalesce.deadline.as_micros(),
+        coalesce.queue_cap,
+        measure.as_secs_f64(),
+        levels_json.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_server.json");
+    println!("\nwrote {out_path}");
+
+    // ---- Gates: a regression here fails the bench run itself ----
+    assert!(
+        speedup_at_64 >= 5.0,
+        "coalesced dispatch must be >= 5x direct at 64 connections (got {speedup_at_64:.2}x)"
+    );
+    assert!(
+        mean_batch_at_64 >= 8.0,
+        "mean batch at 64 connections must show real coalescing (got {mean_batch_at_64:.1})"
+    );
+    assert_eq!(overloads_total, 0, "the sweep must not trip backpressure");
+    println!(
+        "gates passed: {speedup_at_64:.2}x speedup at 64 conns, mean batch {mean_batch_at_64:.0}"
+    );
+}
+
+/// Append `n`'s decimal digits without allocating (the request
+/// formatter runs on the same single CPU as the server under test, so
+/// client-side cost dilutes both modes' numbers equally — keep it low).
+fn push_digits(out: &mut Vec<u8>, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// The deterministic pooled queries both modes serve.
+fn query_pool(n: usize) -> Vec<(pscc_graph::V, pscc_graph::V)> {
+    let mut rng = pscc_runtime::SplitMix64::new(0x5e12e);
+    (0..POOL)
+        .map(|_| {
+            (rng.next_below(n as u64) as pscc_graph::V, rng.next_below(n as u64) as pscc_graph::V)
+        })
+        .collect()
+}
+
+struct LevelResult {
+    qps: f64,
+    p50_window_seconds: f64,
+    p99_window_seconds: f64,
+}
+
+/// Run `conns` pipelined clients against `server` for `measure`,
+/// returning aggregate throughput and window-RTT quantiles.
+fn drive(
+    server: &ServerHandle,
+    conns: usize,
+    measure: Duration,
+    pool: &[(pscc_graph::V, pscc_graph::V)],
+) -> LevelResult {
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let (total, mut rtts) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut request = Vec::with_capacity(WINDOW * 48);
+                    let mut response = vec![0u8; WINDOW * 64];
+                    let mut rtts: Vec<u64> = Vec::with_capacity(4096);
+                    let mut completed = 0u64;
+                    let mut window_index = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        request.clear();
+                        let base = (c * 9973 + window_index * WINDOW) % (pool.len() - WINDOW);
+                        for &(u, v) in &pool[base..base + WINDOW] {
+                            request.extend_from_slice(b"GET /reach/bench?u=");
+                            push_digits(&mut request, u as u64);
+                            request.extend_from_slice(b"&v=");
+                            push_digits(&mut request, v as u64);
+                            request.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+                        }
+                        let t = Instant::now();
+                        stream.write_all(&request).expect("write window");
+                        read_window_responses(&mut stream, &mut response);
+                        rtts.push(t.elapsed().as_nanos() as u64);
+                        completed += WINDOW as u64;
+                        window_index += 1;
+                    }
+                    (completed, rtts)
+                })
+            })
+            .collect();
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+        let mut total = 0u64;
+        let mut rtts = Vec::new();
+        for h in handles {
+            let (completed, client_rtts) = h.join().expect("client thread");
+            total += completed;
+            rtts.extend(client_rtts);
+        }
+        (total, rtts)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    rtts.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if rtts.is_empty() {
+            return 0.0;
+        }
+        let idx = ((rtts.len() - 1) as f64 * q).round() as usize;
+        rtts[idx] as f64 / 1e9
+    };
+    LevelResult {
+        qps: total as f64 / elapsed,
+        p50_window_seconds: quantile(0.50),
+        p99_window_seconds: quantile(0.99),
+    }
+}
+
+/// Read exactly `WINDOW` responses off the pipelined connection,
+/// panicking on any non-200 (the sweep must stay on the happy path —
+/// an overload or error here means the gate numbers would be fiction).
+fn read_window_responses(stream: &mut TcpStream, scratch: &mut [u8]) {
+    let mut buf: Vec<u8> = Vec::with_capacity(WINDOW * 48);
+    let mut seen = 0usize;
+    let mut parsed_from = 0usize;
+    while seen < WINDOW {
+        let got = match stream.read(scratch) {
+            Ok(0) => panic!("server closed mid-window"),
+            Ok(got) => got,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => panic!("read window: {e}"),
+        };
+        buf.extend_from_slice(&scratch[..got]);
+        // Scan complete responses: status line, Content-Length, body.
+        loop {
+            let tail = &buf[parsed_from..];
+            // Happy path: both point-query answers share a 38-byte
+            // prefix and are exactly 39 bytes — one memcmp each.
+            const OK_PREFIX: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\n";
+            if tail.len() >= 39 && tail[..38] == *OK_PREFIX {
+                parsed_from += 39;
+                seen += 1;
+                if seen == WINDOW {
+                    break;
+                }
+                continue;
+            }
+            let Some(head_end) = tail.windows(4).position(|w| w == b"\r\n\r\n") else {
+                break;
+            };
+            let head = std::str::from_utf8(&tail[..head_end]).expect("UTF-8 head");
+            let status =
+                head.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()).expect("status code");
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.parse().ok())
+                .expect("Content-Length");
+            let total = head_end + 4 + length;
+            if tail.len() < total {
+                break;
+            }
+            assert_eq!(
+                status,
+                200,
+                "non-200 during sweep: {:?}",
+                String::from_utf8_lossy(&tail[..total])
+            );
+            parsed_from += total;
+            seen += 1;
+            if seen == WINDOW {
+                break;
+            }
+        }
+        if parsed_from == buf.len() {
+            buf.clear();
+            parsed_from = 0;
+        }
+    }
+    assert_eq!(parsed_from, buf.len(), "trailing bytes after a full window");
+}

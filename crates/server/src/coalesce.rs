@@ -1,0 +1,435 @@
+//! The admission queue: coalesces concurrent in-flight point queries
+//! into engine-sized query batches.
+//!
+//! The paper's central observation — and the engine's measured behavior
+//! — is that batched multi-source reachability is dramatically cheaper
+//! per query than one-at-a-time dispatch (the memo cache, the grain
+//! scheduling, and the per-batch fixed costs all amortize). A network
+//! front end naturally receives queries one connection at a time, so a
+//! [`Lane`] sits between the sockets and the engine: connection
+//! handlers enqueue their queries and block; a dedicated dispatcher
+//! thread drains the queue into one [`BatchSubmitter::submit`] call per
+//! batch and distributes the answers back.
+//!
+//! Dispatch is **adaptive**: a batch goes to the engine as soon as it
+//! reaches [`CoalesceConfig::batch_target`] queries *or* the oldest
+//! enqueued query has waited [`CoalesceConfig::deadline`], whichever
+//! comes first — so a saturated server forms full batches with no added
+//! latency, and an idle server bounds the latency of a lone query by
+//! the deadline.
+//!
+//! Backpressure is explicit: the queue is bounded by
+//! [`CoalesceConfig::queue_cap`] pending queries, and a submit that
+//! would exceed it fails immediately with
+//! [`SubmitError::Overloaded`] — the server turns that into an HTTP 503
+//! instead of buffering without bound or hanging the client.
+//!
+//! Telemetry (all labeled `{graph="<name>"}`):
+//! `pscc_server_queue_depth` gauge, `pscc_server_batches_total` and
+//! `pscc_server_coalesced_queries_total` counters (their ratio is the
+//! achieved mean batch size), `pscc_server_overload_total`, the
+//! `pscc_server_batch_size` raw-count histogram, and
+//! `pscc_server_service_nanos` — enqueue-to-answer latency per group,
+//! the server-side component of what a client observes.
+
+use pscc_engine::BatchSubmitter;
+use pscc_graph::V;
+use pscc_telemetry::recorder::{self, FlightEvent};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the adaptive coalescer. Defaults suit a point-query-heavy
+/// load: a 512-query target amortizes the per-batch fixed cost to noise
+/// while a 150 µs deadline keeps an idle server's added latency well
+/// under typical network round-trip times.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceConfig {
+    /// Dispatch as soon as this many queries are pending.
+    pub batch_target: usize,
+    /// Dispatch when the oldest pending query has waited this long.
+    pub deadline: Duration,
+    /// Maximum pending queries; beyond it submits fail with
+    /// [`SubmitError::Overloaded`].
+    pub queue_cap: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> CoalesceConfig {
+        CoalesceConfig { batch_target: 512, deadline: Duration::from_micros(150), queue_cap: 8192 }
+    }
+}
+
+/// Why a submit did not produce answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — retry later (HTTP 503).
+    Overloaded,
+    /// The lane is shutting down.
+    ShuttingDown,
+    /// The caller's wait timeout elapsed before the batch completed.
+    Timeout,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "admission queue at capacity"),
+            SubmitError::ShuttingDown => write!(f, "lane shutting down"),
+            SubmitError::Timeout => write!(f, "timed out waiting for batch completion"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One submitter's completion slot: filled by the dispatcher with that
+/// group's slice of the batch answers.
+struct Slot {
+    answers: Mutex<Option<Vec<bool>>>,
+    done: Condvar,
+}
+
+/// One submit call's reservation in the pending batch.
+struct PendingGroup {
+    slot: Arc<Slot>,
+    len: usize,
+    enqueued: Instant,
+}
+
+struct LaneState {
+    /// Queries of every pending group, in group order.
+    queries: Vec<(V, V)>,
+    groups: Vec<PendingGroup>,
+    /// When the oldest pending query arrived (deadline anchor).
+    first_arrival: Option<Instant>,
+    shutdown: bool,
+}
+
+/// Cached per-graph metric handles (label-in-name convention).
+struct LaneMetrics {
+    queue_depth: Arc<pscc_telemetry::Gauge>,
+    batches: Arc<pscc_telemetry::Counter>,
+    queries: Arc<pscc_telemetry::Counter>,
+    overloads: Arc<pscc_telemetry::Counter>,
+    batch_size: Arc<pscc_telemetry::Histogram>,
+    service_nanos: Arc<pscc_telemetry::Histogram>,
+}
+
+fn graph_metric(base: &str, graph: &str) -> String {
+    format!("{base}{{graph=\"{}\"}}", pscc_telemetry::escape_label_value(graph))
+}
+
+impl LaneMetrics {
+    fn for_graph(graph: &str) -> LaneMetrics {
+        LaneMetrics {
+            queue_depth: pscc_telemetry::gauge(&graph_metric("pscc_server_queue_depth", graph)),
+            batches: pscc_telemetry::counter(&graph_metric("pscc_server_batches_total", graph)),
+            queries: pscc_telemetry::counter(&graph_metric(
+                "pscc_server_coalesced_queries_total",
+                graph,
+            )),
+            overloads: pscc_telemetry::counter(&graph_metric("pscc_server_overload_total", graph)),
+            batch_size: pscc_telemetry::histogram(&graph_metric("pscc_server_batch_size", graph)),
+            service_nanos: pscc_telemetry::histogram(&graph_metric(
+                "pscc_server_service_nanos",
+                graph,
+            )),
+        }
+    }
+}
+
+struct LaneInner {
+    state: Mutex<LaneState>,
+    arrived: Condvar,
+    submitter: BatchSubmitter,
+    config: CoalesceConfig,
+    metrics: LaneMetrics,
+}
+
+/// A per-graph admission queue plus its dispatcher thread. Shared
+/// behind an `Arc` by every connection handler of the graph; dropping
+/// the last handle drains pending groups and joins the dispatcher.
+pub struct Lane {
+    inner: Arc<LaneInner>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Lane {
+    /// Start a lane over `submitter` with its dispatcher thread (named
+    /// `pscc-lane-<graph>`).
+    pub fn start(submitter: BatchSubmitter, config: CoalesceConfig) -> std::io::Result<Lane> {
+        let graph = submitter.graph_name().to_string();
+        let inner = Arc::new(LaneInner {
+            state: Mutex::new(LaneState {
+                queries: Vec::new(),
+                groups: Vec::new(),
+                first_arrival: None,
+                shutdown: false,
+            }),
+            arrived: Condvar::new(),
+            submitter,
+            config,
+            metrics: LaneMetrics::for_graph(&graph),
+        });
+        if recorder::is_active() {
+            recorder::record(
+                FlightEvent::new("server_lane_open")
+                    .field("graph", &graph)
+                    .field("batch_target", config.batch_target as u64)
+                    .field("queue_cap", config.queue_cap as u64),
+            );
+        }
+        let worker = inner.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name(format!("pscc-lane-{graph}"))
+            .spawn(move || worker.run_dispatcher())?;
+        Ok(Lane { inner: inner.clone(), dispatcher: Some(dispatcher) })
+    }
+
+    /// Enqueue `queries` as one group and block until the batch they
+    /// ride in completes (or `timeout` elapses). Answers come back in
+    /// query order. Fails fast with [`SubmitError::Overloaded`] when
+    /// the queue is at capacity — that is the backpressure signal.
+    pub fn submit_wait(
+        &self,
+        queries: &[(V, V)],
+        timeout: Duration,
+    ) -> Result<Vec<bool>, SubmitError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let inner = &*self.inner;
+        let slot = {
+            let mut st = inner.state.lock().expect("lane lock");
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queries.len() + queries.len() > inner.config.queue_cap {
+                inner.metrics.overloads.inc();
+                if recorder::is_active() {
+                    recorder::record(
+                        FlightEvent::new("server_overload")
+                            .field("graph", inner.submitter.graph_name())
+                            .field("pending", st.queries.len() as u64)
+                            .field("rejected", queries.len() as u64),
+                    );
+                }
+                return Err(SubmitError::Overloaded);
+            }
+            let now = Instant::now();
+            st.queries.extend_from_slice(queries);
+            st.first_arrival.get_or_insert(now);
+            let slot = Arc::new(Slot { answers: Mutex::new(None), done: Condvar::new() });
+            st.groups.push(PendingGroup { slot: slot.clone(), len: queries.len(), enqueued: now });
+            inner.metrics.queue_depth.set(st.queries.len() as i64);
+            slot
+        };
+        inner.arrived.notify_one();
+
+        let deadline = Instant::now() + timeout;
+        let mut answers = slot.answers.lock().expect("slot lock");
+        loop {
+            if let Some(ans) = answers.take() {
+                return Ok(ans);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(SubmitError::Timeout);
+            };
+            let (guard, wait) = slot.done.wait_timeout(answers, remaining).expect("slot lock");
+            answers = guard;
+            if wait.timed_out() && answers.is_none() {
+                return Err(SubmitError::Timeout);
+            }
+        }
+    }
+
+    /// Batches dispatched to the engine so far.
+    pub fn batches_formed(&self) -> u64 {
+        self.inner.metrics.batches.get()
+    }
+
+    /// Queries answered through those batches. The ratio of this to
+    /// [`batches_formed`](Lane::batches_formed) is the achieved mean
+    /// batch size — the coalescing win.
+    pub fn queries_coalesced(&self) -> u64 {
+        self.inner.metrics.queries.get()
+    }
+
+    /// Submits rejected at capacity.
+    pub fn overloads(&self) -> u64 {
+        self.inner.metrics.overloads.get()
+    }
+
+    /// Vertex count of the lane's graph (for endpoint validation).
+    pub fn vertex_count(&self) -> usize {
+        self.inner.submitter.vertex_count()
+    }
+
+    /// Ask the dispatcher to drain and stop; does not block. Subsequent
+    /// submits fail with [`SubmitError::ShuttingDown`]; pending groups
+    /// still get their answers. The thread is joined on drop.
+    pub fn shutdown(&self) {
+        self.inner.state.lock().expect("lane lock").shutdown = true;
+        self.inner.arrived.notify_all();
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl LaneInner {
+    /// The dispatcher loop: sleep until queries arrive, then dispatch
+    /// at the size target or the deadline (whichever first), repeat.
+    /// On shutdown, drains whatever is pending before exiting.
+    fn run_dispatcher(self: Arc<LaneInner>) {
+        let mut st = self.state.lock().expect("lane lock");
+        loop {
+            if st.queries.is_empty() {
+                if st.shutdown {
+                    return;
+                }
+                st = self.arrived.wait(st).expect("lane lock");
+                continue;
+            }
+            if st.queries.len() < self.config.batch_target && !st.shutdown {
+                let age = st.first_arrival.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+                if let Some(remaining) = self.config.deadline.checked_sub(age) {
+                    let (guard, _) = self.arrived.wait_timeout(st, remaining).expect("lane lock");
+                    st = guard;
+                    continue;
+                }
+            }
+            let queries = std::mem::take(&mut st.queries);
+            let groups = std::mem::take(&mut st.groups);
+            st.first_arrival = None;
+            self.metrics.queue_depth.set(0);
+            drop(st);
+
+            let answers = self.submitter.submit(&queries);
+            self.metrics.batches.inc();
+            self.metrics.queries.add(queries.len() as u64);
+            self.metrics.batch_size.record_nanos(queries.len() as u64);
+            let mut offset = 0;
+            for group in groups {
+                let slice = answers[offset..offset + group.len].to_vec();
+                offset += group.len;
+                self.metrics.service_nanos.record(group.enqueued.elapsed());
+                *group.slot.answers.lock().expect("slot lock") = Some(slice);
+                group.slot.done.notify_all();
+            }
+
+            st = self.state.lock().expect("lane lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_engine::Catalog;
+    use pscc_graph::generators::simple::path_digraph;
+
+    // Metric handles are global and keyed by graph name, so every test
+    // uses its own name to keep counter assertions independent.
+    fn lane_over_path(name: &str, n: usize, config: CoalesceConfig) -> (Catalog, Lane) {
+        let cat = Catalog::new();
+        cat.insert(name, path_digraph(n));
+        let lane = Lane::start(cat.submitter(name).unwrap(), config).unwrap();
+        (cat, lane)
+    }
+
+    const WAIT: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn single_group_round_trips() {
+        let (_cat, lane) = lane_over_path("lane_single", 10, CoalesceConfig::default());
+        let ans = lane.submit_wait(&[(0, 9), (9, 0), (3, 3)], WAIT).unwrap();
+        assert_eq!(ans, vec![true, false, true]);
+        assert_eq!(lane.batches_formed(), 1);
+        assert_eq!(lane.queries_coalesced(), 3);
+        assert!(lane.submit_wait(&[], WAIT).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_groups_coalesce_into_one_batch() {
+        // Size target 4 with a long deadline: the dispatcher must wait
+        // for all four single-query groups and send them as one batch.
+        let config =
+            CoalesceConfig { batch_target: 4, deadline: Duration::from_secs(5), queue_cap: 64 };
+        let (_cat, lane) = lane_over_path("lane_coalesce", 10, config);
+        std::thread::scope(|scope| {
+            let lane = &lane;
+            let handles: Vec<_> = (0..4)
+                .map(|i| scope.spawn(move || lane.submit_wait(&[(0, i as V)], WAIT).unwrap()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![true]);
+            }
+        });
+        assert_eq!(lane.queries_coalesced(), 4);
+        assert_eq!(lane.batches_formed(), 1, "four groups must form one batch");
+    }
+
+    #[test]
+    fn deadline_dispatches_partial_batches() {
+        let config = CoalesceConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(5),
+            queue_cap: 64,
+        };
+        let (_cat, lane) = lane_over_path("lane_deadline", 10, config);
+        let t = Instant::now();
+        assert_eq!(lane.submit_wait(&[(0, 5)], WAIT).unwrap(), vec![true]);
+        assert!(t.elapsed() < Duration::from_secs(5), "deadline must beat the size target");
+        assert_eq!(lane.batches_formed(), 1);
+    }
+
+    #[test]
+    fn overload_fails_fast_instead_of_buffering() {
+        let config = CoalesceConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(100),
+            queue_cap: 2,
+        };
+        let (_cat, lane) = lane_over_path("lane_overload", 10, config);
+        std::thread::scope(|scope| {
+            let lane = &lane;
+            let filler = scope.spawn(move || lane.submit_wait(&[(0, 1), (0, 2)], WAIT));
+            // Wait until the filler's two queries occupy the queue.
+            while lane.inner.state.lock().unwrap().queries.len() < 2 {
+                std::thread::yield_now();
+            }
+            assert_eq!(lane.submit_wait(&[(0, 3)], WAIT), Err(SubmitError::Overloaded));
+            assert_eq!(filler.join().unwrap().unwrap(), vec![true, true]);
+        });
+        assert_eq!(lane.overloads(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_groups() {
+        let config = CoalesceConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_secs(60),
+            queue_cap: 64,
+        };
+        let (_cat, lane) = lane_over_path("lane_shutdown", 10, config);
+        std::thread::scope(|scope| {
+            let lane = &lane;
+            let pending = scope.spawn(move || lane.submit_wait(&[(0, 9)], WAIT));
+            while lane.inner.state.lock().unwrap().queries.is_empty() {
+                std::thread::yield_now();
+            }
+            lane.shutdown();
+            // Drained, not dropped: the pending group still answers.
+            assert_eq!(pending.join().unwrap().unwrap(), vec![true]);
+        });
+        assert_eq!(lane.submit_wait(&[(0, 1)], WAIT), Err(SubmitError::ShuttingDown));
+    }
+}

@@ -1,0 +1,263 @@
+//! A hand-rolled HTTP/1.1-lite wire layer: just enough of the protocol
+//! for the reachability front end — request-line + headers + optional
+//! `Content-Length` body, persistent connections by default, and
+//! pipelining (the parser consumes one complete request from a byte
+//! buffer and reports how many bytes it used, so a connection handler
+//! can peel requests off a read buffer in a loop). No chunked encoding,
+//! no multi-line headers, no TLS — this container has std networking
+//! only, and the engine's value is in the dispatch behind the socket,
+//! not the socket itself.
+
+/// One parsed request, borrowing from the connection's read buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Request<'a> {
+    pub method: &'a str,
+    /// Request target up to `?` (e.g. `/reach/serve`).
+    pub path: &'a str,
+    /// Raw query string after `?`, empty if none.
+    pub query: &'a str,
+    /// Body bytes (exactly `Content-Length` of them).
+    pub body: &'a [u8],
+    /// False only for `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// A malformed request — the connection should answer 400 and close.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BadRequest(pub &'static str);
+
+/// Maximum bytes of headers and of body we will buffer for one request;
+/// beyond this the peer is abusive or confused and gets a 400.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Try to parse one request from the front of `buf`.
+///
+/// - `Ok(Some((request, consumed)))` — a complete request; the caller
+///   owns `buf[..consumed]` and should process then discard it.
+/// - `Ok(None)` — incomplete; read more bytes and retry.
+/// - `Err(BadRequest)` — irrecoverably malformed.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, BadRequest> {
+    let Some(head_len) = find_double_crlf(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(BadRequest("request head too large"));
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_len]).map_err(|_| BadRequest("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(BadRequest("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(BadRequest("unsupported protocol version"));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| BadRequest("unparsable Content-Length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(BadRequest("body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let body_start = head_len + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Some((
+        Request { method, path, query, body: &buf[body_start..consumed], keep_alive },
+        consumed,
+    )))
+}
+
+/// Byte offset of the first `\r\n\r\n` (start of the blank line), if any.
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Bytes-only fast path for the dominant request shape on a hot serving
+/// socket — a bare pipelined point query:
+///
+/// ```text
+/// GET /reach/<graph>?u=<digits>&v=<digits> HTTP/1.1\r\n\r\n
+/// ```
+///
+/// One forward scan, no UTF-8 validation of the whole head, no header
+/// parsing (the shape has no headers). Returns `(graph, u, v,
+/// consumed)`. `None` means "not this shape or not complete yet" — the
+/// caller falls back to [`parse_request`], which handles both, so the
+/// fast path can never change observable behavior, only skip work.
+pub fn parse_point_get_fast(buf: &[u8]) -> Option<(&str, u64, u64, usize)> {
+    const PREFIX: &[u8] = b"GET /reach/";
+    const SUFFIX: &[u8] = b" HTTP/1.1\r\n\r\n";
+    if !buf.starts_with(PREFIX) {
+        return None;
+    }
+    let mut i = PREFIX.len();
+    let graph_start = i;
+    while i < buf.len() && buf[i] != b'?' && buf[i] != b' ' && buf[i] != b'\r' {
+        i += 1;
+    }
+    if i >= buf.len() || buf[i] != b'?' || i == graph_start {
+        return None;
+    }
+    let graph = std::str::from_utf8(&buf[graph_start..i]).ok()?;
+    i += 1;
+    if !buf[i..].starts_with(b"u=") {
+        return None;
+    }
+    let (u, used) = parse_digits(&buf[i + 2..])?;
+    i += 2 + used;
+    if !buf[i..].starts_with(b"&v=") {
+        return None;
+    }
+    let (v, used) = parse_digits(&buf[i + 3..])?;
+    i += 3 + used;
+    if !buf[i..].starts_with(SUFFIX) {
+        return None;
+    }
+    Some((graph, u, v, i + SUFFIX.len()))
+}
+
+/// Leading decimal digits of `buf` as a number, with how many bytes
+/// they span. `None` on zero digits or more than 19 (overflow guard).
+fn parse_digits(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut used = 0usize;
+    while used < buf.len() && buf[used].is_ascii_digit() {
+        if used >= 19 {
+            return None;
+        }
+        value = value * 10 + (buf[used] - b'0') as u64;
+        used += 1;
+    }
+    if used == 0 {
+        return None;
+    }
+    Some((value, used))
+}
+
+/// Value of `key` in a raw query string (`u=3&v=9`), percent-decoding
+/// not supported (targets here are numeric).
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// Append a full response (status line, `Content-Length`, body) to the
+/// connection's write buffer.
+pub fn write_response(out: &mut Vec<u8>, status: u16, reason: &str, body: &[u8]) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_number(out, status as u64);
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    push_number(out, body.len() as u64);
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Preformatted single-byte-body 200s for the hot point-query path —
+/// the handler appends one of these per answer, no formatting at all.
+pub const RESP_TRUE: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\n1";
+pub const RESP_FALSE: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\n0";
+
+fn push_number(out: &mut Vec<u8>, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_get() {
+        let raw = b"GET /reach/g?u=1&v=2 HTTP/1.1\r\n\r\n";
+        let (req, used) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/reach/g");
+        assert_eq!(req.query, "u=1&v=2");
+        assert_eq!(req.body, b"");
+        assert!(req.keep_alive);
+        assert_eq!(query_param(req.query, "u"), Some("1"));
+        assert_eq!(query_param(req.query, "v"), Some("2"));
+        assert_eq!(query_param(req.query, "w"), None);
+    }
+
+    #[test]
+    fn parses_post_with_body_and_pipelined_tail() {
+        let raw =
+            b"POST /delta/g HTTP/1.1\r\nContent-Length: 6\r\n\r\n+ 1 2\nGET / HTTP/1.1\r\n\r\n";
+        let (req, used) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"+ 1 2\n");
+        let (next, _) = parse_request(&raw[used..]).unwrap().unwrap();
+        assert_eq!(next.method, "GET");
+        assert_eq!(next.path, "/");
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        assert_eq!(parse_request(b"GET / HTT").unwrap(), None);
+        // Head complete, body still in flight.
+        assert_eq!(
+            parse_request(b"POST /d HTTP/1.1\r\nContent-Length: 5\r\n\r\nab").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (req, _) = parse_request(raw).unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_request(b"NONSENSE\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse_request(b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_writer_and_static_responses_agree() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", b"1");
+        assert_eq!(out, RESP_TRUE);
+        out.clear();
+        write_response(&mut out, 200, "OK", b"0");
+        assert_eq!(out, RESP_FALSE);
+        out.clear();
+        write_response(&mut out, 503, "Service Unavailable", b"overloaded\n");
+        assert!(out.starts_with(b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 11\r\n"));
+    }
+}

@@ -54,45 +54,30 @@
 
 use parallel_scc::engine::{Delta, DeltaReport, QueryTier, SummaryTier};
 use parallel_scc::prelude::*;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::Instant;
 
 const NAME: &str = "serve";
 
 fn main() {
     // ---- Arguments: [--data-dir DIR] [graph.txt [updates.txt]] ----
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let data_dir: Option<PathBuf> = match args.iter().position(|a| a == "--data-dir") {
-        Some(i) => {
-            args.remove(i);
-            if i >= args.len() {
-                eprintln!("--data-dir needs a directory argument");
-                std::process::exit(2);
-            }
-            Some(PathBuf::from(args.remove(i)))
+    let mut args = parallel_scc::server::args::Args::from_env();
+    let parsed = (|| {
+        let data_dir = args.path("--data-dir")?;
+        let flight_dir = args.path("--flight-dir")?;
+        Ok::<_, parallel_scc::server::args::ArgsError>((data_dir, flight_dir))
+    })();
+    let (data_dir, flight_dir) = match parsed {
+        Ok(pair) => pair,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
         }
-        None => None,
     };
-    let flight_dir: Option<PathBuf> = match args.iter().position(|a| a == "--flight-dir") {
-        Some(i) => {
-            args.remove(i);
-            if i >= args.len() {
-                eprintln!("--flight-dir needs a directory argument");
-                std::process::exit(2);
-            }
-            Some(PathBuf::from(args.remove(i)))
-        }
-        None => None,
-    };
-    let metrics = match args.iter().position(|a| a == "--metrics") {
-        Some(i) => {
-            args.remove(i);
-            true
-        }
-        None => false,
-    };
-    let graph_path = args.first().cloned();
-    let updates_path = args.get(1).cloned();
+    let metrics = args.flag("--metrics");
+    let positionals = args.finish();
+    let graph_path = positionals.first().cloned();
+    let updates_path = positionals.get(1).cloned();
 
     // ---- Flight recorder: journal deltas/rebuilds for pscc-doctor ----
     if let Some(dir) = &flight_dir {

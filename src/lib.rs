@@ -37,6 +37,7 @@
 //! | [`engine`] | `pscc-engine` | batched reachability queries over the condensation DAG |
 //! | [`store`] | `pscc-store` | durable snapshots + write-ahead delta log with crash recovery |
 //! | [`telemetry`] | `pscc-telemetry` | zero-dependency metrics, tracing spans, exposition, logging |
+//! | [`server`] | `pscc-server` | TCP front end with batch-coalescing admission queue |
 //!
 //! ## Serving reachability queries
 //!
@@ -66,6 +67,10 @@
 //! and fsynced before they return, and [`engine::Catalog::open`] recovers
 //! the whole catalog — newest valid snapshot plus log replay, torn tails
 //! truncated — after a crash or restart. See [`store`].
+//!
+//! For serving over the network, [`server`] wraps a catalog in a TCP
+//! front end whose admission queue coalesces concurrent point queries
+//! into engine batches (the `pscc-server` binary is its daemon form).
 
 pub use pscc_apps as apps;
 pub use pscc_bag as bag;
@@ -76,6 +81,7 @@ pub use pscc_engine as engine;
 pub use pscc_graph as graph;
 pub use pscc_lelists as lelists;
 pub use pscc_runtime as runtime;
+pub use pscc_server as server;
 pub use pscc_store as store;
 pub use pscc_table as table;
 pub use pscc_telemetry as telemetry;

@@ -1,0 +1,360 @@
+//! End-to-end concurrency tests for the `pscc-server` TCP front end:
+//! many client threads fire mixed point queries and edge deltas at a
+//! live server and every answer is checked against a client-side BFS
+//! oracle. The concurrent phase only applies **reachability-preserving**
+//! deltas (edges between already-reachable pairs — the engine absorbs
+//! them) so the oracle stays valid while queries race the writes; a
+//! structural delta is then applied in a sequential phase and the
+//! changed answers re-verified. A separate test drives a deliberately
+//! tiny admission queue past capacity and asserts backpressure arrives
+//! as explicit 503s, never as a hang.
+
+use parallel_scc::engine::Catalog;
+use parallel_scc::graph::{DiGraph, V};
+use parallel_scc::runtime::SplitMix64;
+use parallel_scc::server::{start, CoalesceConfig, DispatchMode, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 512;
+const EDGES: usize = 1200;
+
+/// Deterministic sparse digraph plus its adjacency for the BFS oracle.
+fn test_graph(seed: u64) -> (DiGraph, Vec<Vec<usize>>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(EDGES);
+    while edges.len() < EDGES {
+        let u = rng.next_below(N as u64) as V;
+        let v = rng.next_below(N as u64) as V;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    let g = DiGraph::from_edges(N, &edges);
+    let mut adj = vec![Vec::new(); N];
+    for &(u, v) in &edges {
+        adj[u as usize].push(v as usize);
+    }
+    (g, adj)
+}
+
+fn bfs_reaches(adj: &[Vec<usize>], u: usize, v: usize) -> bool {
+    if u == v {
+        return true;
+    }
+    let mut seen = vec![false; adj.len()];
+    let mut queue = std::collections::VecDeque::from([u]);
+    seen[u] = true;
+    while let Some(x) = queue.pop_front() {
+        for &y in &adj[x] {
+            if y == v {
+                return true;
+            }
+            if !seen[y] {
+                seen[y] = true;
+                queue.push_back(y);
+            }
+        }
+    }
+    false
+}
+
+/// Reads one HTTP/1.1 response off `stream`, returning `(status, body)`.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> (u16, Vec<u8>) {
+    loop {
+        if let Some(head_len) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_len]).expect("UTF-8 head");
+            let status: u16 = head
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .expect("status code in response line");
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.parse().ok())
+                .expect("Content-Length header");
+            let body_start = head_len + 4;
+            while buf.len() < body_start + content_length {
+                read_more(stream, buf);
+            }
+            let body = buf[body_start..body_start + content_length].to_vec();
+            buf.drain(..body_start + content_length);
+            return (status, body);
+        }
+        read_more(stream, buf);
+    }
+}
+
+fn read_more(stream: &mut TcpStream, buf: &mut Vec<u8>) {
+    let mut chunk = [0u8; 4096];
+    let n = stream.read(&mut chunk).expect("readable response");
+    assert!(n > 0, "server closed the connection mid-response");
+    buf.extend_from_slice(&chunk[..n]);
+}
+
+/// Sends a pipelined window of point queries on one connection and
+/// returns the answers (asserting every response is a 200).
+fn query_window(stream: &mut TcpStream, graph: &str, queries: &[(usize, usize)]) -> Vec<bool> {
+    let mut out = Vec::new();
+    for &(u, v) in queries {
+        out.extend_from_slice(
+            format!("GET /reach/{graph}?u={u}&v={v} HTTP/1.1\r\n\r\n").as_bytes(),
+        );
+    }
+    stream.write_all(&out).expect("writable request");
+    let mut buf = Vec::new();
+    queries
+        .iter()
+        .map(|&(u, v)| {
+            let (status, body) = read_response(stream, &mut buf);
+            assert_eq!(
+                status,
+                200,
+                "query ({u}, {v}) failed: {:?}",
+                String::from_utf8_lossy(&body)
+            );
+            assert!(body == b"1" || body == b"0", "unexpected body {body:?}");
+            body == b"1"
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_queries_and_deltas_match_bfs_oracle() {
+    let (g, adj) = test_graph(0xc0c0a);
+    let catalog = Catalog::new();
+    catalog.insert("conc", g);
+    // A small batch target so grouping is observable even if the 1-CPU
+    // scheduler serializes the clients.
+    let config = ServerConfig {
+        mode: DispatchMode::Coalesced(CoalesceConfig {
+            batch_target: 32,
+            ..CoalesceConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let handle = start(Arc::new(catalog), config).expect("server starts");
+    let addr = handle.local_addr();
+
+    // Reachable pairs for the delta writers: inserting u -> v where
+    // u already reaches v is absorbed by the engine, so the oracle
+    // adjacency never needs updating while queries race these writes.
+    let mut absorbable = Vec::new();
+    'outer: for u in 0..N {
+        for &v in &adj[u] {
+            for &w in &adj[v] {
+                if w != u {
+                    absorbable.push((u, w)); // u -> v -> w, insert u -> w
+                    if absorbable.len() >= 64 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    assert!(absorbable.len() >= 16, "graph too sparse for delta pairs");
+
+    const CLIENTS: usize = 8;
+    const WINDOWS: usize = 12;
+    const WINDOW: usize = 16;
+    let total_queries = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..CLIENTS {
+            let adj = &adj;
+            let absorbable = &absorbable;
+            workers.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connectable");
+                let mut rng = SplitMix64::new(0x5eed + t as u64);
+                let mut asked = 0usize;
+                for round in 0..WINDOWS {
+                    let queries: Vec<(usize, usize)> = (0..WINDOW)
+                        .map(|_| {
+                            (rng.next_below(N as u64) as usize, rng.next_below(N as u64) as usize)
+                        })
+                        .collect();
+                    let answers = query_window(&mut stream, "conc", &queries);
+                    for (&(u, v), got) in queries.iter().zip(answers) {
+                        assert_eq!(got, bfs_reaches(adj, u, v), "query ({u}, {v})");
+                    }
+                    asked += WINDOW;
+                    // Half the clients interleave an absorbable delta
+                    // between windows, racing everyone else's queries.
+                    if t % 2 == 0 {
+                        let (u, v) = absorbable[(t * WINDOWS + round) % absorbable.len()];
+                        let body = format!("+ {u} {v}\n");
+                        let req = format!(
+                            "POST /delta/conc HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                            body.len()
+                        );
+                        stream.write_all(req.as_bytes()).expect("writable delta");
+                        let mut buf = Vec::new();
+                        let (status, reply) = read_response(&mut stream, &mut buf);
+                        assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&reply));
+                    }
+                }
+                asked
+            }));
+        }
+        workers.into_iter().map(|w| w.join().expect("client thread")).sum::<usize>()
+    });
+
+    let stats = handle.port_stats("conc").expect("lane exists after first query");
+    assert_eq!(stats.queries_coalesced, total_queries as u64);
+    assert!(
+        stats.batches_formed < stats.queries_coalesced / 2,
+        "coalescing must have grouped queries: {} batches for {} queries",
+        stats.batches_formed,
+        stats.queries_coalesced
+    );
+    assert_eq!(stats.overloads, 0, "the default queue must not overload at this load");
+
+    // ---- Sequential phase: a structural delta, then re-verify. ----
+    // Find a pair with no path either way; inserting that edge splices
+    // the condensation DAG and flips the answer.
+    let (su, sv) = (0..N)
+        .flat_map(|u| [(u, (u + N / 2) % N), (u, (u + N / 3) % N)])
+        .find(|&(u, v)| u != v && !bfs_reaches(&adj, u, v) && !bfs_reaches(&adj, v, u))
+        .expect("a mutually unreachable pair exists in a sparse digraph");
+    let mut stream = TcpStream::connect(addr).expect("connectable");
+    assert!(!query_window(&mut stream, "conc", &[(su, sv)])[0]);
+    let body = format!("+ {su} {sv}\n");
+    let req = format!("POST /delta/conc HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    stream.write_all(req.as_bytes()).expect("writable delta");
+    let mut buf = Vec::new();
+    let (status, _) = read_response(&mut stream, &mut buf);
+    assert_eq!(status, 200);
+    let mut adj2 = adj.clone();
+    adj2[su].push(sv);
+    let mut rng = SplitMix64::new(0xafe);
+    let recheck: Vec<(usize, usize)> = std::iter::once((su, sv))
+        .chain(
+            (0..64).map(|_| (rng.next_below(N as u64) as usize, rng.next_below(N as u64) as usize)),
+        )
+        .collect();
+    let answers = query_window(&mut stream, "conc", &recheck);
+    for (&(u, v), got) in recheck.iter().zip(answers) {
+        assert_eq!(got, bfs_reaches(&adj2, u, v), "post-delta query ({u}, {v})");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn overload_returns_503_instead_of_hanging() {
+    let (g, adj) = test_graph(0xbad);
+    let catalog = Catalog::new();
+    catalog.insert("backpressure", g);
+    // A queue that cannot hold even one client's window, with a batch
+    // target and deadline high enough that the dispatcher sits on what
+    // it has — admission control must shed the rest as 503s.
+    let config = ServerConfig {
+        mode: DispatchMode::Coalesced(CoalesceConfig {
+            batch_target: 1000,
+            deadline: Duration::from_millis(200),
+            queue_cap: 4,
+        }),
+        ..ServerConfig::default()
+    };
+    let handle = start(Arc::new(catalog), config).expect("server starts");
+    let addr = handle.local_addr();
+
+    const CLIENTS: usize = 12;
+    const WINDOWS: usize = 6;
+    const WINDOW: usize = 2;
+    let (oks, overloads) = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..CLIENTS {
+            let adj = &adj;
+            workers.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connectable");
+                let mut rng = SplitMix64::new(0xd05 + t as u64);
+                let mut buf = Vec::new();
+                let (mut oks, mut overloads) = (0usize, 0usize);
+                for _ in 0..WINDOWS {
+                    let queries: Vec<(usize, usize)> = (0..WINDOW)
+                        .map(|_| {
+                            (rng.next_below(N as u64) as usize, rng.next_below(N as u64) as usize)
+                        })
+                        .collect();
+                    let mut out = Vec::new();
+                    for &(u, v) in &queries {
+                        out.extend_from_slice(
+                            format!("GET /reach/backpressure?u={u}&v={v} HTTP/1.1\r\n\r\n")
+                                .as_bytes(),
+                        );
+                    }
+                    stream.write_all(&out).expect("writable request");
+                    for &(u, v) in &queries {
+                        let (status, body) = read_response(&mut stream, &mut buf);
+                        match status {
+                            200 => {
+                                assert_eq!(
+                                    body == b"1",
+                                    bfs_reaches(adj, u, v),
+                                    "query ({u}, {v})"
+                                );
+                                oks += 1;
+                            }
+                            503 => overloads += 1,
+                            other => panic!("unexpected status {other}"),
+                        }
+                    }
+                }
+                (oks, overloads)
+            }));
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    });
+
+    assert_eq!(oks + overloads, CLIENTS * WINDOWS * WINDOW, "every request got a response");
+    assert!(overloads > 0, "a 4-slot queue under {CLIENTS} clients must shed load");
+    assert!(oks > 0, "admission control must still serve in-capacity windows");
+    // The server counts rejected *submissions* (one per shed window, up
+    // to WINDOW queries each); the clients count per-query 503s.
+    let stats = handle.port_stats("backpressure").expect("lane exists");
+    assert!(
+        stats.overloads > 0
+            && stats.overloads <= overloads as u64
+            && overloads as u64 <= stats.overloads * WINDOW as u64,
+        "server-side overload counter must agree with the {} client 503s \
+         (counted {} shed submissions of up to {WINDOW} queries)",
+        overloads,
+        stats.overloads
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn direct_mode_serves_correct_answers() {
+    let (g, adj) = test_graph(0xd12ec7);
+    let catalog = Catalog::new();
+    catalog.insert("direct", g);
+    let config = ServerConfig { mode: DispatchMode::Direct, ..ServerConfig::default() };
+    let handle = start(Arc::new(catalog), config).expect("server starts");
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let adj = &adj;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connectable");
+                let mut rng = SplitMix64::new(0xd1 + t as u64);
+                let queries: Vec<(usize, usize)> = (0..96)
+                    .map(|_| (rng.next_below(N as u64) as usize, rng.next_below(N as u64) as usize))
+                    .collect();
+                let answers = query_window(&mut stream, "direct", &queries);
+                for (&(u, v), got) in queries.iter().zip(answers) {
+                    assert_eq!(got, bfs_reaches(adj, u, v), "query ({u}, {v})");
+                }
+            });
+        }
+    });
+    assert!(handle.port_stats("direct").is_none(), "direct mode has no lane to report");
+    handle.shutdown();
+}
